@@ -1,0 +1,162 @@
+// Command ectool is the pyCECT-style consistency tester: it generates
+// ensemble/experimental output CSVs from the synthetic model, and
+// evaluates experimental CSVs against an ensemble CSV, printing a
+// Pass/Fail verdict per run.
+//
+// Usage:
+//
+//	ectool -gen -out ens.csv -members 40
+//	ectool -gen -out exp.csv -members 10 -offset 1000 -mt
+//	ectool -ensemble ens.csv -experimental exp.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/model"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate outputs instead of testing")
+		out     = flag.String("out", "runs.csv", "output CSV (with -gen)")
+		members = flag.Int("members", 40, "number of runs (with -gen)")
+		offset  = flag.Int("offset", 0, "member seed offset (with -gen)")
+		aux     = flag.Int("aux", 100, "corpus scale")
+		seed    = flag.Uint64("seed", 1, "corpus seed")
+		mt      = flag.Bool("mt", false, "use the Mersenne Twister PRNG (with -gen)")
+		fma     = flag.Bool("fma", false, "enable FMA in all modules (with -gen)")
+		ensCSV  = flag.String("ensemble", "", "ensemble CSV (test mode)")
+		expCSV  = flag.String("experimental", "", "experimental CSV (test mode)")
+	)
+	flag.Parse()
+
+	if *gen {
+		if err := generate(*out, *aux, *seed, *members, *offset, *mt, *fma); err != nil {
+			fmt.Fprintln(os.Stderr, "ectool:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ensCSV == "" || *expCSV == "" {
+		fmt.Fprintln(os.Stderr, "ectool: need -ensemble and -experimental CSVs (or -gen)")
+		os.Exit(2)
+	}
+	if err := evaluate(*ensCSV, *expCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "ectool:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(path string, aux int, seed uint64, members, offset int, mt, fma bool) error {
+	c := corpus.Generate(corpus.Config{AuxModules: aux, Seed: seed})
+	r, err := model.NewRunner(c)
+	if err != nil {
+		return err
+	}
+	cfg := model.RunConfig{}
+	if mt {
+		cfg.RNG = model.RNGMersenne
+	}
+	if fma {
+		cfg.FMA = func(string) bool { return true }
+	}
+	runs, err := r.ExperimentalSet(members, offset, cfg)
+	if err != nil {
+		return err
+	}
+	return writeCSV(path, runs)
+}
+
+func writeCSV(path string, runs []ect.RunOutput) error {
+	var vars []string
+	for v := range runs[0] {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(vars); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		row := make([]string, len(vars))
+		for i, v := range vars {
+			row[i] = strconv.FormatFloat(r[v], 'g', 17, 64)
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	fmt.Printf("ectool: wrote %d runs x %d variables to %s\n", len(runs), len(vars), path)
+	return w.Error()
+}
+
+func readCSV(path string) ([]ect.RunOutput, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("%s: need header plus rows", path)
+	}
+	vars := rows[0]
+	var runs []ect.RunOutput
+	for _, row := range rows[1:] {
+		r := make(ect.RunOutput, len(vars))
+		for i, v := range vars {
+			x, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			r[v] = x
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+func evaluate(ensPath, expPath string) error {
+	ens, err := readCSV(ensPath)
+	if err != nil {
+		return err
+	}
+	exp, err := readCSV(expPath)
+	if err != nil {
+		return err
+	}
+	test, err := ect.NewTest(ens, ect.Config{})
+	if err != nil {
+		return err
+	}
+	fails := 0
+	for i, r := range exp {
+		v := test.Evaluate(r)
+		verdict := "Pass"
+		if !v.Pass {
+			verdict = "Fail"
+			fails++
+		}
+		fmt.Printf("run %02d: %s (failing PCs: %d)\n", i, verdict, len(v.FailingPCs))
+	}
+	fmt.Printf("failure rate: %.0f%% (%d/%d)\n",
+		100*float64(fails)/float64(len(exp)), fails, len(exp))
+	return nil
+}

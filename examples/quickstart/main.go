@@ -1,0 +1,36 @@
+// Quickstart: run one complete root-cause analysis with the public
+// API. A coefficient typo is injected into the Goff-Gratch saturation
+// vapor pressure function (the paper's §6.3 GOFFGRATCH experiment);
+// the pipeline confirms the consistency-test failure, selects the
+// affected output variables, slices the dependency graph, and refines
+// to the defect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rca "github.com/climate-rca/rca"
+)
+
+func main() {
+	setup := rca.Setup{
+		Corpus:       rca.DefaultCorpus(),
+		EnsembleSize: 30,
+		ExpSize:      8,
+	}
+	setup.Corpus.AuxModules = 40 // keep the quickstart snappy
+
+	out, err := rca.RunExperiment(rca.GOFFGRATCH, setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rca.FormatOutcome(out))
+
+	if out.BugLocated {
+		fmt.Println("\nThe refinement procedure reached the injected defect:")
+		for _, d := range out.BugDisplays {
+			fmt.Println("  ", d)
+		}
+	}
+}

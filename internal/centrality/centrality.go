@@ -1,0 +1,255 @@
+// Package centrality implements the node-importance measures used by the
+// iterative refinement procedure (Milroy et al. §5.2-5.3): degree and
+// eigenvector centrality (including the in-centrality variant used to
+// pick sampling sites), PageRank, betweenness, and the Hashimoto
+// non-backtracking centrality analysed in the paper's supplement §8.1.
+package centrality
+
+import (
+	"math"
+	"sort"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// Ranked pairs a node id with a centrality score.
+type Ranked struct {
+	Node  int
+	Score float64
+}
+
+// TopK returns the k highest-scoring entries of scores in descending
+// score order, breaking ties by ascending node id for determinism.
+func TopK(scores []float64, k int) []Ranked {
+	rs := make([]Ranked, len(scores))
+	for i, s := range scores {
+		rs[i] = Ranked{Node: i, Score: s}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Node < rs[j].Node
+	})
+	if k > len(rs) {
+		k = len(rs)
+	}
+	return rs[:k]
+}
+
+// Degree returns total-degree centrality normalized by (n-1).
+func Degree(g *graph.Digraph) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	for u := 0; u < n; u++ {
+		out[u] = float64(g.Degree(u)) / float64(n-1)
+	}
+	return out
+}
+
+// InDegree returns in-degree centrality normalized by (n-1).
+func InDegree(g *graph.Digraph) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	for u := 0; u < n; u++ {
+		out[u] = float64(g.InDegree(u)) / float64(n-1)
+	}
+	return out
+}
+
+// Options configures iterative eigensolvers.
+type Options struct {
+	MaxIter int     // power-iteration cap (default 200)
+	Tol     float64 // L1 convergence tolerance (default 1e-10)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	return o
+}
+
+// Eigenvector computes eigenvector out-centrality by power iteration on
+// the adjacency matrix A: x_{k+1} = A x_k, i.e. a node is central if it
+// points at central nodes. Scores are L2-normalized and non-negative.
+//
+// A small teleport term (1e-4 of uniform mass) is mixed in so the
+// iteration converges on graphs that are not strongly connected, which
+// CESM variable subgraphs never are; this matches NetworkX's practical
+// behaviour with nstart and tolerates sink/source structure.
+func Eigenvector(g *graph.Digraph, opt Options) []float64 {
+	return eigen(g, opt, false)
+}
+
+// EigenvectorIn computes eigenvector in-centrality: x_{k+1} = Aᵀ x_k, so
+// a node is central if central nodes point at it — the "information
+// sink" orientation the paper samples (§5.3).
+func EigenvectorIn(g *graph.Digraph, opt Options) []float64 {
+	return eigen(g, opt, true)
+}
+
+func eigen(g *graph.Digraph, opt Options, in bool) []float64 {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	const teleport = 1e-4
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		uniform := teleport / float64(n)
+		for i := range next {
+			next[i] = uniform
+		}
+		for u := 0; u < n; u++ {
+			if x[u] == 0 {
+				continue
+			}
+			var nbrs []int32
+			if in {
+				nbrs = g.Out(u) // contribution flows along edges into targets
+			} else {
+				nbrs = g.In(u)
+			}
+			// For in-centrality: score(v) += score(u) for each edge u->v,
+			// i.e. iterate out-neighbors of u and credit them.
+			for _, v := range nbrs {
+				next[v] += x[u]
+			}
+		}
+		norm := l2(next)
+		if norm == 0 {
+			return next
+		}
+		var diff float64
+		for i := range next {
+			next[i] /= norm
+			diff += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if diff < opt.Tol*float64(n) {
+			break
+		}
+	}
+	return x
+}
+
+func l2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// PageRank computes PageRank with damping factor d (use 0.85 when in
+// doubt). Dangling mass is redistributed uniformly.
+func PageRank(g *graph.Digraph, d float64, opt Options) []float64 {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		var dangling float64
+		for u := 0; u < n; u++ {
+			if g.OutDegree(u) == 0 {
+				dangling += x[u]
+			}
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			if deg := g.OutDegree(u); deg > 0 {
+				share := d * x[u] / float64(deg)
+				for _, v := range g.Out(u) {
+					next[v] += share
+				}
+			}
+		}
+		var diff float64
+		for i := range next {
+			diff += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if diff < opt.Tol*float64(n) {
+			break
+		}
+	}
+	return x
+}
+
+// Betweenness computes Brandes node betweenness centrality on the
+// directed graph (unweighted). Scores are raw path counts (not
+// normalized).
+func Betweenness(g *graph.Digraph) []float64 {
+	n := g.NumNodes()
+	cb := make([]float64, n)
+	// Reusable buffers.
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int32, n)
+	stack := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+
+	for s := 0; s < n; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Out(int(v)) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if int(w) != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	return cb
+}

@@ -1,0 +1,301 @@
+// Package community implements community detection for the refinement
+// procedure: Brandes edge betweenness, the Girvan-Newman algorithm the
+// paper uses (§5.2), modularity scoring, and asynchronous label
+// propagation as a fast alternative for ablation studies.
+//
+// All algorithms treat the input graph as undirected; callers pass the
+// symmetrized view (graph.Digraph.Undirected), which the paper notes is
+// equivalent to working on the weakly connected graph.
+package community
+
+import (
+	"sort"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// EdgeBetweenness computes Brandes betweenness centrality for every
+// undirected edge of g. g must be symmetric (u->v implies v->u); the
+// result maps the canonical orientation (min(u,v), max(u,v)) to its
+// score. BFS shortest paths are used, matching Girvan-Newman step 1.
+func EdgeBetweenness(g *graph.Digraph) map[[2]int32]float64 {
+	n := g.NumNodes()
+	scores := make(map[[2]int32]float64, g.NumEdges()/2)
+
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int32, n)
+	stack := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+
+	for s := 0; s < n; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Out(int(v)) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				c := sigma[v] / sigma[w] * (1 + delta[w])
+				delta[v] += c
+				key := canonEdge(v, w)
+				scores[key] += c
+			}
+		}
+	}
+	// Each undirected edge was counted from both BFS "directions"
+	// (source s reaching it as (v,w)); halve to get the undirected
+	// betweenness convention.
+	for k := range scores {
+		scores[k] /= 2
+	}
+	return scores
+}
+
+func canonEdge(u, v int32) [2]int32 {
+	if u < v {
+		return [2]int32{u, v}
+	}
+	return [2]int32{v, u}
+}
+
+// GirvanNewman runs `iterations` rounds of the Girvan-Newman procedure
+// on the symmetric graph g. One round removes highest-betweenness edges
+// until the number of connected components increases (the practical
+// formulation of Newman & Girvan 2004 that the paper adopts). It
+// returns the final communities as sorted node-id slices, largest
+// first. minSize filters out communities smaller than minSize nodes
+// (the paper omits communities smaller than 3-4 nodes); pass 0 to keep
+// everything.
+//
+// The graph g is not modified; work happens on a clone.
+func GirvanNewman(g *graph.Digraph, iterations, minSize int) [][]int {
+	work := g.Clone()
+	for it := 0; it < iterations; it++ {
+		if !splitOnce(work) {
+			break // no edges left to remove
+		}
+	}
+	comps := work.WeaklyConnectedComponents()
+	var out [][]int
+	for _, c := range comps {
+		if len(c) >= minSize {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// splitOnce removes maximum-betweenness edges until the component count
+// increases. It reports false when the graph has no edges left.
+// Betweenness is recomputed after each removal, restricted to the
+// component containing the removed edge (the other components'
+// betweenness cannot change — the paper's step 3 note).
+func splitOnce(g *graph.Digraph) bool {
+	if g.NumEdges() == 0 {
+		return false
+	}
+	before := len(g.WeaklyConnectedComponents())
+	scores := EdgeBetweenness(g)
+	for g.NumEdges() > 0 {
+		// Pick the max-betweenness edge, deterministic tie-break.
+		var best [2]int32
+		bestScore := -1.0
+		for e, s := range scores {
+			if s > bestScore || (s == bestScore && less(e, best)) {
+				best, bestScore = e, s
+			}
+		}
+		if bestScore < 0 {
+			return false
+		}
+		u, v := int(best[0]), int(best[1])
+		g.RemoveEdge(u, v)
+		g.RemoveEdge(v, u)
+		if len(g.WeaklyConnectedComponents()) > before {
+			return true
+		}
+		// Recompute betweenness on the component containing u; merge
+		// back into the global map for edges of that component.
+		comp := componentOf(g, u)
+		sub, mapping := g.Subgraph(comp)
+		delete(scores, best)
+		// Remove stale entries belonging to this component.
+		inComp := make(map[int32]bool, len(comp))
+		for _, c := range comp {
+			inComp[int32(c)] = true
+		}
+		for e := range scores {
+			if inComp[e[0]] && inComp[e[1]] {
+				delete(scores, e)
+			}
+		}
+		for e, s := range EdgeBetweenness(sub) {
+			scores[canonEdge(int32(mapping[e[0]]), int32(mapping[e[1]]))] = s
+		}
+	}
+	return false
+}
+
+func less(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func componentOf(g *graph.Digraph, s int) []int {
+	seen := make(map[int]bool)
+	seen[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Out(u) {
+			if !seen[int(v)] {
+				seen[int(v)] = true
+				queue = append(queue, int(v))
+			}
+		}
+		for _, v := range g.In(u) {
+			if !seen[int(v)] {
+				seen[int(v)] = true
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Modularity computes Newman's modularity Q of the given partition of
+// the symmetric graph g. communities holds disjoint node-id slices; any
+// node not listed forms its own singleton community.
+func Modularity(g *graph.Digraph, communities [][]int) float64 {
+	n := g.NumNodes()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	for ci, c := range communities {
+		for _, v := range c {
+			label[v] = ci
+		}
+	}
+	next := len(communities)
+	for i := range label {
+		if label[i] == -1 {
+			label[i] = next
+			next++
+		}
+	}
+	m2 := float64(g.NumEdges()) // symmetric graph: NumEdges == 2m
+	if m2 == 0 {
+		return 0
+	}
+	var q float64
+	degSum := make([]float64, next)
+	inSum := make([]float64, next)
+	for u := 0; u < n; u++ {
+		degSum[label[u]] += float64(g.OutDegree(u))
+		for _, v := range g.Out(u) {
+			if label[v] == label[u] {
+				inSum[label[u]]++
+			}
+		}
+	}
+	for c := 0; c < next; c++ {
+		q += inSum[c]/m2 - (degSum[c]/m2)*(degSum[c]/m2)
+	}
+	return q
+}
+
+// LabelPropagation runs deterministic asynchronous label propagation on
+// the symmetric graph g: every node adopts the most frequent label among
+// its neighbors (ties broken by smallest label) until a fixed point or
+// maxRounds. It is the fast community-detection alternative used by the
+// ablation benches.
+func LabelPropagation(g *graph.Digraph, maxRounds int) [][]int {
+	n := g.NumNodes()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	counts := make(map[int]int)
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if g.OutDegree(u) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, v := range g.Out(u) {
+				counts[label[v]]++
+			}
+			best, bestCount := label[u], 0
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			if best != label[u] {
+				label[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	groups := make(map[int][]int)
+	for u, l := range label {
+		groups[l] = append(groups[l], u)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, c := range groups {
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package community
+
+import (
+	"sort"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// Louvain runs a single-level Louvain-style greedy modularity
+// optimization on the symmetric graph g: nodes start in singleton
+// communities and repeatedly move to the neighboring community with
+// the greatest positive modularity gain until a fixed point (or
+// maxRounds). It is orders of magnitude faster than Girvan-Newman on
+// paper-scale subgraphs and serves as the scalable alternative in the
+// refinement options.
+//
+// minSize filters the returned communities like GirvanNewman does.
+func Louvain(g *graph.Digraph, maxRounds, minSize int) [][]int {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	label := make([]int, n)
+	deg := make([]float64, n)
+	for i := range label {
+		label[i] = i
+		deg[i] = float64(g.OutDegree(i)) // symmetric: out == in
+	}
+	var m2 float64 // 2m in undirected terms == directed edge count here
+	for i := 0; i < n; i++ {
+		m2 += deg[i]
+	}
+	if m2 == 0 {
+		return filterComms(groupByLabel(label), minSize)
+	}
+	// degSum[c] is the total degree of community c.
+	degSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		degSum[label[i]] += deg[i]
+	}
+	neighWeight := make(map[int]float64)
+	for round := 0; round < maxRounds; round++ {
+		moved := false
+		for u := 0; u < n; u++ {
+			if g.OutDegree(u) == 0 {
+				continue
+			}
+			for k := range neighWeight {
+				delete(neighWeight, k)
+			}
+			for _, v := range g.Out(u) {
+				if int(v) != u {
+					neighWeight[label[v]]++
+				}
+			}
+			cu := label[u]
+			// Remove u from its community.
+			degSum[cu] -= deg[u]
+			bestC, bestGain := cu, 0.0
+			// Gain of joining community c:
+			//   k_{u,c}/m - deg(u)*degSum[c]/(2m^2)   (times 2/m2 const)
+			base := neighWeight[cu] - deg[u]*degSum[cu]/m2
+			keys := make([]int, 0, len(neighWeight))
+			for c := range neighWeight {
+				keys = append(keys, c)
+			}
+			sort.Ints(keys) // deterministic iteration
+			for _, c := range keys {
+				if c == cu {
+					continue
+				}
+				gain := neighWeight[c] - deg[u]*degSum[c]/m2 - base
+				if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && gain > 0 && c < bestC) {
+					bestC, bestGain = c, gain
+				}
+			}
+			degSum[bestC] += deg[u]
+			if bestC != cu {
+				label[u] = bestC
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return filterComms(groupByLabel(label), minSize)
+}
+
+func groupByLabel(label []int) [][]int {
+	groups := make(map[int][]int)
+	for u, l := range label {
+		groups[l] = append(groups[l], u)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, c := range groups {
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+func filterComms(comms [][]int, minSize int) [][]int {
+	if minSize <= 1 {
+		return comms
+	}
+	var out [][]int
+	for _, c := range comms {
+		if len(c) >= minSize {
+			out = append(out, c)
+		}
+	}
+	return out
+}

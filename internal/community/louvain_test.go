@@ -1,0 +1,70 @@
+package community
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+func TestLouvainSeparatesCliques(t *testing.T) {
+	g, want := twoCliquesBridge(6)
+	comms := Louvain(g, 0, 0)
+	if len(comms) != 2 {
+		t.Fatalf("communities = %d: %v", len(comms), comms)
+	}
+	// Each clique must land in one community (order may differ).
+	lbl := map[int]int{}
+	for ci, c := range comms {
+		for _, v := range c {
+			lbl[v] = ci
+		}
+	}
+	for _, clique := range want {
+		for _, v := range clique[1:] {
+			if lbl[v] != lbl[clique[0]] {
+				t.Fatalf("clique split: %v", comms)
+			}
+		}
+	}
+}
+
+func TestLouvainModularityPositive(t *testing.T) {
+	g, _ := twoCliquesBridge(5)
+	comms := Louvain(g, 0, 0)
+	if q := Modularity(g, comms); q <= 0.2 {
+		t.Fatalf("modularity = %v", q)
+	}
+}
+
+func TestLouvainEmptyAndEdgeless(t *testing.T) {
+	if got := Louvain(newEmpty(0), 0, 0); got != nil {
+		t.Fatalf("empty graph: %v", got)
+	}
+	g := newEmpty(4)
+	comms := Louvain(g, 0, 0)
+	if len(comms) != 4 {
+		t.Fatalf("edgeless: %v", comms)
+	}
+	if got := Louvain(g, 0, 2); len(got) != 0 {
+		t.Fatalf("minSize filter: %v", got)
+	}
+}
+
+func TestLouvainAgreesWithGNOnCliques(t *testing.T) {
+	g, _ := twoCliquesBridge(5)
+	gn := GirvanNewman(g, 1, 0)
+	lv := Louvain(g, 0, 0)
+	if len(gn) != len(lv) {
+		t.Fatalf("G-N %d communities vs Louvain %d", len(gn), len(lv))
+	}
+	if Modularity(g, lv) < Modularity(g, gn)-0.05 {
+		t.Fatalf("Louvain modularity much worse: %v vs %v",
+			Modularity(g, lv), Modularity(g, gn))
+	}
+}
+
+func newEmpty(n int) *graph.Digraph {
+	g := graph.New(n)
+	g.AddNodes(n)
+	return g
+}

@@ -1,0 +1,81 @@
+package core
+
+import "github.com/climate-rca/rca/internal/graph"
+
+// RefineWithMagnitudes runs Algorithm 5.4 augmented with the paper's
+// §6.3 future-work extension: when the plain 8b contraction would hit
+// a fixed point (the induced subgraph equals the current one), the
+// procedure instead contracts to the ancestors of the single sampled
+// node with the greatest value difference, which keeps the k-ary
+// search moving. All other behaviour matches Refine.
+func RefineWithMagnitudes(sub *graph.Digraph, nodeMap []int, graded GradedSampler,
+	bugNodes []int, opt Options) *Result {
+	opt = opt.withDefaults()
+
+	// Track the current subgraph size across sampler calls so the
+	// wrapped sampler can detect impending fixed points. The wrapped
+	// sampler behaves like a binary sampler, except that when every
+	// node in the current subgraph would survive contraction it
+	// returns only the top-magnitude node.
+	type state struct {
+		cur    *graph.Digraph
+		curMap []int
+	}
+	st := &state{cur: sub, curMap: nodeMap}
+
+	wrapped := func(nodes []int) []int {
+		diffs := graded(nodes)
+		var detected []int
+		for _, d := range diffs {
+			if d.Magnitude > 1e-12 {
+				detected = append(detected, d.Node)
+			}
+		}
+		if len(detected) == 0 {
+			return nil
+		}
+		// Would contraction to detected ancestors be a fixed point?
+		local := localIDs(detected, st.curMap)
+		keep := st.cur.Ancestors(local)
+		if len(keep) == st.cur.NumNodes() && len(diffs) > 0 {
+			// Contract to the single greatest difference instead.
+			return []int{diffs[0].Node}
+		}
+		return detected
+	}
+
+	// Refine with a hook that keeps st in sync: re-implement the loop
+	// by delegating to Refine but updating st via the sampler's view.
+	// Refine calls the sampler exactly once per iteration with the
+	// sampled set of the *current* subgraph, so we refresh st lazily:
+	// the first sampler call sees the initial graph; after each call
+	// we recompute what Refine will contract to, mirroring its logic.
+	syncSampler := func(nodes []int) []int {
+		detected := wrapped(nodes)
+		// Mirror Refine's step 8 to keep st current for the next call.
+		var keepLocal []int
+		if len(detected) == 0 {
+			drop := map[int]bool{}
+			for _, n := range st.cur.Ancestors(localIDs(nodes, st.curMap)) {
+				drop[n] = true
+			}
+			for n := 0; n < st.cur.NumNodes(); n++ {
+				if !drop[n] {
+					keepLocal = append(keepLocal, n)
+				}
+			}
+		} else {
+			keepLocal = st.cur.Ancestors(localIDs(detected, st.curMap))
+		}
+		if len(keepLocal) > 0 && len(keepLocal) < st.cur.NumNodes() {
+			next, nextLocal := st.cur.Subgraph(keepLocal)
+			nextMap := make([]int, len(nextLocal))
+			for i, l := range nextLocal {
+				nextMap[i] = st.curMap[l]
+			}
+			st.cur, st.curMap = next, nextMap
+		}
+		return detected
+	}
+	return Refine(sub, nodeMap, syncSampler, bugNodes, opt)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+func TestMagnitudeSamplerRanksByDifference(t *testing.T) {
+	keys := map[int]string{1: "a", 2: "b", 3: "c"}
+	keyOf := func(n int) string { return keys[n] }
+	ens := map[string][]float64{"a": {1}, "b": {1}, "c": {1}}
+	exp := map[string][]float64{"a": {1.5}, "b": {1.01}, "c": {1}}
+	g := MagnitudeSampler(keyOf, ens, exp)
+	diffs := g([]int{1, 2, 3})
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	if diffs[0].Node != 1 || diffs[1].Node != 2 || diffs[2].Node != 3 {
+		t.Fatalf("rank order = %+v", diffs)
+	}
+	if diffs[2].Magnitude != 0 {
+		t.Fatalf("identical values magnitude = %v", diffs[2].Magnitude)
+	}
+}
+
+func TestValueSamplerDelegatesToMagnitudes(t *testing.T) {
+	keys := map[int]string{1: "a", 2: "b"}
+	keyOf := func(n int) string { return keys[n] }
+	ens := map[string][]float64{"a": {1}, "b": {1}}
+	exp := map[string][]float64{"a": {2}, "b": {1}}
+	s := ValueSampler(keyOf, ens, exp, 1e-12)
+	got := s([]int{1, 2})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("detected = %v", got)
+	}
+}
+
+// TestRefineWithMagnitudesBreaksFixedPoint constructs the §6.3
+// situation: a complete digraph where every node reaches every
+// sampled node, so plain 8b contraction is a fixed point — while the
+// graded sampler's greatest-difference contraction keeps narrowing.
+func TestRefineWithMagnitudesBreaksFixedPoint(t *testing.T) {
+	n := 30
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	// Node 7 is the defect: its magnitude dominates; everything else
+	// differs slightly (all downstream of the bug in a complete graph).
+	graded := func(nodes []int) []Difference {
+		var out []Difference
+		for _, v := range nodes {
+			mag := 1e-6
+			if v == 7 {
+				mag = 1.0
+			}
+			out = append(out, Difference{Node: v, Magnitude: mag})
+		}
+		// Descending magnitude, bug first.
+		for i := range out {
+			if out[i].Node == 7 {
+				out[0], out[i] = out[i], out[0]
+			}
+		}
+		return out
+	}
+
+	// Plain Refine hits the fixed point.
+	plain := Refine(g.Clone(), ids, func(nodes []int) []int { return nodes },
+		[]int{7}, Options{SmallEnough: 2, MaxIterations: 6})
+	hitFixed := false
+	for _, it := range plain.Iterations {
+		if it.Action == ActionFixedPoint {
+			hitFixed = true
+		}
+	}
+	if !hitFixed && !plain.BugInstrumented {
+		t.Fatalf("expected plain refinement to stall: %+v", plain.Iterations)
+	}
+
+	// Magnitude-aware refinement converges on the defect.
+	res := RefineWithMagnitudes(g, ids, graded, []int{7},
+		Options{SmallEnough: 2, MaxIterations: 8})
+	if !res.Converged {
+		t.Fatalf("magnitude refinement did not converge: %+v", res.Iterations)
+	}
+	found := res.BugInstrumented
+	for _, v := range res.Final {
+		if v == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defect lost: final=%v instrumented=%v", res.Final, res.BugInstrumented)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRefineLouvainVariant(t *testing.T) {
+	g, ids := twoCommunityGraph(20)
+	bug := []int{3}
+	res := Refine(g, ids, ReachabilitySampler(g, bug), bug,
+		Options{SmallEnough: 5, CommunityMethod: "louvain"})
+	if !res.Converged {
+		t.Fatalf("louvain refinement did not converge: %+v", res)
+	}
+	found := res.BugInstrumented
+	for _, n := range res.Final {
+		if n == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("louvain variant lost the bug: %+v", res)
+	}
+}
+
+func TestRefineReportsLargestSCC(t *testing.T) {
+	// A directed cycle of 12 with an appendage: the cycle is one SCC.
+	n := 40
+	g, ids := twoCommunityGraph(n / 2)
+	// Add a back edge creating a cycle in cluster 1.
+	g.AddEdge(10, 0)
+	res := Refine(g, ids, func([]int) []int { return nil }, nil,
+		Options{SmallEnough: 4, MaxIterations: 1})
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations")
+	}
+	if res.Iterations[0].LargestSCC < 2 {
+		t.Fatalf("largest SCC = %d; want >= 2 (cycle present)",
+			res.Iterations[0].LargestSCC)
+	}
+}
+
+func TestRankByDispatch(t *testing.T) {
+	g, _ := twoCommunityGraph(6)
+	for _, kind := range []string{"", "eigen-in", "degree", "pagerank", "nonbacktracking", "unknown"} {
+		scores := rankBy(kind, g)
+		if len(scores) != g.NumNodes() {
+			t.Fatalf("%s: scores = %d", kind, len(scores))
+		}
+		for _, s := range scores {
+			if s < 0 {
+				t.Fatalf("%s: negative score", kind)
+			}
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.TopM != 10 || o.GNIterations != 1 || o.MinCommunity != 3 ||
+		o.MaxIterations != 8 || o.SmallEnough != 25 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

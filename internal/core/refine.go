@@ -1,0 +1,310 @@
+// Package core implements the paper's primary contribution: the
+// iterative refinement procedure of Algorithm 5.4 (Milroy et al.,
+// HPDC 2019 §5.4). Given the induced subgraph that computes the
+// affected output variables, each iteration partitions the (weakly
+// connected view of the) subgraph with Girvan-Newman, ranks each
+// community's nodes by eigenvector in-centrality, "instruments" the
+// top-m nodes per community, and contracts the subgraph based on
+// which instrumented nodes take different values between the ensemble
+// and experimental runs — a k-ary search over the code's dataflow.
+package core
+
+import (
+	"sort"
+
+	"github.com/climate-rca/rca/internal/centrality"
+	"github.com/climate-rca/rca/internal/community"
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// Sampler reports which of the instrumented nodes take different
+// values between the ensemble and the experimental run. Node ids are
+// in the caller's (metagraph) id space. Implementations:
+// ReachabilitySampler (the paper's simulation) and the value-based
+// sampler built on interpreter snapshots (internal/experiments).
+type Sampler func(nodes []int) []int
+
+// Options tunes Algorithm 5.4.
+type Options struct {
+	// TopM is the number of most-central nodes instrumented per
+	// community (the paper uses 10; 3 for very small subgraphs).
+	TopM int
+	// GNIterations is the number of Girvan-Newman rounds per
+	// refinement iteration (the paper uses 1, conservatively).
+	GNIterations int
+	// MinCommunity omits communities smaller than this many nodes
+	// (the paper omits those under 3-4).
+	MinCommunity int
+	// MaxIterations caps the refinement loop.
+	MaxIterations int
+	// SmallEnough stops refinement once the subgraph is at most this
+	// many nodes ("small enough for manual analysis").
+	SmallEnough int
+	// Centrality picks the sampling-site ranking: "eigen-in" (paper
+	// default), "degree", "pagerank", or "nonbacktracking" (supplement
+	// §8.1). Used by the ablation benches.
+	Centrality string
+	// WholeGraphSampling disables community detection and samples the
+	// top-m nodes of the entire subgraph — the alternative §6.2 argues
+	// against (the centrality-dominant community absorbs all samples).
+	WholeGraphSampling bool
+	// CommunityMethod picks the partitioner: "girvan-newman" (paper
+	// default) or "louvain" (greedy modularity, much faster at paper
+	// scale).
+	CommunityMethod string
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopM <= 0 {
+		o.TopM = 10
+	}
+	if o.GNIterations <= 0 {
+		o.GNIterations = 1
+	}
+	if o.MinCommunity <= 0 {
+		o.MinCommunity = 3
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 8
+	}
+	if o.SmallEnough <= 0 {
+		o.SmallEnough = 25
+	}
+	return o
+}
+
+// Action records which Algorithm 5.4 branch an iteration took.
+type Action string
+
+// Refinement actions.
+const (
+	ActionContractToDetected Action = "8b" // keep ancestors of detected nodes
+	ActionRemoveCleared      Action = "8a" // drop ancestors of clean nodes
+	ActionBugInstrumented    Action = "bug-instrumented"
+	ActionSmallEnough        Action = "small-enough"
+	ActionNoCommunities      Action = "no-communities"
+	ActionFixedPoint         Action = "fixed-point"
+)
+
+// Iteration is one round of the refinement loop, in metagraph ids.
+type Iteration struct {
+	Nodes, Edges int
+	// LargestSCC is the size of the subgraph's largest strongly
+	// connected component: when the detected nodes live inside it,
+	// step 8b cannot contract (the fixed-point diagnosis).
+	LargestSCC int
+	// Communities are the G-N communities (metagraph ids), largest
+	// first.
+	Communities [][]int
+	// Sampled are the instrumented nodes ({n_kl}), per community,
+	// flattened; Detected is the subset with value differences
+	// ({d_kl}).
+	Sampled  []int
+	Detected []int
+	Action   Action
+}
+
+// Result is the outcome of the refinement procedure.
+type Result struct {
+	Iterations []Iteration
+	// Final is the surviving node set (metagraph ids).
+	Final []int
+	// BugInstrumented reports whether a known bug node was among the
+	// sampled nodes at some iteration (success criterion 2 of the
+	// paper's step 9).
+	BugInstrumented bool
+	// Converged reports the loop ended via a success criterion rather
+	// than the iteration cap.
+	Converged bool
+}
+
+// Refine runs Algorithm 5.4 on the slice subgraph sub whose node i is
+// metagraph node nodeMap[i]. sampler implements step 7; bugNodes (may
+// be nil) are the known defect locations used only for the
+// bug-instrumented success check in step 9.
+func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, opt Options) *Result {
+	opt = opt.withDefaults()
+	bugSet := make(map[int]bool, len(bugNodes))
+	for _, b := range bugNodes {
+		bugSet[b] = true
+	}
+	res := &Result{}
+	cur := sub
+	curMap := append([]int(nil), nodeMap...)
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		it := Iteration{Nodes: cur.NumNodes(), Edges: cur.NumEdges()}
+		it.LargestSCC = cur.Condensation().LargestSCC
+
+		if cur.NumNodes() <= opt.SmallEnough {
+			it.Action = ActionSmallEnough
+			res.Iterations = append(res.Iterations, it)
+			res.Final = append([]int(nil), curMap...)
+			res.Converged = true
+			return res
+		}
+
+		// Step 5: communities of the undirected view.
+		var comms [][]int
+		if opt.WholeGraphSampling {
+			all := make([]int, cur.NumNodes())
+			for i := range all {
+				all[i] = i
+			}
+			comms = [][]int{all}
+		} else {
+			und := cur.Undirected()
+			if opt.CommunityMethod == "louvain" {
+				comms = community.Louvain(und, 0, opt.MinCommunity)
+			} else {
+				comms = community.GirvanNewman(und, opt.GNIterations, opt.MinCommunity)
+			}
+		}
+		if len(comms) == 0 {
+			it.Action = ActionNoCommunities
+			res.Iterations = append(res.Iterations, it)
+			res.Final = append([]int(nil), curMap...)
+			res.Converged = true
+			return res
+		}
+		for _, c := range comms {
+			it.Communities = append(it.Communities, translate(c, curMap))
+		}
+
+		// Step 6: centrality per community, top-m.
+		var sampledLocal []int
+		for _, comm := range comms {
+			cg, cmap := cur.Subgraph(comm)
+			scores := rankBy(opt.Centrality, cg)
+			for _, r := range centrality.TopK(scores, opt.TopM) {
+				sampledLocal = append(sampledLocal, cmap[r.Node])
+			}
+		}
+		sort.Ints(sampledLocal)
+		it.Sampled = translate(sampledLocal, curMap)
+
+		// Step 7: instrument (simulated or value-based sampling).
+		detectedGlobal := sampler(it.Sampled)
+		it.Detected = detectedGlobal
+
+		// Step 9 success: a bug node was instrumented.
+		for _, s := range it.Sampled {
+			if bugSet[s] {
+				it.Action = ActionBugInstrumented
+				res.Iterations = append(res.Iterations, it)
+				res.Final = append([]int(nil), curMap...)
+				res.BugInstrumented = true
+				res.Converged = true
+				return res
+			}
+		}
+
+		// Step 8: contract.
+		var keepLocal []int
+		if len(detectedGlobal) == 0 {
+			// 8a: drop everything on paths terminating at the sampled
+			// (clean) nodes.
+			it.Action = ActionRemoveCleared
+			drop := map[int]bool{}
+			for _, n := range cur.Ancestors(sampledLocal) {
+				drop[n] = true
+			}
+			for n := 0; n < cur.NumNodes(); n++ {
+				if !drop[n] {
+					keepLocal = append(keepLocal, n)
+				}
+			}
+		} else {
+			// 8b: keep only paths terminating on detected nodes.
+			it.Action = ActionContractToDetected
+			keepLocal = cur.Ancestors(localIDs(detectedGlobal, curMap))
+		}
+		res.Iterations = append(res.Iterations, it)
+
+		if len(keepLocal) == 0 || len(keepLocal) == cur.NumNodes() {
+			// The paper's first issue: the induced subgraph does not
+			// refine the previous iteration (or refines to nothing).
+			last := &res.Iterations[len(res.Iterations)-1]
+			last.Action = ActionFixedPoint
+			res.Final = translateLocalKeep(keepLocal, curMap, cur.NumNodes())
+			res.Converged = true
+			return res
+		}
+		next, nextLocal := cur.Subgraph(keepLocal)
+		nextMap := make([]int, len(nextLocal))
+		for i, l := range nextLocal {
+			nextMap[i] = curMap[l]
+		}
+		cur, curMap = next, nextMap
+	}
+	res.Final = append([]int(nil), curMap...)
+	return res
+}
+
+// rankBy dispatches the centrality measure named by kind.
+func rankBy(kind string, g *graph.Digraph) []float64 {
+	switch kind {
+	case "", "eigen-in":
+		return centrality.EigenvectorIn(g, centrality.Options{})
+	case "degree":
+		return centrality.InDegree(g)
+	case "pagerank":
+		return centrality.PageRank(g, 0.85, centrality.Options{})
+	case "nonbacktracking":
+		return centrality.NonBacktracking(g.Undirected(), centrality.Options{})
+	}
+	return centrality.EigenvectorIn(g, centrality.Options{})
+}
+
+func translate(local []int, m []int) []int {
+	out := make([]int, len(local))
+	for i, l := range local {
+		out[i] = m[l]
+	}
+	sort.Ints(out)
+	return out
+}
+
+func localIDs(global []int, m []int) []int {
+	pos := make(map[int]int, len(m))
+	for i, g := range m {
+		pos[g] = i
+	}
+	var out []int
+	for _, g := range global {
+		if i, ok := pos[g]; ok {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func translateLocalKeep(keepLocal, curMap []int, n int) []int {
+	if len(keepLocal) == 0 {
+		// Refined to nothing: report the previous subgraph.
+		return append([]int(nil), curMap...)
+	}
+	return translate(keepLocal, curMap)
+}
+
+// ReachabilitySampler simulates step 7 the way the paper does (§5.2):
+// an instrumented node registers a difference iff it is reachable from
+// a known bug node (or is one) in the full metagraph digraph g.
+// bugNodes and the returned ids are metagraph ids.
+func ReachabilitySampler(g *graph.Digraph, bugNodes []int) Sampler {
+	// Precompute the bug-influenced set once.
+	influenced := map[int]bool{}
+	for _, d := range g.Descendants(bugNodes) {
+		influenced[d] = true
+	}
+	return func(nodes []int) []int {
+		var out []int
+		for _, n := range nodes {
+			if influenced[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// twoCommunityGraph builds a directed graph with two dense clusters
+// (0..k-1 and k..2k-1) joined by one edge, where node `bug` feeds its
+// whole cluster. Returns graph and identity node map.
+func twoCommunityGraph(k int) (*graph.Digraph, []int) {
+	g := graph.New(2 * k)
+	g.AddNodes(2 * k)
+	dense := func(off int) {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if i != j && (i+j)%2 == 0 {
+					g.AddEdge(off+i, off+j)
+				}
+			}
+		}
+		// Chain so the cluster is connected regardless of parity.
+		for i := 0; i < k-1; i++ {
+			g.AddEdge(off+i, off+i+1)
+		}
+	}
+	dense(0)
+	dense(k)
+	g.AddEdge(k-1, k)
+	ids := make([]int, 2*k)
+	for i := range ids {
+		ids[i] = i
+	}
+	return g, ids
+}
+
+func TestRefineFindsBugViaSampling(t *testing.T) {
+	g, ids := twoCommunityGraph(20)
+	bug := []int{3} // in the first cluster, feeding everything there
+	res := Refine(g, ids, ReachabilitySampler(g, bug), bug, Options{SmallEnough: 5})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	// Either the bug was directly instrumented or the final subgraph
+	// contains it.
+	if !res.BugInstrumented {
+		found := false
+		for _, n := range res.Final {
+			if n == 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("bug node lost: final = %v", res.Final)
+		}
+	}
+}
+
+func TestRefineSmallEnoughStopsImmediately(t *testing.T) {
+	g, ids := twoCommunityGraph(5) // 10 nodes < default SmallEnough
+	res := Refine(g, ids, func([]int) []int { return nil }, nil, Options{})
+	if len(res.Iterations) != 1 || res.Iterations[0].Action != ActionSmallEnough {
+		t.Fatalf("iterations = %+v", res.Iterations)
+	}
+	if !res.Converged || len(res.Final) != 10 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRefine8aRemovesCleanRegion(t *testing.T) {
+	// Bug in cluster B; samples in cluster A detect nothing, so 8a
+	// should drop A's ancestor region and keep B.
+	g, ids := twoCommunityGraph(20)
+	bug := []int{25} // second cluster
+	res := Refine(g, ids, ReachabilitySampler(g, bug), bug, Options{SmallEnough: 4, MaxIterations: 6})
+	// The bug node must survive every contraction.
+	for _, it := range res.Iterations {
+		_ = it
+	}
+	found := res.BugInstrumented
+	for _, n := range res.Final {
+		if n == 25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bug node eliminated: %+v", res)
+	}
+}
+
+func TestRefineNoCommunitiesOnSparseGraph(t *testing.T) {
+	// A graph of isolated pairs has no communities >= MinCommunity.
+	g := graph.New(40)
+	g.AddNodes(40)
+	for i := 0; i+1 < 40; i += 2 {
+		g.AddEdge(i, i+1)
+	}
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i
+	}
+	res := Refine(g, ids, func([]int) []int { return nil }, nil,
+		Options{SmallEnough: 5, MinCommunity: 3})
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.Action != ActionNoCommunities {
+		t.Fatalf("action = %v", last.Action)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+}
+
+func TestRefineRecordsCommunitiesAndSamples(t *testing.T) {
+	g, ids := twoCommunityGraph(15)
+	bug := []int{2}
+	res := Refine(g, ids, ReachabilitySampler(g, bug), bug,
+		Options{SmallEnough: 4, TopM: 3, MaxIterations: 1})
+	it := res.Iterations[0]
+	if len(it.Communities) < 2 {
+		t.Fatalf("communities = %d", len(it.Communities))
+	}
+	if len(it.Sampled) == 0 || len(it.Sampled) > 3*len(it.Communities) {
+		t.Fatalf("sampled = %v", it.Sampled)
+	}
+	if it.Nodes != 30 {
+		t.Fatalf("nodes = %d", it.Nodes)
+	}
+}
+
+func TestReachabilitySampler(t *testing.T) {
+	g := graph.New(4)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	s := ReachabilitySampler(g, []int{0})
+	got := s([]int{1, 2, 3})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("detected = %v", got)
+	}
+	// The bug node itself is "influenced".
+	if got := s([]int{0}); len(got) != 1 {
+		t.Fatalf("bug node not detected: %v", got)
+	}
+}
+
+func TestValueSampler(t *testing.T) {
+	keys := map[int]string{1: "m::s::a", 2: "m::s::b", 3: "m::s::c", 4: "missing"}
+	keyOf := func(n int) string { return keys[n] }
+	ens := map[string][]float64{
+		"m::s::a": {1, 2},
+		"m::s::b": {1, 2},
+		"m::s::c": {1, 2},
+	}
+	exp := map[string][]float64{
+		"m::s::a": {1, 2},        // identical -> clean
+		"m::s::b": {1 + 1e-6, 2}, // differs -> detected
+		"m::s::c": {1, 2, 3},     // shape mismatch -> skipped
+	}
+	s := ValueSampler(keyOf, ens, exp, 1e-12)
+	got := s([]int{1, 2, 3, 4})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("detected = %v", got)
+	}
+}
+
+func TestRefineFixedPointDetected(t *testing.T) {
+	// Complete-ish digraph where every node reaches every sampled node:
+	// 8b keeps everything -> fixed point.
+	n := 30
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	// Everything detects (bug node 0 reaches all).
+	res := Refine(g, ids, ReachabilitySampler(g, []int{0}), nil,
+		Options{SmallEnough: 2, MaxIterations: 5})
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.Action != ActionFixedPoint {
+		t.Fatalf("action = %v; want fixed point", last.Action)
+	}
+	if len(res.Final) != n {
+		t.Fatalf("final = %d nodes", len(res.Final))
+	}
+}

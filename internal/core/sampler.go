@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/climate-rca/rca/internal/stats"
+)
+
+// ValueSampler builds a Sampler from actual runtime snapshots: a node
+// registers a difference when its captured values in the experimental
+// run differ from the ensemble run beyond tol (normalized RMS). keyOf
+// maps a metagraph node id to its snapshot key
+// (module::subprogram::variable); ens and exp are Machine.AllValues
+// captures. Nodes with no snapshot (never executed, intrinsics) never
+// register differences — exactly the blind spot real instrumentation
+// would have.
+//
+// This realizes the runtime-sampling step the paper performs in
+// simulation ("developing and implementing a sampling procedure for
+// the running model ... remains to be done", §7).
+func ValueSampler(keyOf func(node int) string, ens, exp map[string][]float64, tol float64) Sampler {
+	m := MagnitudeSampler(keyOf, ens, exp)
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	return func(nodes []int) []int {
+		var out []int
+		for _, d := range m(nodes) {
+			if d.Magnitude > tol {
+				out = append(out, d.Node)
+			}
+		}
+		return out
+	}
+}
+
+// Difference is a sampled node's normalized-RMS deviation between the
+// ensemble and experimental runs.
+type Difference struct {
+	Node      int
+	Magnitude float64
+}
+
+// GradedSampler reports per-node difference magnitudes rather than a
+// binary verdict — the measurement the paper proposes for breaking
+// non-refining fixed points ("rank the differences obtained by
+// sampling and further refine the subgraph based on the nodes with
+// the greatest differences", §6.3 future work).
+type GradedSampler func(nodes []int) []Difference
+
+// MagnitudeSampler builds a GradedSampler from runtime snapshots.
+// Nodes without comparable snapshots are omitted.
+func MagnitudeSampler(keyOf func(node int) string, ens, exp map[string][]float64) GradedSampler {
+	return func(nodes []int) []Difference {
+		var out []Difference
+		for _, n := range nodes {
+			k := keyOf(n)
+			a, okA := ens[k]
+			b, okB := exp[k]
+			if !okA || !okB || len(a) != len(b) || len(a) == 0 {
+				continue
+			}
+			out = append(out, Difference{Node: n, Magnitude: stats.NormalizedRMSDiff(a, b)})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Magnitude != out[j].Magnitude {
+				return out[i].Magnitude > out[j].Magnitude
+			}
+			return out[i].Node < out[j].Node
+		})
+		return out
+	}
+}

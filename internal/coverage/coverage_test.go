@@ -1,0 +1,119 @@
+package coverage
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/fortran"
+	"github.com/climate-rca/rca/internal/model"
+)
+
+func TestTraceRecordAndQuery(t *testing.T) {
+	tr := NewTrace()
+	if tr.ModuleExecuted("m") {
+		t.Fatal("empty trace reports execution")
+	}
+	tr.Record("m", "s")
+	if !tr.Executed("m", "s") || !tr.ModuleExecuted("m") {
+		t.Fatal("record not visible")
+	}
+	if tr.Executed("m", "other") {
+		t.Fatal("phantom subprogram")
+	}
+	if mods := tr.Modules(); len(mods) != 1 || mods[0] != "m" {
+		t.Fatalf("modules = %v", mods)
+	}
+}
+
+func TestFilterRemovesUnexecuted(t *testing.T) {
+	mods, err := fortran.ParseFile(`
+module live
+  real :: x
+contains
+  subroutine used()
+    x = 1.0
+  end subroutine
+  subroutine unused()
+    x = 2.0
+  end subroutine
+end module
+
+module dead
+  real :: y
+contains
+  subroutine never()
+    y = 1.0
+  end subroutine
+end module
+
+module declsonly
+  real, parameter :: k = 2.0
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace()
+	tr.Record("live", "used")
+	out, rep := Filter(mods, tr)
+	byName := map[string]*fortran.Module{}
+	for _, m := range out {
+		byName[m.Name] = m
+	}
+	if byName["dead"] != nil {
+		t.Fatal("dead module survived")
+	}
+	if byName["declsonly"] == nil {
+		t.Fatal("declaration-only module removed")
+	}
+	live := byName["live"]
+	if live == nil || len(live.Subprograms) != 1 || live.Subprograms[0].Name != "used" {
+		t.Fatalf("live module filtered wrong: %+v", live)
+	}
+	if rep.ModulesBefore != 3 || rep.ModulesAfter != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.SubprogramsBefore != 3 || rep.SubprogramsAfter != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.SubprogramReductionPct() < 60 {
+		t.Fatalf("subprogram reduction = %v", rep.SubprogramReductionPct())
+	}
+}
+
+// TestCorpusCoverageReduction runs the real model for two steps (as
+// the paper does) and checks the filter removes a substantial share of
+// modules and subprograms.
+func TestCorpusCoverageReduction(t *testing.T) {
+	c := corpus.Generate(corpus.Config{AuxModules: 40, Seed: 3})
+	r, err := model.NewRunner(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace()
+	if _, err := r.Run(model.RunConfig{StopAfter: 2, Trace: tr.Record}); err != nil {
+		t.Fatal(err)
+	}
+	filtered, rep := Filter(r.Modules, tr)
+	if rep.ModuleReductionPct() < 10 {
+		t.Fatalf("module reduction only %.1f%%", rep.ModuleReductionPct())
+	}
+	if rep.SubprogramReductionPct() < 10 {
+		t.Fatalf("subprogram reduction only %.1f%%", rep.SubprogramReductionPct())
+	}
+	// Filtered corpus must still contain the core path.
+	names := map[string]bool{}
+	for _, m := range filtered {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"micro_mg", "dyn3", "cldfrc", "cam_driver"} {
+		if !names[want] {
+			t.Fatalf("core module %s filtered away", want)
+		}
+	}
+	for _, m := range filtered {
+		if len(m.Name) >= 8 && m.Name[:8] == "aux_dead" {
+			t.Fatalf("dead module %s survived", m.Name)
+		}
+	}
+}

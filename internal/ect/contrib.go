@@ -1,0 +1,72 @@
+package ect
+
+import (
+	"math"
+	"sort"
+)
+
+// Contribution measures how much one output variable contributes to a
+// set of experimental runs' consistency failures — the quantity the
+// paper's earlier manual investigation computed per CAM variable to
+// find the most-affected outputs (§6.4's "measuring each CAM output
+// variable's contribution to the CAM-ECT failure rate").
+type Contribution struct {
+	Variable string
+	// MeanAbsZ is the mean |standardized deviation| of the variable
+	// across the runs (ensemble mean/std standardization).
+	MeanAbsZ float64
+	// DropPassRate is the fraction of previously failing runs that
+	// pass when the variable is neutralized to its ensemble mean — a
+	// knock-out measure of the variable's share of the failure.
+	DropPassRate float64
+}
+
+// VariableContributions ranks variables by their role in the failures
+// of runs. Only runs that fail the test contribute; if none fail, the
+// result is nil.
+func (t *Test) VariableContributions(runs []RunOutput) []Contribution {
+	var failing []RunOutput
+	for _, r := range runs {
+		if !t.Evaluate(r).Pass {
+			failing = append(failing, r)
+		}
+	}
+	if len(failing) == 0 {
+		return nil
+	}
+	out := make([]Contribution, 0, len(t.vars))
+	for j, v := range t.vars {
+		var sumZ float64
+		passes := 0
+		for _, r := range failing {
+			if val, ok := r[v]; ok {
+				z := (val - t.model.Mean[j]) / t.model.Std[j]
+				sumZ += math.Abs(z)
+			}
+			// Knock-out: replace the variable with its ensemble mean.
+			patched := make(RunOutput, len(r))
+			for k, x := range r {
+				patched[k] = x
+			}
+			patched[v] = t.model.Mean[j]
+			if t.Evaluate(patched).Pass {
+				passes++
+			}
+		}
+		out = append(out, Contribution{
+			Variable:     v,
+			MeanAbsZ:     sumZ / float64(len(failing)),
+			DropPassRate: float64(passes) / float64(len(failing)),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].DropPassRate != out[b].DropPassRate {
+			return out[a].DropPassRate > out[b].DropPassRate
+		}
+		if out[a].MeanAbsZ != out[b].MeanAbsZ {
+			return out[a].MeanAbsZ > out[b].MeanAbsZ
+		}
+		return out[a].Variable < out[b].Variable
+	})
+	return out
+}

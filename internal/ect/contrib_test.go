@@ -1,0 +1,48 @@
+package ect
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVariableContributionsIdentifiesDriver(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ens := makeEnsemble(rng, 50, 6, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift only v02 far out of distribution.
+	bad := makeEnsemble(rng, 10, 6, 0.01)
+	for _, r := range bad {
+		r["v02"] += 3.0
+	}
+	contrib := test.VariableContributions(bad)
+	if len(contrib) != 6 {
+		t.Fatalf("contributions = %d", len(contrib))
+	}
+	if contrib[0].Variable != "v02" {
+		t.Fatalf("top contributor = %+v", contrib[0])
+	}
+	// Knocking out the driver should rescue most failing runs.
+	if contrib[0].DropPassRate < 0.8 {
+		t.Fatalf("knock-out pass rate = %v", contrib[0].DropPassRate)
+	}
+	// Its standardized deviation dwarfs the others'.
+	if contrib[0].MeanAbsZ < 5 {
+		t.Fatalf("driver |z| = %v", contrib[0].MeanAbsZ)
+	}
+}
+
+func TestVariableContributionsNilWhenAllPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ens := makeEnsemble(rng, 50, 5, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := makeEnsemble(rng, 5, 5, 0.01)
+	if c := test.VariableContributions(good); c != nil {
+		t.Fatalf("contributions for passing runs: %+v", c)
+	}
+}

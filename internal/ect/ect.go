@@ -1,0 +1,202 @@
+// Package ect implements an ultra-fast ensemble consistency test in the
+// style of UF-CAM-ECT (Milroy et al. 2018; Baker et al. 2015), the tool
+// whose Fail verdict starts the paper's root cause analysis.
+//
+// The test fits a PCA to the standardized global means of the output
+// variables across an accepted ensemble, derives per-component score
+// intervals from the ensemble itself, and fails an experimental run when
+// more than FailPCs retained principal-component scores fall outside
+// their intervals.
+package ect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/climate-rca/rca/internal/pca"
+)
+
+// RunOutput is one simulation's outputs: variable name → global mean.
+type RunOutput map[string]float64
+
+// Config tunes the consistency test.
+type Config struct {
+	// Keep is the number of principal components retained. <=0 keeps
+	// min(numVars, (ensembleSize-1)/2): trailing components of a
+	// small-ensemble PCA are noise directions whose variance is
+	// wildly underestimated, so retaining them inflates the
+	// false-positive rate (pyCECT similarly retains 50 PCs from
+	// ensembles an order of magnitude larger).
+	Keep int
+	// EigvalFloor drops retained components whose eigenvalue is below
+	// this fraction of the leading eigenvalue (default 1e-8) — they
+	// represent roundoff-level directions.
+	EigvalFloor float64
+	// SigmaMult is the half-width of the per-PC acceptance interval in
+	// ensemble score standard deviations. Default 3.29 (two-sided 99.9%
+	// under normality), close to pyCECT practice.
+	SigmaMult float64
+	// FailPCs is the number of out-of-interval PC scores needed to fail
+	// a run. Default 3 (UF-CAM-ECT fails at >= 3 failing PCs).
+	FailPCs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SigmaMult <= 0 {
+		c.SigmaMult = 3.29
+	}
+	if c.FailPCs <= 0 {
+		c.FailPCs = 3
+	}
+	if c.EigvalFloor <= 0 {
+		c.EigvalFloor = 1e-8
+	}
+	return c
+}
+
+// Test is a fitted consistency test.
+type Test struct {
+	cfg      Config
+	vars     []string // sorted variable names defining matrix columns
+	model    *pca.Model
+	scoreMu  []float64 // per-PC ensemble score mean
+	scoreSd  []float64 // per-PC ensemble score std
+	ensemble [][]float64
+}
+
+// Vars returns the ordered variable list the test scores against.
+func (t *Test) Vars() []string { return t.vars }
+
+// NewTest fits the consistency test to an accepted ensemble. All runs
+// must provide the same variable set; variables missing from any run are
+// dropped (with at least one variable required).
+func NewTest(ensemble []RunOutput, cfg Config) (*Test, error) {
+	cfg = cfg.withDefaults()
+	if len(ensemble) < 3 {
+		return nil, errors.New("ect: need at least 3 ensemble members")
+	}
+	// Intersect variable sets for robustness.
+	counts := make(map[string]int)
+	for _, r := range ensemble {
+		for v := range r {
+			counts[v]++
+		}
+	}
+	var vars []string
+	for v, c := range counts {
+		if c == len(ensemble) {
+			vars = append(vars, v)
+		}
+	}
+	if len(vars) == 0 {
+		return nil, errors.New("ect: no common variables across ensemble")
+	}
+	sort.Strings(vars)
+	n, d := len(ensemble), len(vars)
+	x := make([]float64, n*d)
+	for i, r := range ensemble {
+		for j, v := range vars {
+			x[i*d+j] = r[v]
+		}
+	}
+	keep := cfg.Keep
+	if keep <= 0 {
+		keep = (n - 1) / 2
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > d {
+			keep = d
+		}
+	}
+	model, err := pca.Fit(x, n, d, keep)
+	if err != nil {
+		return nil, fmt.Errorf("ect: %w", err)
+	}
+	// Drop roundoff-level components.
+	if len(model.Eigvals) > 0 && model.Eigvals[0] > 0 {
+		k := 0
+		for k < model.K && model.Eigvals[k] > cfg.EigvalFloor*model.Eigvals[0] {
+			k++
+		}
+		if k < 1 {
+			k = 1
+		}
+		model.K = k
+		model.Components = model.Components[:k*d]
+	}
+	// Ensemble score distribution per PC.
+	scores := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = model.Scores(x[i*d : (i+1)*d])
+	}
+	mu := make([]float64, model.K)
+	sd := make([]float64, model.K)
+	for k := 0; k < model.K; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += scores[i][k]
+		}
+		mu[k] = s / float64(n)
+		var v float64
+		for i := 0; i < n; i++ {
+			dv := scores[i][k] - mu[k]
+			v += dv * dv
+		}
+		sd[k] = math.Sqrt(v / float64(n-1))
+		if sd[k] == 0 {
+			sd[k] = 1e-300
+		}
+	}
+	return &Test{cfg: cfg, vars: vars, model: model, scoreMu: mu, scoreSd: sd, ensemble: scores}, nil
+}
+
+// Verdict is the result of evaluating one experimental run.
+type Verdict struct {
+	Pass       bool
+	FailingPCs []int     // indices of PCs outside the acceptance interval
+	Scores     []float64 // the run's PC scores
+}
+
+// Evaluate scores one experimental run against the ensemble. Missing
+// variables contribute their ensemble mean (i.e. zero standardized
+// signal), so a partial run degrades gracefully.
+func (t *Test) Evaluate(run RunOutput) Verdict {
+	row := make([]float64, len(t.vars))
+	for j, v := range t.vars {
+		if val, ok := run[v]; ok {
+			row[j] = val
+		} else {
+			row[j] = t.model.Mean[j]
+		}
+	}
+	scores := t.model.Scores(row)
+	var failing []int
+	for k, s := range scores {
+		if math.Abs(s-t.scoreMu[k]) > t.cfg.SigmaMult*t.scoreSd[k] {
+			failing = append(failing, k)
+		}
+	}
+	return Verdict{
+		Pass:       len(failing) < t.cfg.FailPCs,
+		FailingPCs: failing,
+		Scores:     scores,
+	}
+}
+
+// FailureRate evaluates a set of experimental runs and returns the
+// fraction that fail — the quantity reported in the paper's Table 1.
+func (t *Test) FailureRate(runs []RunOutput) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	fails := 0
+	for _, r := range runs {
+		if !t.Evaluate(r).Pass {
+			fails++
+		}
+	}
+	return float64(fails) / float64(len(runs))
+}

@@ -1,0 +1,160 @@
+package ect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// makeEnsemble builds n correlated runs over d variables with natural
+// variability sigma around per-variable baselines.
+func makeEnsemble(rng *rand.Rand, n, d int, sigma float64) []RunOutput {
+	base := make([]float64, d)
+	for j := range base {
+		base[j] = 100 * float64(j+1)
+	}
+	out := make([]RunOutput, n)
+	for i := 0; i < n; i++ {
+		r := make(RunOutput, d)
+		shared := rng.NormFloat64() // common mode, makes PCA non-trivial
+		for j := 0; j < d; j++ {
+			r[fmt.Sprintf("v%02d", j)] = base[j] + sigma*(shared+0.5*rng.NormFloat64())
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestNewTestRejectsTinyEnsembles(t *testing.T) {
+	if _, err := NewTest([]RunOutput{{"a": 1}, {"a": 2}}, Config{}); err == nil {
+		t.Fatal("2-member ensemble accepted")
+	}
+}
+
+func TestNewTestRejectsNoCommonVars(t *testing.T) {
+	ens := []RunOutput{{"a": 1}, {"b": 2}, {"c": 3}}
+	if _, err := NewTest(ens, Config{}); err == nil {
+		t.Fatal("disjoint variables accepted")
+	}
+}
+
+func TestEnsembleMembersPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ens := makeEnsemble(rng, 40, 8, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for _, r := range ens {
+		if !test.Evaluate(r).Pass {
+			fails++
+		}
+	}
+	if fails > 2 {
+		t.Fatalf("%d/40 ensemble members fail their own test", fails)
+	}
+}
+
+func TestFreshConsistentRunsPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ens := makeEnsemble(rng, 60, 8, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := makeEnsemble(rng, 30, 8, 0.01)
+	rate := test.FailureRate(fresh)
+	if rate > 0.2 {
+		t.Fatalf("false-positive rate = %v", rate)
+	}
+}
+
+func TestShiftedRunsFail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ens := makeEnsemble(rng, 60, 8, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift several variables by many sigma: a "bug".
+	bad := makeEnsemble(rng, 20, 8, 0.01)
+	for _, r := range bad {
+		r["v00"] += 1.0
+		r["v03"] += 0.5
+		r["v05"] -= 0.7
+	}
+	rate := test.FailureRate(bad)
+	if rate < 0.9 {
+		t.Fatalf("bug failure rate = %v; want >= 0.9", rate)
+	}
+}
+
+func TestVerdictReportsFailingPCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ens := makeEnsemble(rng, 50, 6, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := makeEnsemble(rng, 1, 6, 0.01)[0]
+	for k := range run {
+		run[k] += 5
+	}
+	v := test.Evaluate(run)
+	if v.Pass {
+		t.Fatal("grossly shifted run passed")
+	}
+	if len(v.FailingPCs) < test.cfg.FailPCs {
+		t.Fatalf("failing PCs = %v", v.FailingPCs)
+	}
+	if len(v.Scores) == 0 {
+		t.Fatal("scores missing")
+	}
+}
+
+func TestEvaluateMissingVariableNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ens := makeEnsemble(rng, 50, 6, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := makeEnsemble(rng, 1, 6, 0.01)[0]
+	delete(run, "v02")
+	// Missing variable should not by itself cause a wild verdict.
+	v := test.Evaluate(run)
+	if !v.Pass {
+		t.Fatalf("run with one missing variable failed: %+v", v)
+	}
+}
+
+func TestFailureRateEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ens := makeEnsemble(rng, 10, 4, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := test.FailureRate(nil); rate != 0 {
+		t.Fatalf("rate = %v", rate)
+	}
+}
+
+func TestVarsSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ens := makeEnsemble(rng, 10, 5, 0.01)
+	test, err := NewTest(ens, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := test.Vars()
+	if len(vars) != 5 {
+		t.Fatalf("vars = %v", vars)
+	}
+	for i := 1; i < len(vars); i++ {
+		if vars[i-1] >= vars[i] {
+			t.Fatalf("vars unsorted: %v", vars)
+		}
+	}
+}

@@ -1,0 +1,478 @@
+// Package experiments wires the full pipeline of the paper end to end
+// for each of the six experiments of §6 and the supplement: build the
+// (bugged) corpus, run ensemble and experimental sets, confirm the
+// consistency-test failure, select the affected output variables,
+// coverage-filter and compile the source into the metagraph, slice,
+// and run the Algorithm 5.4 refinement with either simulated
+// (reachability) or real (value-snapshot) sampling.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/climate-rca/rca/internal/core"
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/coverage"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/kgen"
+	"github.com/climate-rca/rca/internal/lasso"
+	"github.com/climate-rca/rca/internal/metagraph"
+	"github.com/climate-rca/rca/internal/model"
+	"github.com/climate-rca/rca/internal/slicing"
+	"github.com/climate-rca/rca/internal/stats"
+)
+
+// Spec names one experiment configuration.
+type Spec struct {
+	Name string
+	// Bug is the injected source defect (source-change experiments).
+	Bug corpus.Bug
+	// Mersenne swaps the model PRNG (RAND-MT).
+	Mersenne bool
+	// FMA enables fused multiply-add in every module (AVX2).
+	FMA bool
+	// CAMOnly restricts the slice to atmosphere-component modules
+	// (the paper's default; Figure 15 lifts it).
+	CAMOnly bool
+	// SelectK is the lasso target support (paper: ~5).
+	SelectK int
+}
+
+// Standard experiment specs (§6 and supplement §8.2).
+var (
+	WSUBBUG    = Spec{Name: "WSUBBUG", Bug: corpus.BugWsub, CAMOnly: true, SelectK: 1}
+	RANDMT     = Spec{Name: "RAND-MT", Mersenne: true, CAMOnly: true, SelectK: 5}
+	GOFFGRATCH = Spec{Name: "GOFFGRATCH", Bug: corpus.BugGoffGratch, CAMOnly: true, SelectK: 5}
+	AVX2       = Spec{Name: "AVX2", FMA: true, CAMOnly: true, SelectK: 5}
+	RANDOMBUG  = Spec{Name: "RANDOMBUG", Bug: corpus.BugRandomIdx, CAMOnly: true, SelectK: 1}
+	DYN3BUG    = Spec{Name: "DYN3BUG", Bug: corpus.BugDyn3, CAMOnly: true, SelectK: 5}
+	// AVX2Full is Figure 15: AVX2 without the CAM restriction.
+	AVX2Full = Spec{Name: "AVX2-FULL", FMA: true, CAMOnly: false, SelectK: 5}
+	// LANDBUG is the land-module defect the paper mentions locating
+	// (§6, "we have successfully located bugs in the land module as
+	// well"); the slice is necessarily unrestricted.
+	LANDBUG = Spec{Name: "LANDBUG", Bug: corpus.BugLand, CAMOnly: false, SelectK: 2}
+)
+
+// Setup sizes the harness.
+type Setup struct {
+	Corpus       corpus.Config
+	EnsembleSize int // default 40
+	ExpSize      int // default 10
+	// SamplerKind selects step-7 instrumentation: "value" (real
+	// runtime snapshots) or "reach" (the paper's reachability
+	// simulation). Default "value".
+	SamplerKind string
+	// Magnitudes enables the §6.3 future-work extension: graded
+	// sampling that contracts to the greatest-difference node when
+	// plain contraction would hit a fixed point. Requires value
+	// sampling.
+	Magnitudes bool
+	Refine     core.Options
+}
+
+func (s Setup) withDefaults() Setup {
+	if s.EnsembleSize == 0 {
+		s.EnsembleSize = 40
+	}
+	if s.ExpSize == 0 {
+		s.ExpSize = 10
+	}
+	if s.SamplerKind == "" {
+		s.SamplerKind = "value"
+	}
+	return s
+}
+
+// Outcome is everything an experiment produces.
+type Outcome struct {
+	Spec Spec
+	// FailureRate is the UF-ECT failure rate of the experimental set.
+	FailureRate float64
+	// SelectedOutputs are the output labels picked by the lasso (or
+	// median-distance fallback), most important first.
+	SelectedOutputs []string
+	// Internals are the corresponding internal canonical names
+	// (Table 2's right column).
+	Internals []string
+	// MedianRanking is the §3 distribution-based ranking for
+	// comparison.
+	MedianRanking []stats.VariableDistance
+	// FirstStep is the §3 direct first-time-step comparison, tried
+	// before the distribution methods (nil if it errored).
+	FirstStep *FirstStepResult
+	// Coverage is the hybrid-slicing dynamic filter report.
+	Coverage coverage.Report
+	// GraphNodes/GraphEdges size the full metagraph; SliceNodes/
+	// SliceEdges the induced subgraph of Algorithm 5.4 step 4.
+	GraphNodes, GraphEdges int
+	SliceNodes, SliceEdges int
+	// BugNodes are the known defect locations (metagraph ids);
+	// BugDisplays their paper-style names.
+	BugNodes    []int
+	BugDisplays []string
+	// KGenFlagged lists the KGen-flagged kernel variables (AVX2 only).
+	KGenFlagged []string
+	// Refine is the Algorithm 5.4 trace.
+	Refine *core.Result
+	// BugInSlice reports whether the slice contains a bug node.
+	BugInSlice bool
+	// BugLocated: refinement instrumented a bug node or retained one
+	// in the final (small) subgraph.
+	BugLocated bool
+	// Metagraph gives callers access for follow-on analysis.
+	Metagraph *metagraph.Metagraph
+	// Slice is the induced subgraph.
+	Slice *slicing.Slice
+}
+
+// Run executes the full pipeline for one experiment.
+func Run(spec Spec, setup Setup) (*Outcome, error) {
+	setup = setup.withDefaults()
+	out := &Outcome{Spec: spec}
+
+	// Control and experimental model builds.
+	controlCfg := setup.Corpus
+	controlCfg.Bug = corpus.BugNone
+	controlCorpus := corpus.Generate(controlCfg)
+	control, err := model.NewRunner(controlCorpus)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: control: %w", err)
+	}
+	expCfg := setup.Corpus
+	expCfg.Bug = spec.Bug
+	expCorpus := corpus.Generate(expCfg)
+	exper, err := model.NewRunner(expCorpus)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: experiment: %w", err)
+	}
+	runCfg := model.RunConfig{}
+	expRunCfg := model.RunConfig{}
+	if spec.Mersenne {
+		expRunCfg.RNG = model.RNGMersenne
+	}
+	if spec.FMA {
+		expRunCfg.FMA = func(string) bool { return true }
+	}
+
+	// Step 0: UF-ECT verdict.
+	ens, err := control.Ensemble(setup.EnsembleSize, runCfg)
+	if err != nil {
+		return nil, err
+	}
+	expRuns, err := exper.ExperimentalSet(setup.ExpSize, 1000, expRunCfg)
+	if err != nil {
+		return nil, err
+	}
+	test, err := ect.NewTest(ens, ect.Config{})
+	if err != nil {
+		return nil, err
+	}
+	out.FailureRate = test.FailureRate(expRuns)
+
+	// Step 1 (§3): variable selection. The direct first-step
+	// comparison is tried first (the paper's recommendation); when it
+	// is inconclusive — the common case, since changes propagate to
+	// most variables — the distribution methods take over.
+	out.MedianRanking = stats.MedianDistanceRanking(group(ens), group(expRuns))
+	out.FirstStep, _ = FirstStepDiff(control, exper, expRunCfg, 1e-12)
+	if out.FirstStep != nil && out.FirstStep.Conclusive() {
+		out.SelectedOutputs = out.FirstStep.Differing
+		if max := spec.SelectK; max > 0 && len(out.SelectedOutputs) > max {
+			out.SelectedOutputs = out.SelectedOutputs[:max]
+		}
+	} else {
+		out.SelectedOutputs, err = selectOutputs(spec, test.Vars(), ens, expRuns, out.MedianRanking)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Steps 2-3 (§4): coverage filter + metagraph from the
+	// experimental source tree.
+	tr := coverage.NewTrace()
+	if _, err := exper.Run(model.RunConfig{StopAfter: 2, Trace: tr.Record,
+		RNG: expRunCfg.RNG, FMA: expRunCfg.FMA}); err != nil {
+		return nil, err
+	}
+	filtered, rep := coverage.Filter(exper.Modules, tr)
+	out.Coverage = rep
+	mg, err := metagraph.Build(filtered)
+	if err != nil {
+		return nil, err
+	}
+	out.Metagraph = mg
+	out.GraphNodes = mg.G.NumNodes()
+	out.GraphEdges = mg.G.NumEdges()
+
+	// Map selected outputs to internal names (§5.1 instrumentation).
+	for _, lbl := range out.SelectedOutputs {
+		if internal, ok := mg.OutputMap[lbl]; ok {
+			out.Internals = append(out.Internals, internal)
+		}
+	}
+	if len(out.Internals) == 0 {
+		return nil, fmt.Errorf("experiments: no internal mappings for %v", out.SelectedOutputs)
+	}
+
+	// Step 4: induce the slice.
+	opt := slicing.Options{MinClusterSize: 4}
+	if spec.CAMOnly {
+		opt.ModuleFilter = func(m string) bool { return expCorpus.IsCAM(m) }
+	}
+	sl, err := slicing.FromInternals(mg, out.Internals, opt)
+	if err != nil {
+		return nil, err
+	}
+	out.Slice = sl
+	out.SliceNodes = sl.Sub.NumNodes()
+	out.SliceEdges = sl.Sub.NumEdges()
+
+	// Known bug locations.
+	out.BugNodes, out.KGenFlagged, err = bugNodes(spec, mg, control, exper, expRunCfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range out.BugNodes {
+		out.BugDisplays = append(out.BugDisplays, mg.Nodes[b].Display)
+	}
+	out.BugInSlice = len(sl.LocalIDs(out.BugNodes)) > 0
+
+	// Steps 5-9: iterative refinement.
+	if setup.Magnitudes && setup.SamplerKind == "value" {
+		graded, err := buildGradedSampler(mg, control, exper, runCfg, expRunCfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Refine = core.RefineWithMagnitudes(sl.Sub, sl.NodeMap, graded, out.BugNodes, setup.Refine)
+	} else {
+		sampler, err := buildSampler(setup, mg, control, exper, runCfg, expRunCfg, out.BugNodes)
+		if err != nil {
+			return nil, err
+		}
+		out.Refine = core.Refine(sl.Sub, sl.NodeMap, sampler, out.BugNodes, setup.Refine)
+	}
+	out.BugLocated = out.Refine.BugInstrumented
+	if !out.BugLocated {
+		bugSet := map[int]bool{}
+		for _, b := range out.BugNodes {
+			bugSet[b] = true
+		}
+		for _, n := range out.Refine.Final {
+			if bugSet[n] {
+				out.BugLocated = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// group transposes runs into per-variable samples.
+func group(runs []ect.RunOutput) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, r := range runs {
+		for k, v := range r {
+			out[k] = append(out[k], v)
+		}
+	}
+	return out
+}
+
+// selectOutputs applies §3: try the lasso with the spec's target K;
+// when the problem is degenerate (e.g. a single wildly affected
+// variable) fall back to the median-distance ranking.
+func selectOutputs(spec Spec, vars []string, ens, exp []ect.RunOutput,
+	ranking []stats.VariableDistance) ([]string, error) {
+	k := spec.SelectK
+	if k <= 0 {
+		k = 5
+	}
+	n := len(ens) + len(exp)
+	d := len(vars)
+	x := make([]float64, n*d)
+	y := make([]float64, n)
+	for i, r := range ens {
+		for j, v := range vars {
+			x[i*d+j] = r[v]
+		}
+	}
+	for i, r := range exp {
+		row := len(ens) + i
+		y[row] = 1
+		for j, v := range vars {
+			x[row*d+j] = r[v]
+		}
+	}
+	sel, _, err := lasso.SelectK(lasso.Problem{X: x, Y: y, N: n, D: d}, k, 1500)
+	if err == nil && len(sel) > 0 {
+		var labels []string
+		for _, j := range sel {
+			labels = append(labels, vars[j])
+		}
+		// The lasso can latch onto sampling accidents when one
+		// variable separates perfectly; intersect sanity: ensure the
+		// top median-distance variable is present, prepending it when
+		// missing (both methods "mostly coincide", §3).
+		if len(ranking) > 0 && !ranking[0].IQROverlap {
+			top := ranking[0].Name
+			if !contains(labels, top) {
+				labels = append([]string{top}, labels...)
+			}
+		}
+		if len(labels) > 10 {
+			labels = labels[:10]
+		}
+		return labels, nil
+	}
+	// Fallback: median-distance selection.
+	names := stats.SelectAffected(ranking, 10)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("experiments: variable selection found nothing")
+	}
+	if len(names) > k {
+		names = names[:k]
+	}
+	return names, nil
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// bugNodes locates the known defect nodes in the metagraph for each
+// experiment (used by the simulated sampler and the success check).
+func bugNodes(spec Spec, mg *metagraph.Metagraph, control, exper *model.Runner,
+	expRunCfg model.RunConfig) ([]int, []string, error) {
+	switch {
+	case spec.Bug == corpus.BugWsub:
+		return mg.ByCanonical("wsub"), nil, nil
+	case spec.Bug == corpus.BugGoffGratch:
+		id, ok := mg.NodeID("wv_saturation::goffgratch_svp::es")
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: goffgratch es node missing")
+		}
+		return []int{id}, nil, nil
+	case spec.Bug == corpus.BugDyn3:
+		id, ok := mg.NodeID("dyn3::::pint")
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: dyn3 pint node missing")
+		}
+		return []int{id}, nil, nil
+	case spec.Bug == corpus.BugRandomIdx:
+		id, ok := mg.NodeID("dyn3::::omg_tmp")
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: omg_tmp node missing")
+		}
+		return []int{id}, nil, nil
+	case spec.Bug == corpus.BugLand:
+		id, ok := mg.NodeID("lnd_snow::::snowhland")
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: snowhland node missing")
+		}
+		return []int{id}, nil, nil
+	case spec.Mersenne:
+		// Variables immediately defined by PRNG output (§6.2).
+		var out []int
+		for i := range mg.Nodes {
+			n := mg.Nodes[i]
+			if n.Intrinsic && strings.HasPrefix(n.Canonical, "random_number_") {
+				for _, v := range mg.G.Out(i) {
+					out = append(out, int(v))
+				}
+			}
+		}
+		sort.Ints(out)
+		return out, nil, nil
+	case spec.FMA:
+		// KGen workflow (§6.4): extract the MG kernel under both
+		// configurations, flag RMS-divergent variables.
+		watch := "micro_mg::micro_mg_tend"
+		off, err := control.Run(model.RunConfig{KernelWatch: watch})
+		if err != nil {
+			return nil, nil, err
+		}
+		on, err := exper.Run(model.RunConfig{KernelWatch: watch, FMA: expRunCfg.FMA})
+		if err != nil {
+			return nil, nil, err
+		}
+		flagged := kgen.CompareKernels(off.Machine.Kernel, on.Machine.Kernel, kgen.RMSThreshold)
+		var ids []int
+		var names []string
+		for _, f := range flagged {
+			names = append(names, f.Variable)
+			if id, ok := mg.NodeID("micro_mg::micro_mg_tend::" + f.Variable); ok {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		return ids, names, nil
+	}
+	return nil, nil, nil
+}
+
+// buildSampler constructs the step-7 instrumentation.
+func buildSampler(setup Setup, mg *metagraph.Metagraph, control, exper *model.Runner,
+	runCfg, expRunCfg model.RunConfig, bugs []int) (core.Sampler, error) {
+	if setup.SamplerKind == "reach" {
+		return core.ReachabilitySampler(mg.G, bugs), nil
+	}
+	// Value sampling: same perturbation member on both builds, full
+	// variable snapshots, compare per node key.
+	ctl := runCfg
+	ctl.Member = 1000
+	ctl.SnapshotAll = true
+	cres, err := control.Run(ctl)
+	if err != nil {
+		return nil, err
+	}
+	ex := expRunCfg
+	ex.Member = 1000
+	ex.SnapshotAll = true
+	eres, err := exper.Run(ex)
+	if err != nil {
+		return nil, err
+	}
+	keyOf := func(n int) string { return mg.Nodes[n].Key }
+	return core.ValueSampler(keyOf, cres.Machine.AllValues, eres.Machine.AllValues, 1e-12), nil
+}
+
+// buildGradedSampler is the magnitude-aware variant of buildSampler.
+func buildGradedSampler(mg *metagraph.Metagraph, control, exper *model.Runner,
+	runCfg, expRunCfg model.RunConfig) (core.GradedSampler, error) {
+	ctl := runCfg
+	ctl.Member = 1000
+	ctl.SnapshotAll = true
+	cres, err := control.Run(ctl)
+	if err != nil {
+		return nil, err
+	}
+	ex := expRunCfg
+	ex.Member = 1000
+	ex.SnapshotAll = true
+	eres, err := exper.Run(ex)
+	if err != nil {
+		return nil, err
+	}
+	keyOf := func(n int) string { return mg.Nodes[n].Key }
+	return core.MagnitudeSampler(keyOf, cres.Machine.AllValues, eres.Machine.AllValues), nil
+}
+
+// WriteSliceDot renders the induced subgraph with the first
+// iteration's communities, the bug locations highlighted in red, and
+// the sampled central nodes in orange — the styling of Figures 5-8.
+func (o *Outcome) WriteSliceDot(w io.Writer) error {
+	opt := metagraph.DotOptions{Name: o.Spec.Name, Highlight: o.BugNodes}
+	if len(o.Refine.Iterations) > 0 {
+		opt.Communities = o.Refine.Iterations[0].Communities
+		opt.Secondary = o.Refine.Iterations[0].Sampled
+	}
+	return o.Metagraph.WriteDot(w, o.Slice.Sub, o.Slice.NodeMap, opt)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"github.com/climate-rca/rca/internal/centrality"
+	"github.com/climate-rca/rca/internal/graph"
+	"github.com/climate-rca/rca/internal/metagraph"
+)
+
+// DegreePoint is one (degree, count) pair of a degree distribution
+// (Figures 4, 9, 10).
+type DegreePoint struct {
+	Degree int
+	Count  int
+}
+
+// DegreeDistribution returns the sorted degree histogram of g.
+func DegreeDistribution(g *graph.Digraph) []DegreePoint {
+	hist := g.DegreeDistribution()
+	out := make([]DegreePoint, 0, len(hist))
+	for d, c := range hist {
+		out = append(out, DegreePoint{Degree: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+// PowerLawExponent fits log(count) ~ alpha * log(degree) by least
+// squares over nonzero-degree points, returning the slope magnitude.
+// The paper observes the CESM digraph approximately follows a power
+// law (Figure 4); this gives a single-number summary for EXPERIMENTS.md.
+func PowerLawExponent(points []DegreePoint) float64 {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.Degree > 0 && p.Count > 0 {
+			xs = append(xs, math.Log(float64(p.Degree)))
+			ys = append(ys, math.Log(float64(p.Count)))
+		}
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / den
+	return math.Abs(slope)
+}
+
+// CentralityCurve is the log-rank/log-score comparison of Figure 11.
+type CentralityCurve struct {
+	// Eigen and NonBacktracking are |centrality| values sorted
+	// descending (rank order).
+	Eigen           []float64
+	NonBacktracking []float64
+	// NBRanked is the number of nodes the non-backtracking centrality
+	// assigns nonzero scores (the curve's early termination).
+	NBRanked int
+}
+
+// Figure11 computes both centralities on the (undirected view of the)
+// subgraph and returns the rank curves.
+func Figure11(sub *graph.Digraph) CentralityCurve {
+	und := sub.Undirected()
+	ev := centrality.EigenvectorIn(sub, centrality.Options{})
+	nb := centrality.NonBacktracking(und, centrality.Options{})
+	sortDesc := func(xs []float64) []float64 {
+		out := append([]float64(nil), xs...)
+		for i := range out {
+			out[i] = math.Abs(out[i])
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+		return out
+	}
+	e := sortDesc(ev)
+	n := sortDesc(nb)
+	ranked := 0
+	for _, v := range n {
+		if v > 0 {
+			ranked++
+		}
+	}
+	return CentralityCurve{Eigen: e, NonBacktracking: n, NBRanked: ranked}
+}
+
+// CentralNode pairs a display name with an in-centrality score (the
+// §6.4 REPL listing).
+type CentralNode struct {
+	Display string
+	Score   float64
+}
+
+// CommunityInCentrality computes the eigenvector in-centrality listing
+// of the community (metagraph ids) containing the most bug nodes,
+// returning the top-k (the avx2_bluecommunity_incentrality[:16] output
+// of §6.4). It returns nil when no community contains a bug node.
+func CommunityInCentrality(mg *metagraph.Metagraph, communities [][]int, bugs []int, k int) []CentralNode {
+	bugSet := make(map[int]bool, len(bugs))
+	for _, b := range bugs {
+		bugSet[b] = true
+	}
+	best, bestCount := -1, 0
+	for i, comm := range communities {
+		count := 0
+		for _, n := range comm {
+			if bugSet[n] {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = i, count
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	sub, nodeMap := mg.G.Subgraph(communities[best])
+	scores := centrality.EigenvectorIn(sub, centrality.Options{})
+	top := centrality.TopK(scores, k)
+	out := make([]CentralNode, len(top))
+	for i, r := range top {
+		out[i] = CentralNode{Display: mg.Nodes[nodeMap[r.Node]].Display, Score: r.Score}
+	}
+	return out
+}

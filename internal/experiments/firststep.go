@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"github.com/climate-rca/rca/internal/model"
+)
+
+// FirstStepDiff implements the first variable-selection approach of
+// §3: a straightforward normalized comparison of output values at the
+// first model time step between a single ensemble member and a single
+// experimental run. The paper recommends trying it first because it is
+// the direct measure of difference — but observes that in CESM "most
+// often all CAM output variables are different at time step zero", in
+// which case the method is unhelpful and the distribution-based
+// methods take over.
+//
+// It returns the variables whose normalized first-step difference
+// exceeds tol (relative), sorted by descending difference, along with
+// the total number of differing variables (callers treat the method
+// as inconclusive when most variables differ).
+type FirstStepResult struct {
+	// Differing lists variables with |exp-ens|/max(|ens|,tiny) > tol,
+	// biggest first.
+	Differing []string
+	// Total is the number of compared variables.
+	Total int
+}
+
+// FirstStepDiff runs both models for a single step and compares.
+func FirstStepDiff(control, exper *model.Runner, expCfg model.RunConfig, tol float64) (*FirstStepResult, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	ctl := model.RunConfig{Member: 0, StopAfter: 1}
+	cres, err := control.Run(ctl)
+	if err != nil {
+		return nil, err
+	}
+	ex := expCfg
+	ex.Member = 0
+	ex.StopAfter = 1
+	eres, err := exper.Run(ex)
+	if err != nil {
+		return nil, err
+	}
+	type vd struct {
+		name string
+		d    float64
+	}
+	var diffs []vd
+	total := 0
+	for name, cv := range cres.Means {
+		ev, ok := eres.Means[name]
+		if !ok {
+			continue
+		}
+		total++
+		den := math.Abs(cv)
+		if den < 1e-300 {
+			den = 1e-300
+		}
+		if d := math.Abs(ev-cv) / den; d > tol {
+			diffs = append(diffs, vd{name, d})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool {
+		if diffs[i].d != diffs[j].d {
+			return diffs[i].d > diffs[j].d
+		}
+		return diffs[i].name < diffs[j].name
+	})
+	out := &FirstStepResult{Total: total}
+	for _, d := range diffs {
+		out.Differing = append(out.Differing, d.name)
+	}
+	return out, nil
+}
+
+// Conclusive reports whether the first-step comparison isolates a
+// small set (the paper wants "not more than 10" and clearly fewer
+// than "all variables different").
+func (r *FirstStepResult) Conclusive() bool {
+	return len(r.Differing) > 0 && len(r.Differing) <= 10 &&
+		len(r.Differing)*4 <= r.Total
+}

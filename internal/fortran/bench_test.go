@@ -1,0 +1,41 @@
+package fortran
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchSource() string {
+	var b strings.Builder
+	b.WriteString("module bench\n  use other, only: x => y\n  real :: q(:), w(:)\ncontains\n")
+	for i := 0; i < 50; i++ {
+		b.WriteString("  subroutine sub")
+		b.WriteString(strings.Repeat("x", i%3+1))
+		b.WriteString("()\n    real :: t(:)\n")
+		b.WriteString("    t = q * 2.0 + max(w, 0.5) * shift(q, 1)\n")
+		b.WriteString("    if (t(1) > 0.0) then\n      w = t ** 2.0\n    end if\n")
+		b.WriteString("  end subroutine\n")
+	}
+	b.WriteString("end module\n")
+	return b.String()
+}
+
+func BenchmarkLexer(b *testing.B) {
+	src := benchSource()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLexer(src).Tokens(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseFile(b *testing.B) {
+	src := benchSource()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package fortran
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKindSpecs(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  real(r8) :: a
+  real(kind=8) :: b
+  character(len=16) :: name
+  integer :: i
+contains
+  subroutine s()
+    a = 1.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Decls) != 4 {
+		t.Fatalf("decls = %d", len(m.Decls))
+	}
+}
+
+func TestParseDimensionAttribute(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  real, dimension(:) :: q, r
+contains
+  subroutine s()
+    q = 1.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Decls[0]
+	if !d.IsArrayName("q") || !d.IsArrayName("r") {
+		t.Fatalf("dimension attr not applied: %+v", d)
+	}
+}
+
+func TestParseVisibilityStatementsIgnored(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  implicit none
+  private
+  public :: s
+  save
+  real :: x
+contains
+  subroutine s()
+    x = 1.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Subprograms) != 1 {
+		t.Fatalf("subprograms = %d", len(m.Subprograms))
+	}
+}
+
+func TestParsePointerAllocatableAttrs(t *testing.T) {
+	if _, err := ParseModule(`
+module m
+  real, pointer :: p(:)
+  real, allocatable :: q(:)
+  real, target :: r(:)
+end module
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUnknownAttributeRejected(t *testing.T) {
+	if _, err := ParseModule(`
+module m
+  real, bogus :: x
+end module
+`); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestParsePowerRightAssociative(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  real :: x
+contains
+  subroutine s(a)
+    real :: a
+    x = a ** 2.0 ** 3.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Subprograms[0].Body[0].(*AssignStmt)
+	outer := assign.RHS.(*BinaryExpr)
+	if outer.Op != POW {
+		t.Fatalf("outer op = %v", outer.Op)
+	}
+	// Right-associative: a ** (2 ** 3).
+	inner, ok := outer.R.(*BinaryExpr)
+	if !ok || inner.Op != POW {
+		t.Fatalf("not right-associative: %+v", outer.R)
+	}
+}
+
+func TestParseUnaryPlusDropped(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  real :: x
+contains
+  subroutine s()
+    x = +3.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Subprograms[0].Body[0].(*AssignStmt)
+	if lit, ok := assign.RHS.(*NumLit); !ok || lit.Value != 3 {
+		t.Fatalf("unary plus: %+v", assign.RHS)
+	}
+}
+
+func TestParseSubroutineWithoutArgs(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  real :: x
+contains
+  subroutine bare
+    x = 1.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Subprograms[0].Args) != 0 {
+		t.Fatalf("args = %v", m.Subprograms[0].Args)
+	}
+}
+
+func TestParseFunctionDefaultResultVar(t *testing.T) {
+	m, err := ParseModule(`
+module m
+contains
+  function f(a)
+    real :: a, f
+    f = a * 2.0
+  end function
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Subprograms[0].ResultVar() != "f" {
+		t.Fatalf("result var = %q", m.Subprograms[0].ResultVar())
+	}
+}
+
+func TestParseEndWithoutNames(t *testing.T) {
+	if _, err := ParseModule(`
+module m
+  real :: x
+contains
+  subroutine s()
+    x = 1.0
+  end subroutine
+end module
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTypeDColonForm(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  type :: tt
+    real :: f
+  end type tt
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Types) != 1 || m.Types[0].Name != "tt" {
+		t.Fatalf("types = %+v", m.Types)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	m, err := ParseModule(`
+module m
+  real :: acc
+contains
+  subroutine s()
+    integer :: i, j
+    do i = 1, 3
+      do j = 1, 3
+        if (i == j) then
+          if (i > 1) then
+            acc = acc + 1.0
+          end if
+        else
+          acc = acc - 0.5
+        end if
+      end do
+    end do
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depth, maxDepth int
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			switch x := s.(type) {
+			case *DoStmt:
+				depth++
+				if depth > maxDepth {
+					maxDepth = depth
+				}
+				walk(x.Body)
+				depth--
+			case *IfStmt:
+				depth++
+				if depth > maxDepth {
+					maxDepth = depth
+				}
+				walk(x.Then)
+				walk(x.Else)
+				depth--
+			}
+		}
+	}
+	walk(m.Subprograms[0].Body)
+	if maxDepth != 4 {
+		t.Fatalf("nesting depth = %d; want 4", maxDepth)
+	}
+}
+
+func TestParseLongExpression(t *testing.T) {
+	// The paper mentions a CESM statement exceeding 3500 characters;
+	// build a synthetic long chain and make sure we handle it.
+	src := "module m\n  real :: x\ncontains\n  subroutine s()\n    x = 1.0"
+	for i := 0; i < 500; i++ {
+		src += " + 1.0"
+	}
+	src += "\n  end subroutine\nend module\n"
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	WalkExprs(m.Subprograms[0].Body[0].(*AssignStmt).RHS, func(Expr) { count++ })
+	if count < 1000 {
+		t.Fatalf("expression nodes = %d", count)
+	}
+}
+
+// Property: lexing never panics and either errors or terminates with
+// EOF for arbitrary byte strings.
+func TestLexerTotalProperty(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := NewLexer(src).Tokens()
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing arbitrary strings never panics (errors are fine).
+func TestParserTotalProperty(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = ParseFile(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

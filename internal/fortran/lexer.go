@@ -1,0 +1,244 @@
+package fortran
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes FortLite source. It is line-oriented: comments start
+// at '!' and run to end of line; '&' at end of line continues the
+// statement (the continuation marker is consumed and no NEWLINE is
+// emitted); blank lines collapse.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Tokens lexes the whole input, returning the token stream terminated
+// by an EOF token. Keyword/identifier text is lowercased (Fortran is
+// case-insensitive); string literal text retains its original case
+// without the surrounding quotes.
+func (l *Lexer) Tokens() ([]Token, error) {
+	var toks []Token
+	emitNewline := func() {
+		// Collapse consecutive newlines.
+		if n := len(toks); n > 0 && toks[n-1].Kind != NEWLINE {
+			toks = append(toks, Token{Kind: NEWLINE, Line: l.line})
+		}
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			emitNewline()
+			l.pos++
+			l.line++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '!':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '&':
+			// Continuation: skip to and past the newline.
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\r') {
+				l.pos++
+			}
+			if l.pos < len(l.src) && l.src[l.pos] == '!' {
+				for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+					l.pos++
+				}
+			}
+			if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+				l.pos++
+				l.line++
+			}
+		case c == '\'' || c == '"':
+			tok, err := l.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			toks = append(toks, l.lexNumber())
+		case isIdentStart(c):
+			toks = append(toks, l.lexIdentOrDotOp())
+		case c == '.':
+			tok, err := l.lexDotOp()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		default:
+			tok, err := l.lexOperator()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		}
+	}
+	emitNewline()
+	toks = append(toks, Token{Kind: EOF, Line: l.line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) lexString(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		if l.src[l.pos] == '\n' {
+			return Token{}, fmt.Errorf("fortran: line %d: unterminated string", l.line)
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{}, fmt.Errorf("fortran: line %d: unterminated string", l.line)
+	}
+	text := l.src[start+1 : l.pos]
+	l.pos++ // closing quote
+	return Token{Kind: STRING, Text: text, Line: l.line}, nil
+}
+
+func (l *Lexer) lexNumber() Token {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		// Don't swallow ".and." style operators after an integer: only
+		// continue past '.' if followed by a digit or exponent.
+		if l.src[l.pos] == '.' {
+			if l.pos+1 < len(l.src) {
+				n := l.src[l.pos+1]
+				if !isDigit(n) && n|0x20 != 'e' && n|0x20 != 'd' {
+					break
+				}
+			}
+		}
+		l.pos++
+	}
+	// Exponent: e/d with optional sign, then digits. The 'd' exponent
+	// (double precision) is normalized to 'e'.
+	if l.pos < len(l.src) && (l.src[l.pos]|0x20 == 'e' || l.src[l.pos]|0x20 == 'd') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save // not an exponent after all
+		}
+	}
+	text := strings.ToLower(l.src[start:l.pos])
+	text = strings.Replace(text, "d", "e", 1)
+	// Kind suffix like 1.0_r8.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '_' && isIdentStart(l.src[l.pos+1]) {
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return Token{Kind: NUMBER, Text: text, Line: l.line}
+}
+
+func (l *Lexer) lexIdentOrDotOp() Token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return Token{Kind: IDENT, Text: strings.ToLower(l.src[start:l.pos]), Line: l.line}
+}
+
+func (l *Lexer) lexDotOp() (Token, error) {
+	rest := strings.ToLower(l.src[l.pos:])
+	for _, op := range []struct {
+		text string
+		kind Kind
+	}{
+		{".and.", AND}, {".or.", OR}, {".not.", NOT},
+		{".true.", NUMBER}, {".false.", NUMBER},
+	} {
+		if strings.HasPrefix(rest, op.text) {
+			l.pos += len(op.text)
+			text := op.text
+			if op.kind == NUMBER {
+				// Booleans become 1/0 numeric literals; FortLite treats
+				// logicals as numbers, which is all the corpus needs.
+				if text == ".true." {
+					text = "1"
+				} else {
+					text = "0"
+				}
+			}
+			return Token{Kind: op.kind, Text: text, Line: l.line}, nil
+		}
+	}
+	return Token{}, fmt.Errorf("fortran: line %d: unexpected '.'", l.line)
+}
+
+func (l *Lexer) lexOperator() (Token, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	mk := func(k Kind, n int) (Token, error) {
+		t := Token{Kind: k, Text: l.src[l.pos : l.pos+n], Line: l.line}
+		l.pos += n
+		return t, nil
+	}
+	switch two {
+	case "::":
+		return mk(DCOLON, 2)
+	case "=>":
+		return mk(ARROW, 2)
+	case "**":
+		return mk(POW, 2)
+	case "==":
+		return mk(EQ, 2)
+	case "/=":
+		return mk(NE, 2)
+	case "<=":
+		return mk(LE, 2)
+	case ">=":
+		return mk(GE, 2)
+	}
+	switch l.src[l.pos] {
+	case '(':
+		return mk(LPAREN, 1)
+	case ')':
+		return mk(RPAREN, 1)
+	case ',':
+		return mk(COMMA, 1)
+	case ':':
+		return mk(COLON, 1)
+	case '%':
+		return mk(PERCENT, 1)
+	case '=':
+		return mk(ASSIGN, 1)
+	case '+':
+		return mk(PLUS, 1)
+	case '-':
+		return mk(MINUS, 1)
+	case '*':
+		return mk(STAR, 1)
+	case '/':
+		return mk(SLASH, 1)
+	case '<':
+		return mk(LT, 1)
+	case '>':
+		return mk(GT, 1)
+	}
+	return Token{}, fmt.Errorf("fortran: line %d: unexpected character %q", l.line, l.src[l.pos])
+}

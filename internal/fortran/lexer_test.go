@@ -1,0 +1,173 @@
+package fortran
+
+import (
+	"reflect"
+	"testing"
+)
+
+func kindsOf(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexSimpleAssignment(t *testing.T) {
+	toks, err := NewLexer("x = a + b\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, ASSIGN, IDENT, PLUS, IDENT, NEWLINE, EOF}
+	if !reflect.DeepEqual(kindsOf(toks), want) {
+		t.Fatalf("kinds = %v; want %v", kindsOf(toks), want)
+	}
+}
+
+func TestLexCaseInsensitive(t *testing.T) {
+	toks, err := NewLexer("MODULE Foo\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "module" || toks[1].Text != "foo" {
+		t.Fatalf("texts = %q %q", toks[0].Text, toks[1].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := NewLexer("x = 1 ! set x\ny = 2\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, ASSIGN, NUMBER, NEWLINE, IDENT, ASSIGN, NUMBER, NEWLINE, EOF}
+	if !reflect.DeepEqual(kindsOf(toks), want) {
+		t.Fatalf("kinds = %v", kindsOf(toks))
+	}
+}
+
+func TestLexContinuation(t *testing.T) {
+	toks, err := NewLexer("x = a + &\n    b\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, ASSIGN, IDENT, PLUS, IDENT, NEWLINE, EOF}
+	if !reflect.DeepEqual(kindsOf(toks), want) {
+		t.Fatalf("kinds = %v", kindsOf(toks))
+	}
+	// Line numbers still advance past the continuation.
+	if toks[4].Line != 2 {
+		t.Fatalf("continued token line = %d", toks[4].Line)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"1":         "1",
+		"3.25":      "3.25",
+		"8.1328e-3": "8.1328e-3",
+		"1.5d0":     "1.5e0", // d exponent normalized
+		"2.0_r8":    "2.0",   // kind suffix stripped
+		".5":        ".5",
+	}
+	for src, want := range cases {
+		toks, err := NewLexer(src + "\n").Tokens()
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != NUMBER || toks[0].Text != want {
+			t.Fatalf("%q -> %v %q; want NUMBER %q", src, toks[0].Kind, toks[0].Text, want)
+		}
+	}
+}
+
+func TestLexNumberThenDotOp(t *testing.T) {
+	toks, err := NewLexer("if (x == 1 .and. y == 2) then\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAnd bool
+	for _, tok := range toks {
+		if tok.Kind == AND {
+			sawAnd = true
+		}
+	}
+	if !sawAnd {
+		t.Fatalf("no AND token in %v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := NewLexer("call outfld('FLDS', flwds)\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != STRING || toks[3].Text != "FLDS" {
+		t.Fatalf("string token = %v", toks[3])
+	}
+	if _, err := NewLexer("x = 'unterminated\n").Tokens(); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := NewLexer("a :: b => c ** d == e /= f <= g >= h % i\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, DCOLON, IDENT, ARROW, IDENT, POW, IDENT, EQ,
+		IDENT, NE, IDENT, LE, IDENT, GE, IDENT, PERCENT, IDENT, NEWLINE, EOF}
+	if !reflect.DeepEqual(kindsOf(toks), want) {
+		t.Fatalf("kinds = %v", kindsOf(toks))
+	}
+}
+
+func TestLexLogicalLiterals(t *testing.T) {
+	toks, err := NewLexer("x = .true.\ny = .false.\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != NUMBER || toks[2].Text != "1" {
+		t.Fatalf(".true. = %v", toks[2])
+	}
+	if toks[6].Kind != NUMBER || toks[6].Text != "0" {
+		t.Fatalf(".false. = %v", toks[6])
+	}
+}
+
+func TestLexBlankLinesCollapse(t *testing.T) {
+	toks, err := NewLexer("a = 1\n\n\n\nb = 2\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tok := range toks {
+		if tok.Kind == NEWLINE {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("NEWLINE count = %d; want 2", count)
+	}
+}
+
+func TestLexErrorOnGarbage(t *testing.T) {
+	if _, err := NewLexer("x = #\n").Tokens(); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := NewLexer("a = 1\nb = 2\nc = 3\n").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := map[string]int{}
+	for _, tok := range toks {
+		if tok.Kind == IDENT {
+			lines[tok.Text] = tok.Line
+		}
+	}
+	if lines["a"] != 1 || lines["b"] != 2 || lines["c"] != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+}

@@ -1,0 +1,423 @@
+package fortran
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleModule = `
+module microp_aero
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use wv_saturation
+  implicit none
+  real, parameter :: wsubmin = 0.20
+  real :: wsub(:)
+  type aero_state
+    real :: ccn(:)
+    real :: num(:)
+  end type
+  interface svp
+    module procedure svp_water, svp_ice
+  end interface
+contains
+  subroutine microp_aero_run(state, cld)
+    type(aero_state) :: state
+    real, intent(in) :: cld(:)
+    real :: tmp(:)
+    integer :: i
+    tmp = max(wsubmin, cld * 0.5)
+    wsub = tmp + state%num * 0.20
+    if (wsubmin > 0.1) then
+      wsub = wsub + 0.01
+    else
+      wsub = wsub - 0.01
+    end if
+    do i = 1, 4
+      tmp = tmp * 1.01
+    end do
+    call outfld('WSUB', wsub)
+  end subroutine microp_aero_run
+
+  elemental function svp_water(t) result(es)
+    real, intent(in) :: t
+    real :: es
+    es = 10.0 ** (t * 8.1328e-3 - 3.49149)
+  end function svp_water
+
+  function svp_ice(t) result(es)
+    real, intent(in) :: t
+    real :: es
+    es = svp_water(t) * 0.99
+    return
+  end function svp_ice
+end module microp_aero
+`
+
+func TestParseSampleModule(t *testing.T) {
+	m, err := ParseModule(sampleModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "microp_aero" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if len(m.Uses) != 2 {
+		t.Fatalf("uses = %d", len(m.Uses))
+	}
+	if m.Uses[0].Module != "shr_kind_mod" || m.Uses[0].Only[0].Local != "r8" || m.Uses[0].Only[0].Remote != "shr_kind_r8" {
+		t.Fatalf("use rename parsed wrong: %+v", m.Uses[0])
+	}
+	if m.Uses[1].Only != nil {
+		t.Fatalf("bare use has only-list: %+v", m.Uses[1])
+	}
+	if len(m.Types) != 1 || m.Types[0].Name != "aero_state" || len(m.Types[0].Fields) != 2 {
+		t.Fatalf("derived type = %+v", m.Types)
+	}
+	if len(m.Interfaces) != 1 || m.Interfaces[0].Name != "svp" || len(m.Interfaces[0].Procedures) != 2 {
+		t.Fatalf("interface = %+v", m.Interfaces)
+	}
+	if len(m.Subprograms) != 3 {
+		t.Fatalf("subprograms = %d", len(m.Subprograms))
+	}
+}
+
+func TestParseDeclAttributes(t *testing.T) {
+	m, err := ParseModule(sampleModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Module-level param.
+	var param *VarDecl
+	for i := range m.Decls {
+		if m.Decls[i].Param {
+			param = &m.Decls[i]
+		}
+	}
+	if param == nil || param.Names[0] != "wsubmin" {
+		t.Fatalf("parameter decl missing: %+v", m.Decls)
+	}
+	if lit, ok := param.Init.(*NumLit); !ok || lit.Value != 0.20 {
+		t.Fatalf("param init = %+v", param.Init)
+	}
+	// Array decl.
+	var wsub *VarDecl
+	for i := range m.Decls {
+		for _, n := range m.Decls[i].Names {
+			if n == "wsub" {
+				wsub = &m.Decls[i]
+			}
+		}
+	}
+	if wsub == nil || !wsub.IsArrayName("wsub") {
+		t.Fatalf("wsub array decl: %+v", wsub)
+	}
+	// Intent in subprogram.
+	run := m.Subprograms[0]
+	var cld *VarDecl
+	for i := range run.Decls {
+		for _, n := range run.Decls[i].Names {
+			if n == "cld" {
+				cld = &run.Decls[i]
+			}
+		}
+	}
+	if cld == nil || cld.Intent != IntentIn {
+		t.Fatalf("cld intent: %+v", cld)
+	}
+	// Derived-type decl.
+	var st *VarDecl
+	for i := range run.Decls {
+		if run.Decls[i].IsType {
+			st = &run.Decls[i]
+		}
+	}
+	if st == nil || st.BaseType != "aero_state" {
+		t.Fatalf("type decl: %+v", st)
+	}
+}
+
+func TestParseSubprogramShapes(t *testing.T) {
+	m, err := ParseModule(sampleModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := m.Subprograms[0]
+	if run.Kind != KindSubroutine || len(run.Args) != 2 {
+		t.Fatalf("run = %+v", run)
+	}
+	water := m.Subprograms[1]
+	if water.Kind != KindFunction || !water.Elemental || water.ResultVar() != "es" {
+		t.Fatalf("svp_water = %+v", water)
+	}
+	ice := m.Subprograms[2]
+	if ice.Elemental {
+		t.Fatal("svp_ice marked elemental")
+	}
+	// Body statement mix: return present.
+	found := false
+	WalkStmts(ice.Body, func(s Stmt) {
+		if _, ok := s.(*ReturnStmt); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("return statement missing")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	m, err := ParseModule(sampleModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := m.Subprograms[0]
+	var ifs, dos, calls, assigns int
+	WalkStmts(run.Body, func(s Stmt) {
+		switch s.(type) {
+		case *IfStmt:
+			ifs++
+		case *DoStmt:
+			dos++
+		case *CallStmt:
+			calls++
+		case *AssignStmt:
+			assigns++
+		}
+	})
+	if ifs != 1 || dos != 1 || calls != 1 {
+		t.Fatalf("ifs=%d dos=%d calls=%d", ifs, dos, calls)
+	}
+	if assigns < 5 {
+		t.Fatalf("assigns = %d", assigns)
+	}
+}
+
+func TestParseDerivedRefCanonical(t *testing.T) {
+	src := `
+module m
+contains
+  subroutine s(elem)
+    real :: elem
+    real :: x
+    x = elem
+  end subroutine
+end module
+`
+	if _, err := ParseModule(src); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical name extraction on a deep chain.
+	m, err := ParseModule(`
+module m2
+  real :: w(:)
+contains
+  subroutine s2(elem)
+    real :: elem
+    w = elem%derived%omega_p * 2.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Subprograms[0].Body[0].(*AssignStmt)
+	mul := assign.RHS.(*BinaryExpr)
+	ref := mul.L.(*Ref)
+	if ref.Canonical() != "omega_p" {
+		t.Fatalf("canonical = %q", ref.Canonical())
+	}
+	if ref.Name != "elem" || len(ref.Components) != 2 {
+		t.Fatalf("ref = %+v", ref)
+	}
+}
+
+func TestParseIndexedDerivedRef(t *testing.T) {
+	m, err := ParseModule(`
+module m3
+  real :: out(:)
+contains
+  subroutine s(elem, ie)
+    real :: elem
+    integer :: ie
+    out = elem(ie)%derived%omega_p
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Subprograms[0].Body[0].(*AssignStmt)
+	ref := assign.RHS.(*Ref)
+	if ref.Canonical() != "omega_p" {
+		t.Fatalf("canonical = %q", ref.Canonical())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	m, err := ParseModule(`
+module m4
+  real :: x
+contains
+  subroutine s(a, b, c)
+    real :: a, b, c
+    x = a + b * c ** 2.0
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Subprograms[0].Body[0].(*AssignStmt)
+	add := assign.RHS.(*BinaryExpr)
+	if add.Op != PLUS {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != STAR {
+		t.Fatalf("second op = %v", mul.Op)
+	}
+	pow := mul.R.(*BinaryExpr)
+	if pow.Op != POW {
+		t.Fatalf("third op = %v", pow.Op)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	m, err := ParseModule(`
+module m5
+  real :: x
+contains
+  subroutine s(a)
+    real :: a
+    if (a > 1.0) then
+      x = 1.0
+    else if (a > 0.5) then
+      x = 0.5
+    else
+      x = 0.0
+    end if
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := m.Subprograms[0].Body[0].(*IfStmt)
+	if len(outer.Else) != 1 {
+		t.Fatalf("else = %+v", outer.Else)
+	}
+	inner, ok := outer.Else[0].(*IfStmt)
+	if !ok || len(inner.Else) != 1 {
+		t.Fatalf("nested else-if = %+v", outer.Else[0])
+	}
+}
+
+func TestParseOneLineIf(t *testing.T) {
+	m, err := ParseModule(`
+module m6
+  real :: x
+contains
+  subroutine s(a)
+    real :: a
+    if (a > 1.0) x = a
+    if (a < 0.0) return
+    if (a == 0.0) call helper(a)
+  end subroutine
+  subroutine helper(b)
+    real :: b
+    x = b
+  end subroutine
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Subprograms[0].Body
+	if len(body) != 3 {
+		t.Fatalf("body = %d stmts", len(body))
+	}
+	for i, s := range body {
+		ifs, ok := s.(*IfStmt)
+		if !ok || len(ifs.Then) != 1 {
+			t.Fatalf("stmt %d = %+v", i, s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module\n",           // missing name
+		"module m\n x = 1\n", // statement outside contains
+		"module m\ncontains\nsubroutine s\nend subroutine\n", // missing end module
+		"module m\nreal :: x(\nend module\n",                 // bad decl
+	}
+	for _, src := range bad {
+		if _, err := ParseFile(src); err == nil {
+			t.Fatalf("accepted bad source %q", src)
+		}
+	}
+}
+
+func TestParseMultipleModulesPerFile(t *testing.T) {
+	src := `
+module a
+  real :: x
+end module a
+
+module b
+  use a
+  real :: y
+end module b
+`
+	mods, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 || mods[0].Name != "a" || mods[1].Name != "b" {
+		t.Fatalf("mods = %+v", mods)
+	}
+}
+
+func TestParseFigure2Example(t *testing.T) {
+	// Mirrors the paper's Figure 2: a statement with RHS variables,
+	// an intrinsic, and a function call, all flowing into the LHS.
+	src := `
+module fig2
+  real :: omega(:)
+contains
+  subroutine compute(b, c, d, e, g, h)
+    real :: b, c, d, e, g, h
+    omega = alpha(b * min(c, d) + e * f(g + h))
+  end subroutine
+  function alpha(x) result(y)
+    real :: x, y
+    y = x * 2.0
+  end function
+  function f(x) result(y)
+    real :: x, y
+    y = x + 1.0
+  end function
+end module
+`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Subprograms[0].Body[0].(*AssignStmt)
+	if assign.LHS.Name != "omega" {
+		t.Fatalf("lhs = %+v", assign.LHS)
+	}
+	// Count leaf refs on the RHS.
+	var names []string
+	WalkExprs(assign.RHS, func(e Expr) {
+		if r, ok := e.(*Ref); ok {
+			names = append(names, r.Name)
+		}
+	})
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"alpha", "b", "min", "c", "d", "e", "f", "g", "h"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing ref %q in %v", want, names)
+		}
+	}
+}

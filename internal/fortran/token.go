@@ -1,0 +1,78 @@
+// Package fortran implements the FortLite front end: a lexer, AST, and
+// recursive-descent parser for the Fortran subset the synthetic CESM
+// corpus is written in. It plays the role fparser/F2PY play in the
+// paper (§4.1): turning source files into syntax trees the metagraph
+// builder consumes.
+//
+// FortLite covers the constructs the paper singles out as the hard
+// parts of parsing CESM: modules, use statements with only-lists and
+// renames, derived types (with chained % access), generic interfaces,
+// subroutines and (elemental) functions, assignments whose right-hand
+// sides mix array references and function calls indistinguishably,
+// intrinsic procedures, if/do control flow, and outfld-style I/O calls.
+package fortran
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Keywords are recognized case-insensitively by the lexer
+// and normalized to lowercase in Token.Text.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT
+	NUMBER
+	STRING
+	// Punctuation and operators.
+	LPAREN  // (
+	RPAREN  // )
+	COMMA   // ,
+	DCOLON  // ::
+	COLON   // :
+	PERCENT // %
+	ASSIGN  // =
+	ARROW   // =>
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	POW     // **
+	EQ      // ==
+	NE      // /=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	AND     // .and.
+	OR      // .or.
+	NOT     // .not.
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", NEWLINE: "NEWLINE", IDENT: "IDENT", NUMBER: "NUMBER",
+	STRING: "STRING", LPAREN: "(", RPAREN: ")", COMMA: ",", DCOLON: "::",
+	COLON: ":", PERCENT: "%", ASSIGN: "=", ARROW: "=>", PLUS: "+",
+	MINUS: "-", STAR: "*", SLASH: "/", POW: "**", EQ: "==", NE: "/=",
+	LT: "<", LE: "<=", GT: ">", GE: ">=", AND: ".and.", OR: ".or.",
+	NOT: ".not.",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a lexed token with its source line (1-based).
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d", t.Kind, t.Text, t.Line)
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, m int, seed int64) *Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	g.AddNodes(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func BenchmarkBFSFrom(b *testing.B) {
+	g := randomGraph(5000, 20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSFrom(i % 5000)
+	}
+}
+
+func BenchmarkAncestors(b *testing.B) {
+	g := randomGraph(5000, 20000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Ancestors([]int{i % 5000})
+	}
+}
+
+func BenchmarkSubgraph(b *testing.B) {
+	g := randomGraph(5000, 20000, 3)
+	keep := make([]int, 0, 2500)
+	for i := 0; i < 5000; i += 2 {
+		keep = append(keep, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Subgraph(keep)
+	}
+}
+
+func BenchmarkWeaklyConnectedComponents(b *testing.B) {
+	g := randomGraph(5000, 8000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WeaklyConnectedComponents()
+	}
+}
+
+func BenchmarkQuotient(b *testing.B) {
+	g := randomGraph(5000, 20000, 5)
+	part := make([]int, 5000)
+	for i := range part {
+		part[i] = i % 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Quotient(part, 100)
+	}
+}

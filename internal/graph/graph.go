@@ -1,0 +1,240 @@
+// Package graph provides the directed-graph substrate used by the root
+// cause analysis pipeline: construction, traversal, subgraph induction,
+// quotient graphs (graph minors), and structural queries.
+//
+// The package plays the role NetworkX plays in the paper (Milroy et al.,
+// HPDC 2019, §4.2): the metagraph's digraph component. Nodes are dense
+// integer identifiers; callers attach their own metadata tables keyed by
+// node id.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over dense node ids [0, N).
+//
+// The zero value is an empty graph ready to use. Parallel edges are
+// collapsed (an edge is stored once) and self-loops are permitted but
+// ignored by the traversal helpers that compute shortest paths.
+type Digraph struct {
+	out   [][]int32
+	in    [][]int32
+	edges int
+	// edgeSet dedupes edges during construction. Keyed by packed (u,v).
+	edgeSet map[uint64]struct{}
+}
+
+// New returns an empty digraph with capacity hints for n nodes.
+func New(n int) *Digraph {
+	return &Digraph{
+		out:     make([][]int32, 0, n),
+		in:      make([][]int32, 0, n),
+		edgeSet: make(map[uint64]struct{}, 2*n),
+	}
+}
+
+func pack(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// AddNode adds a new node and returns its id.
+func (g *Digraph) AddNode() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.out) - 1
+}
+
+// AddNodes adds k nodes and returns the id of the first.
+func (g *Digraph) AddNodes(k int) int {
+	first := len(g.out)
+	for i := 0; i < k; i++ {
+		g.AddNode()
+	}
+	return first
+}
+
+// AddEdge inserts the directed edge u->v. Duplicate edges are ignored.
+// It panics if either endpoint is out of range, matching the contract of
+// slice indexing so that construction bugs fail loudly.
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || u >= len(g.out) || v < 0 || v >= len(g.out) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.out)))
+	}
+	if g.edgeSet == nil {
+		g.edgeSet = make(map[uint64]struct{})
+	}
+	key := pack(int32(u), int32(v))
+	if _, dup := g.edgeSet[key]; dup {
+		return
+	}
+	g.edgeSet[key] = struct{}{}
+	g.out[u] = append(g.out[u], int32(v))
+	g.in[v] = append(g.in[v], int32(u))
+	g.edges++
+}
+
+// HasEdge reports whether the directed edge u->v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	if g.edgeSet != nil {
+		_, ok := g.edgeSet[pack(int32(u), int32(v))]
+		return ok
+	}
+	for _, w := range g.out[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the node count.
+func (g *Digraph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the directed edge count.
+func (g *Digraph) NumEdges() int { return g.edges }
+
+// Out returns the out-neighbors of u. The slice must not be modified.
+func (g *Digraph) Out(u int) []int32 { return g.out[u] }
+
+// In returns the in-neighbors of u. The slice must not be modified.
+func (g *Digraph) In(u int) []int32 { return g.in[u] }
+
+// OutDegree returns the out-degree of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the in-degree of u.
+func (g *Digraph) InDegree(u int) int { return len(g.in[u]) }
+
+// Degree returns the total (in+out) degree of u.
+func (g *Digraph) Degree(u int) int { return len(g.out[u]) + len(g.in[u]) }
+
+// Edges calls fn for every directed edge (u, v). Iteration order is
+// deterministic: by source id, then insertion order.
+func (g *Digraph) Edges(fn func(u, v int)) {
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			fn(u, int(v))
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New(g.NumNodes())
+	c.AddNodes(g.NumNodes())
+	g.Edges(func(u, v int) { c.AddEdge(u, v) })
+	return c
+}
+
+// Reverse returns a new digraph with every edge direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.NumNodes())
+	r.AddNodes(g.NumNodes())
+	g.Edges(func(u, v int) { r.AddEdge(v, u) })
+	return r
+}
+
+// Undirected returns the symmetric closure of g: for every edge u->v the
+// result has both u->v and v->u. This is the weakly-connected view the
+// paper feeds to Girvan-Newman (§5.2).
+func (g *Digraph) Undirected() *Digraph {
+	u := New(g.NumNodes())
+	u.AddNodes(g.NumNodes())
+	g.Edges(func(a, b int) {
+		if a == b {
+			return
+		}
+		u.AddEdge(a, b)
+		u.AddEdge(b, a)
+	})
+	return u
+}
+
+// Subgraph induces the subgraph on keep (a set of node ids of g). It
+// returns the new graph and a mapping newToOld where newToOld[i] is the
+// id in g of node i in the subgraph. Nodes in keep appear in ascending
+// id order so the mapping is deterministic.
+func (g *Digraph) Subgraph(keep []int) (*Digraph, []int) {
+	nodes := append([]int(nil), keep...)
+	sort.Ints(nodes)
+	// Dedup.
+	nodes = dedupSortedInts(nodes)
+	oldToNew := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		oldToNew[v] = i
+	}
+	s := New(len(nodes))
+	s.AddNodes(len(nodes))
+	for i, v := range nodes {
+		for _, w := range g.out[v] {
+			if j, ok := oldToNew[int(w)]; ok {
+				s.AddEdge(i, j)
+			}
+		}
+	}
+	return s, nodes
+}
+
+func dedupSortedInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// RemoveEdge deletes the directed edge u->v if present. It reports
+// whether an edge was removed. Removal is O(degree).
+func (g *Digraph) RemoveEdge(u, v int) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	delete(g.edgeSet, pack(int32(u), int32(v)))
+	g.out[u] = removeFirst(g.out[u], int32(v))
+	g.in[v] = removeFirst(g.in[v], int32(u))
+	g.edges--
+	return true
+}
+
+func removeFirst(s []int32, x int32) []int32 {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// DegreeDistribution returns a histogram where hist[d] is the number of
+// nodes with total degree d (Figures 4, 9, 10 of the paper).
+func (g *Digraph) DegreeDistribution() map[int]int {
+	hist := make(map[int]int)
+	for u := range g.out {
+		hist[g.Degree(u)]++
+	}
+	return hist
+}
+
+// Quotient collapses g by the equivalence classes in part: part[u] is the
+// class index of node u in [0, numClasses). Edges between members of the
+// same class are dropped; edges between classes are collapsed. This is
+// the graph minor of §6.5 used to rank modules.
+func (g *Digraph) Quotient(part []int, numClasses int) *Digraph {
+	if len(part) != g.NumNodes() {
+		panic("graph: partition length mismatch")
+	}
+	q := New(numClasses)
+	q.AddNodes(numClasses)
+	g.Edges(func(u, v int) {
+		cu, cv := part[u], part[v]
+		if cu != cv {
+			q.AddEdge(cu, cv)
+		}
+	})
+	return q
+}

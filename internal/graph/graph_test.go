@@ -1,0 +1,451 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds 0->1->2->...->n-1.
+func chain(n int) *Digraph {
+	g := New(n)
+	g.AddNodes(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAddNodeAddEdge(t *testing.T) {
+	g := New(0)
+	a := g.AddNode()
+	b := g.AddNode()
+	if a != 0 || b != 1 {
+		t.Fatalf("node ids = %d,%d; want 0,1", a, b)
+	}
+	g.AddEdge(a, b)
+	if !g.HasEdge(a, b) {
+		t.Fatal("edge a->b missing")
+	}
+	if g.HasEdge(b, a) {
+		t.Fatal("unexpected reverse edge")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("counts = %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestDuplicateEdgesCollapsed(t *testing.T) {
+	g := New(2)
+	g.AddNodes(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d; want 1", g.NumEdges())
+	}
+	if len(g.Out(0)) != 1 || len(g.In(1)) != 1 {
+		t.Fatalf("adjacency duplicated: out=%v in=%v", g.Out(0), g.In(1))
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New(1)
+	g.AddNode()
+	g.AddEdge(0, 5)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := chain(3)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) = false")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("double removal succeeded")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d; want 1", g.NumEdges())
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge still present")
+	}
+	// Re-adding after removal must work (edgeSet must be consistent).
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("re-added edge missing")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := chain(4)
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(3, 2) {
+		t.Fatal("reverse edges missing")
+	}
+	if r.HasEdge(0, 1) {
+		t.Fatal("forward edge present in reverse")
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", r.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := chain(3)
+	u := g.Undirected()
+	for i := 0; i < 2; i++ {
+		if !u.HasEdge(i, i+1) || !u.HasEdge(i+1, i) {
+			t.Fatalf("symmetric pair %d missing", i)
+		}
+	}
+	if u.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d; want 4", u.NumEdges())
+	}
+}
+
+func TestUndirectedDropsSelfLoops(t *testing.T) {
+	g := New(1)
+	g.AddNode()
+	g.AddEdge(0, 0)
+	u := g.Undirected()
+	if u.NumEdges() != 0 {
+		t.Fatalf("self loop survived: %d edges", u.NumEdges())
+	}
+}
+
+func TestBFSFrom(t *testing.T) {
+	g := chain(5)
+	d := g.BFSFrom(0)
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("BFSFrom = %v; want %v", d, want)
+	}
+	d = g.BFSFrom(3)
+	want = []int{-1, -1, -1, 0, 1}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("BFSFrom(3) = %v; want %v", d, want)
+	}
+}
+
+func TestBFSTo(t *testing.T) {
+	g := chain(5)
+	d := g.BFSTo(4)
+	want := []int{4, 3, 2, 1, 0}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("BFSTo = %v; want %v", d, want)
+	}
+}
+
+func TestBFSShortcut(t *testing.T) {
+	// 0->1->2->3 plus shortcut 0->3.
+	g := chain(4)
+	g.AddEdge(0, 3)
+	if d := g.BFSFrom(0); d[3] != 1 {
+		t.Fatalf("dist(0,3) = %d; want 1", d[3])
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	// Diamond: 0->1, 0->2, 1->3, 2->3, isolated 4.
+	g := New(5)
+	g.AddNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	anc := g.Ancestors([]int{3})
+	if !reflect.DeepEqual(anc, []int{0, 1, 2, 3}) {
+		t.Fatalf("Ancestors = %v", anc)
+	}
+	if anc := g.Ancestors([]int{4}); !reflect.DeepEqual(anc, []int{4}) {
+		t.Fatalf("Ancestors(4) = %v", anc)
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	g := New(5)
+	g.AddNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if d := g.Descendants([]int{0}); !reflect.DeepEqual(d, []int{0, 1, 2}) {
+		t.Fatalf("Descendants = %v", d)
+	}
+}
+
+func TestAncestorsEqualsShortestPathDAG(t *testing.T) {
+	// Property asserted in the doc comment of ShortestPathDAGNodes,
+	// checked on random DAG-ish graphs.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		g.AddNodes(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		dst := rng.Intn(n)
+		a := g.Ancestors([]int{dst})
+		b := g.ShortestPathDAGNodes(dst)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: ancestors %v != shortest-path nodes %v", trial, a, b)
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	s, m := g.Subgraph([]int{1, 2, 4})
+	if s.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", s.NumNodes())
+	}
+	if !reflect.DeepEqual(m, []int{1, 2, 4}) {
+		t.Fatalf("mapping = %v", m)
+	}
+	if !s.HasEdge(0, 1) { // old 1->2
+		t.Fatal("kept edge missing")
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d; want 1", s.NumEdges())
+	}
+}
+
+func TestSubgraphDedupsInput(t *testing.T) {
+	g := chain(3)
+	s, m := g.Subgraph([]int{2, 0, 2, 0})
+	if s.NumNodes() != 2 || !reflect.DeepEqual(m, []int{0, 2}) {
+		t.Fatalf("nodes=%d mapping=%v", s.NumNodes(), m)
+	}
+}
+
+func TestHasDirectedPath(t *testing.T) {
+	g := chain(4)
+	if !g.HasDirectedPath([]int{0}, []int{3}) {
+		t.Fatal("path 0~>3 not found")
+	}
+	if g.HasDirectedPath([]int{3}, []int{0}) {
+		t.Fatal("backwards path reported")
+	}
+	if !g.HasDirectedPath([]int{2}, []int{2}) {
+		t.Fatal("self membership not detected")
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddNodes(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // weakly joins {0,1,2}
+	g.AddEdge(3, 4)
+	comps := g.WeaklyConnectedComponents()
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v; want %v", comps, want)
+	}
+}
+
+func TestQuotient(t *testing.T) {
+	// Two "modules": {0,1} and {2,3}. Internal edge 0->1 dropped,
+	// cross edges collapsed.
+	g := New(4)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(2, 3)
+	q := g.Quotient([]int{0, 0, 1, 1}, 2)
+	if q.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", q.NumNodes())
+	}
+	if !q.HasEdge(0, 1) {
+		t.Fatal("collapsed cross edge missing")
+	}
+	if q.HasEdge(1, 0) || q.NumEdges() != 1 {
+		t.Fatalf("unexpected edges: %d", q.NumEdges())
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := chain(3) // degrees: 1, 2, 1
+	hist := g.DegreeDistribution()
+	if hist[1] != 2 || hist[2] != 1 {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := chain(3)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("clone aliases original")
+	}
+	if c.HasEdge(0, 1) {
+		t.Fatal("clone removal failed")
+	}
+}
+
+// Property: for random graphs, Subgraph over all nodes is isomorphic
+// (identical, given identity mapping) to the original.
+func TestSubgraphIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		g := New(n)
+		g.AddNodes(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		s, _ := g.Subgraph(all)
+		if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v int) {
+			if !s.HasEdge(u, v) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reverse(Reverse(g)) == g edge-for-edge.
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		g := New(n)
+		g.AddNodes(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		rr := g.Reverse().Reverse()
+		if rr.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v int) {
+			if !rr.HasEdge(u, v) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WCC partitions the node set (every node in exactly one comp).
+func TestWCCPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := New(n)
+		g.AddNodes(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		seen := make(map[int]int)
+		for _, c := range g.WeaklyConnectedComponents() {
+			for _, v := range c {
+				seen[v]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, k := range seen {
+			if k != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ancestors of a target always contain the target and are
+// closed under in-edges.
+func TestAncestorsClosedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		g.AddNodes(n)
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		t0 := rng.Intn(n)
+		anc := g.Ancestors([]int{t0})
+		in := make(map[int]bool, len(anc))
+		for _, a := range anc {
+			in[a] = true
+		}
+		if !in[t0] {
+			return false
+		}
+		for _, a := range anc {
+			for _, p := range g.In(a) {
+				if !in[int(p)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := New(3)
+	g.AddNodes(3)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	var got [][2]int
+	g.Edges(func(u, v int) { got = append(got, [2]int{u, v}) })
+	want := [][2]int{{0, 1}, {0, 2}, {2, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("edge order = %v; want %v", got, want)
+	}
+}
+
+func TestDedupSortedInts(t *testing.T) {
+	in := []int{1, 1, 2, 3, 3, 3, 9}
+	sort.Ints(in)
+	out := dedupSortedInts(in)
+	if !reflect.DeepEqual(out, []int{1, 2, 3, 9}) {
+		t.Fatalf("dedup = %v", out)
+	}
+	if got := dedupSortedInts(nil); len(got) != 0 {
+		t.Fatalf("dedup(nil) = %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+import "sort"
+
+// StronglyConnectedComponents returns the SCCs of g (Tarjan's
+// algorithm, iterative to survive deep graphs), each sorted
+// ascending, ordered by smallest member.
+//
+// SCCs explain the refinement procedure's fixed points: Algorithm 5.4
+// step 8b keeps the ancestors of detected nodes, so when the detected
+// nodes sit inside a large strongly connected component the induced
+// subgraph cannot shrink (every member is an ancestor of every other).
+// The paper hits exactly this on GOFFGRATCH ("the induced subgraph
+// equals the community subgraph", §6.3); CondensationStats quantifies
+// it.
+func (g *Digraph) StronglyConnectedComponents() [][]int {
+	n := g.NumNodes()
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var comps [][]int
+	next := int32(0)
+
+	// Iterative Tarjan: frame holds the vertex and the position within
+	// its adjacency list.
+	type frame struct {
+		v  int32
+		ai int
+	}
+	var callStack []frame
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: int32(s)})
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			adj := g.out[f.v]
+			if f.ai < len(adj) {
+				w := adj[f.ai]
+				f.ai++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-order: pop.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	// Order by smallest member for determinism.
+	sortComps(comps)
+	return comps
+}
+
+func sortComps(comps [][]int) {
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+}
+
+// CondensationStats summarizes the SCC structure relevant to
+// refinement: the size of the largest SCC and the fraction of nodes in
+// non-trivial (size > 1) components.
+type CondensationStats struct {
+	Components  int
+	LargestSCC  int
+	CyclicNodes int
+	CyclicShare float64
+}
+
+// Condensation returns the SCC summary of g.
+func (g *Digraph) Condensation() CondensationStats {
+	comps := g.StronglyConnectedComponents()
+	st := CondensationStats{Components: len(comps)}
+	for _, c := range comps {
+		if len(c) > st.LargestSCC {
+			st.LargestSCC = len(c)
+		}
+		if len(c) > 1 {
+			st.CyclicNodes += len(c)
+		}
+	}
+	if n := g.NumNodes(); n > 0 {
+		st.CyclicShare = float64(st.CyclicNodes) / float64(n)
+	}
+	return st
+}

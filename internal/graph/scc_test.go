@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0) // cycle {0,1,2}
+	g.AddEdge(2, 3) // 3 is its own SCC
+	comps := g.StronglyConnectedComponents()
+	want := [][]int{{0, 1, 2}, {3}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v; want %v", comps, want)
+	}
+}
+
+func TestSCCDAGAllSingletons(t *testing.T) {
+	g := New(5)
+	g.AddNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 5 {
+		t.Fatalf("DAG SCC count = %d", len(comps))
+	}
+}
+
+func TestSCCTwoCycles(t *testing.T) {
+	g := New(6)
+	g.AddNodes(6)
+	// Cycle A: 0<->1, cycle B: 3->4->5->3, bridge 1->3.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	comps := g.StronglyConnectedComponents()
+	want := [][]int{{0, 1}, {2}, {3, 4, 5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v; want %v", comps, want)
+	}
+}
+
+func TestSCCDeepChainNoStackOverflow(t *testing.T) {
+	// 200k-node chain would blow a recursive Tarjan.
+	n := 200000
+	g := New(n)
+	g.AddNodes(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != n {
+		t.Fatalf("components = %d", len(comps))
+	}
+}
+
+func TestCondensationStats(t *testing.T) {
+	g := New(5)
+	g.AddNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	st := g.Condensation()
+	if st.Components != 4 || st.LargestSCC != 2 || st.CyclicNodes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CyclicShare != 0.4 {
+		t.Fatalf("share = %v", st.CyclicShare)
+	}
+}
+
+func TestCondensationEmpty(t *testing.T) {
+	st := New(0).Condensation()
+	if st.Components != 0 || st.CyclicShare != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: SCCs partition the node set, and any two nodes in the
+// same SCC reach each other.
+func TestSCCPartitionAndMutualReachProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		g.AddNodes(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		comps := g.StronglyConnectedComponents()
+		seen := map[int]int{}
+		total := 0
+		for _, c := range comps {
+			for _, v := range c {
+				seen[v]++
+				total++
+			}
+		}
+		if total != n || len(seen) != n {
+			return false
+		}
+		// Mutual reachability inside each non-trivial SCC (sampled).
+		for _, c := range comps {
+			if len(c) < 2 {
+				continue
+			}
+			a, b := c[0], c[len(c)-1]
+			if !g.HasDirectedPath([]int{a}, []int{b}) ||
+				!g.HasDirectedPath([]int{b}, []int{a}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package graph
+
+import "sort"
+
+// This file implements the traversal primitives the slicing layer builds
+// on: BFS shortest-path distances, ancestor/descendant closures, and the
+// union of all shortest-path nodes terminating on a target set (§5.1).
+
+// BFSFrom computes unweighted shortest-path distances from src following
+// out-edges. Unreachable nodes have distance -1.
+func (g *Digraph) BFSFrom(src int) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.out[u] {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTo computes unweighted shortest-path distances to dst following
+// in-edges backwards (i.e. distance from each node to dst). Unreachable
+// nodes have distance -1.
+func (g *Digraph) BFSTo(dst int) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []int32{int32(dst)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.in[u] {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Ancestors returns the set of nodes from which at least one node in
+// targets is reachable, including the targets themselves. Because any
+// node u that reaches a target t lies on the shortest u→t path that
+// starts at u, this set equals the union of the node sets of all
+// shortest directed paths terminating on targets — the slice the paper
+// induces in Algorithm 5.4 step 4.
+func (g *Digraph) Ancestors(targets []int) []int {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]int32, 0, len(targets))
+	for _, t := range targets {
+		if !seen[t] {
+			seen[t] = true
+			queue = append(queue, int32(t))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.in[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return setToSlice(seen)
+}
+
+// Descendants returns the set of nodes reachable from sources, including
+// the sources themselves.
+func (g *Digraph) Descendants(sources []int) []int {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, int32(s))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return setToSlice(seen)
+}
+
+func setToSlice(seen []bool) []int {
+	out := make([]int, 0, 64)
+	for i, ok := range seen {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ShortestPathDAGNodes returns the set of nodes lying on at least one
+// shortest directed path from any node to dst. A node u (that reaches
+// dst) is on a shortest x→dst path iff there exists a predecessor chain
+// consistent with BFS levels; since the path from u itself qualifies,
+// this equals the ancestor set of dst. The function exists to make the
+// equivalence explicit and testable against Ancestors.
+func (g *Digraph) ShortestPathDAGNodes(dst int) []int {
+	dist := g.BFSTo(dst)
+	out := make([]int, 0, 64)
+	for u, d := range dist {
+		if d >= 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// HasDirectedPath reports whether any node in from reaches any node in to.
+func (g *Digraph) HasDirectedPath(from, to []int) bool {
+	targets := make([]bool, g.NumNodes())
+	for _, t := range to {
+		targets[t] = true
+	}
+	seen := make([]bool, g.NumNodes())
+	queue := make([]int32, 0, len(from))
+	for _, s := range from {
+		if targets[s] {
+			return true
+		}
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, int32(s))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if targets[v] {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}
+
+// WeaklyConnectedComponents returns the weakly connected components of g
+// as slices of node ids. Component order is by smallest contained node
+// id; node order within a component is ascending.
+func (g *Digraph) WeaklyConnectedComponents() [][]int {
+	comp := make([]int, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for s := 0; s < g.NumNodes(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		members := []int{s}
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.out[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					members = append(members, int(v))
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range g.in[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					members = append(members, int(v))
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	return comps
+}

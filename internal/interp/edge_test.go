@@ -1,0 +1,345 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/fortran"
+)
+
+// mustFail asserts that running module m's subroutine s errors with a
+// message containing want.
+func mustFail(t *testing.T, src, want string) {
+	t.Helper()
+	mods, err := fortran.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(mods, Config{Ncol: 2})
+	if err == nil {
+		err = m.Call("m", "s")
+	}
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestArithmeticOnDerivedErrors(t *testing.T) {
+	mustFail(t, `
+module m
+  type tt
+    real :: f(:)
+  end type
+  type(tt) :: x
+  real :: y
+contains
+  subroutine s()
+    y = x + 1.0
+  end subroutine
+end module
+`, "derived")
+}
+
+func TestOutfldOfDerivedErrors(t *testing.T) {
+	mustFail(t, `
+module m
+  type tt
+    real :: f(:)
+  end type
+  type(tt) :: x
+contains
+  subroutine s()
+    call outfld('X', x)
+  end subroutine
+end module
+`, "outfld")
+}
+
+func TestOutfldNonLiteralLabelErrors(t *testing.T) {
+	mustFail(t, `
+module m
+  real :: lbl, v(:)
+contains
+  subroutine s()
+    call outfld(lbl, v)
+  end subroutine
+end module
+`, "label")
+}
+
+func TestRandomNumberArityError(t *testing.T) {
+	mustFail(t, `
+module m
+  real :: a(:), b(:)
+contains
+  subroutine s()
+    call random_number(a, b)
+  end subroutine
+end module
+`, "random_number")
+}
+
+func TestIntrinsicArityErrors(t *testing.T) {
+	mustFail(t, `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = sqrt(1.0, 2.0)
+  end subroutine
+end module
+`, "intrinsic")
+	mustFail(t, `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = min(1.0)
+  end subroutine
+end module
+`, "min/max")
+}
+
+func TestUnknownDerivedComponentError(t *testing.T) {
+	mustFail(t, `
+module m
+  type tt
+    real :: f(:)
+  end type
+  type(tt) :: x
+  real :: y
+contains
+  subroutine s()
+    y = x%nosuch
+  end subroutine
+end module
+`, "component")
+}
+
+func TestUnknownDerivedTypeError(t *testing.T) {
+	mods, err := fortran.ParseFile(`
+module m
+  type(nosuchtype) :: x
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMachine(mods, Config{Ncol: 2}); err == nil {
+		t.Fatal("unknown derived type accepted")
+	}
+}
+
+func TestComparisonAndLogicalOps(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: r1, r2, r3, r4, r5, r6
+contains
+  subroutine s()
+    r1 = 1.0
+    r2 = 2.0
+    if (r1 < r2 .and. r2 <= 2.0) r3 = 1.0
+    if (r1 >= 1.0 .or. r2 == 99.0) r4 = 1.0
+    if (r1 /= r2) r5 = 1.0
+    if (.not. (r1 > r2)) r6 = 1.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"r3", "r4", "r5", "r6"} {
+		v, _ := m.ModuleVar("m", name)
+		if v.F != 1 {
+			t.Fatalf("%s = %v; want 1", name, v.F)
+		}
+	}
+}
+
+func TestModSignFloorIntrinsics(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: a, b, c
+contains
+  subroutine s()
+    a = mod(7.0, 3.0)
+    b = sign(5.0, -1.0)
+    c = floor(2.7)
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	get := func(n string) float64 {
+		v, _ := m.ModuleVar("m", n)
+		return v.F
+	}
+	if get("a") != 1 || get("b") != -5 || get("c") != 2 {
+		t.Fatalf("mod=%v sign=%v floor=%v", get("a"), get("b"), get("c"))
+	}
+}
+
+func TestArrayComparisonElementwise(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 3}, `
+module m
+  real :: a(:), mask(:)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 3
+      a(i) = i
+    end do
+    mask = a > 1.5
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	mask, _ := m.ModuleVar("m", "mask")
+	want := []float64{0, 1, 1}
+	for i, w := range want {
+		if mask.A[i] != w {
+			t.Fatalf("mask = %v", mask.A)
+		}
+	}
+}
+
+func TestPowOperator(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: a, b
+contains
+  subroutine s()
+    a = 2.0 ** 10.0
+    b = 10.0 ** (-(2.0))
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.ModuleVar("m", "a")
+	b, _ := m.ModuleVar("m", "b")
+	if a.F != 1024 || math.Abs(b.F-0.01) > 1e-15 {
+		t.Fatalf("a=%v b=%v", a.F, b.F)
+	}
+}
+
+func TestDerivedAssignCopiesFields(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2}, `
+module m
+  type tt
+    real :: f(:)
+  end type
+  type(tt) :: x, y
+contains
+  subroutine s()
+    x%f = 3.0
+    y = x
+    x%f = 9.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := m.ModuleVar("m", "y")
+	if y.D["f"].A[0] != 3 {
+		t.Fatalf("derived assign aliased: %v", y.D["f"].A)
+	}
+}
+
+func TestValueCloneIndependence(t *testing.T) {
+	v := &Value{Kind: KindDerived, D: map[string]*Value{
+		"a": NewScalar(1),
+		"b": {Kind: KindArray, A: []float64{1, 2}},
+	}}
+	c := v.Clone()
+	c.D["a"].F = 99
+	c.D["b"].A[0] = 99
+	if v.D["a"].F != 1 || v.D["b"].A[0] != 1 {
+		t.Fatalf("clone aliased original: %+v", v)
+	}
+}
+
+func TestScalarOfEmptyArray(t *testing.T) {
+	v := &Value{Kind: KindArray}
+	if v.Scalar() != 0 {
+		t.Fatal("empty array scalar != 0")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if NewScalar(2.5).String() != "2.5" {
+		t.Fatal("scalar string")
+	}
+	if NewArray(3).String() != "array[3]" {
+		t.Fatal("array string")
+	}
+	d := &Value{Kind: KindDerived, D: map[string]*Value{"a": NewScalar(0)}}
+	if !strings.Contains(d.String(), "derived") {
+		t.Fatal("derived string")
+	}
+}
+
+func TestSnapshotAllKeysMatchMetagraphConvention(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2, SnapshotAll: true}, `
+module phys
+  type ps
+    real :: omega(:)
+  end type
+  type(ps) :: state
+  real :: modvar(:)
+contains
+  subroutine s()
+    real :: loc(:)
+    loc = 1.5
+    state%omega = loc * 2.0
+    modvar = state%omega
+  end subroutine
+end module
+`)
+	if err := m.Call("phys", "s"); err != nil {
+		t.Fatal(err)
+	}
+	m.SnapshotModuleVars()
+	for _, key := range []string{"phys::s::loc", "phys::::omega", "phys::::modvar"} {
+		if _, ok := m.AllValues[key]; !ok {
+			t.Fatalf("snapshot key %s missing (have %d keys)", key, len(m.AllValues))
+		}
+	}
+	if m.AllValues["phys::::omega"][0] != 3 {
+		t.Fatalf("omega snapshot = %v", m.AllValues["phys::::omega"])
+	}
+}
+
+func TestFMAWithMinusFusion(t *testing.T) {
+	// a*b - c must also fuse under FMA mode (compilers fuse both
+	// forms); checked via the corpus' canonical cancellation.
+	src := `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = 1000003.0 * 0.999997 - 999999.999991
+  end subroutine
+end module
+`
+	run := func(fma bool) float64 {
+		m := machineFor(t, Config{Ncol: 1, FMA: func(string) bool { return fma }}, src)
+		if err := m.Call("m", "s"); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := m.ModuleVar("m", "x")
+		return v.F
+	}
+	if run(true) == run(false) {
+		t.Fatal("a*b - c not fused under FMA mode")
+	}
+}

@@ -1,0 +1,621 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/fortran"
+	"github.com/climate-rca/rca/internal/rng"
+)
+
+func machineFor(t *testing.T, cfg Config, srcs ...string) *Machine {
+	t.Helper()
+	var mods []*fortran.Module
+	for _, s := range srcs {
+		ms, err := fortran.ParseFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, ms...)
+	}
+	m, err := NewMachine(mods, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 4}, `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = 2.0 + 3.0 * 4.0 ** 2.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ModuleVar("m", "x")
+	if v.F != 50 {
+		t.Fatalf("x = %v; want 50", v.F)
+	}
+}
+
+func TestArrayElementwiseAndBroadcast(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 3}, `
+module m
+  real :: a(:), b(:), c(:)
+contains
+  subroutine init()
+    integer :: i
+    do i = 1, 3
+      a(i) = i
+      b(i) = 10.0 * i
+    end do
+  end subroutine
+  subroutine s()
+    c = a * b + 1.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.ModuleVar("m", "c")
+	want := []float64{11, 41, 91}
+	for i, w := range want {
+		if c.A[i] != w {
+			t.Fatalf("c = %v; want %v", c.A, want)
+		}
+	}
+}
+
+func TestIfControlFlow(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: x, y
+contains
+  subroutine s()
+    x = 5.0
+    if (x > 3.0) then
+      y = 1.0
+    else
+      y = 2.0
+    end if
+    if (x > 10.0) y = 99.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := m.ModuleVar("m", "y")
+	if y.F != 1.0 {
+		t.Fatalf("y = %v", y.F)
+	}
+}
+
+func TestDoLoopAndReturn(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: acc
+contains
+  subroutine s()
+    integer :: i
+    acc = 0.0
+    do i = 1, 10
+      acc = acc + i
+      if (i == 4) return
+    end do
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.ModuleVar("m", "acc")
+	if acc.F != 10 { // 1+2+3+4
+		t.Fatalf("acc = %v; want 10", acc.F)
+	}
+}
+
+func TestFunctionCallsAndResult(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = twice(4.0) + 1.0
+  end subroutine
+  function twice(a) result(r)
+    real :: a, r
+    r = a * 2.0
+  end function
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := m.ModuleVar("m", "x")
+	if x.F != 9 {
+		t.Fatalf("x = %v; want 9", x.F)
+	}
+}
+
+func TestElementalFunctionBroadcast(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 3}, `
+module m
+  real :: q(:), es(:)
+contains
+  subroutine init()
+    integer :: i
+    do i = 1, 3
+      q(i) = i
+    end do
+  end subroutine
+  subroutine s()
+    es = svp(q)
+  end subroutine
+  elemental function svp(t) result(e)
+    real :: t, e
+    e = t * t
+  end function
+end module
+`)
+	if err := m.Call("m", "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	es, _ := m.ModuleVar("m", "es")
+	want := []float64{1, 4, 9}
+	for i, w := range want {
+		if es.A[i] != w {
+			t.Fatalf("es = %v", es.A)
+		}
+	}
+}
+
+func TestSubroutineByReference(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2}, `
+module m
+  real :: a(:)
+contains
+  subroutine s()
+    a = 1.0
+    call bump(a)
+  end subroutine
+  subroutine bump(x)
+    real, intent(inout) :: x(:)
+    x = x + 5.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.ModuleVar("m", "a")
+	if a.A[0] != 6 || a.A[1] != 6 {
+		t.Fatalf("a = %v", a.A)
+	}
+}
+
+func TestDerivedTypeStateFlow(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2}, `
+module phys
+  type pstate
+    real :: t(:)
+    real :: omega(:)
+  end type
+  type(pstate) :: state
+contains
+  subroutine init()
+    state%t = 280.0
+  end subroutine
+  subroutine s()
+    state%omega = state%t * 0.01
+  end subroutine
+end module
+`)
+	if err := m.Call("phys", "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call("phys", "s"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.ModuleVar("phys", "state")
+	if math.Abs(st.D["omega"].A[0]-2.8) > 1e-12 {
+		t.Fatalf("omega = %v", st.D["omega"].A)
+	}
+}
+
+func TestUseImportAliasesStorage(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module a
+  real :: shared
+end module
+`, `
+module b
+  use a, only: shared
+  real :: y
+contains
+  subroutine s()
+    shared = 7.0
+    y = shared + 1.0
+  end subroutine
+end module
+`)
+	if err := m.Call("b", "s"); err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := m.ModuleVar("a", "shared")
+	if sh.F != 7 {
+		t.Fatalf("a::shared = %v (aliasing broken)", sh.F)
+	}
+	y, _ := m.ModuleVar("b", "y")
+	if y.F != 8 {
+		t.Fatalf("y = %v", y.F)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 4}, `
+module m
+  real :: a(:), total, n, mn, mx, sh(:)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 4
+      a(i) = i
+    end do
+    total = sum(a)
+    n = size(a)
+    mn = min(3.0, 1.0, 2.0)
+    mx = max(a(1), a(4))
+    sh = shift(a, 1)
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) *Value {
+		v, _ := m.ModuleVar("m", name)
+		return v
+	}
+	if get("total").F != 10 || get("n").F != 4 || get("mn").F != 1 || get("mx").F != 4 {
+		t.Fatalf("intrinsics: sum=%v size=%v min=%v max=%v",
+			get("total").F, get("n").F, get("mn").F, get("mx").F)
+	}
+	sh := get("sh")
+	if sh.A[0] != 2 || sh.A[3] != 1 {
+		t.Fatalf("shift = %v", sh.A)
+	}
+}
+
+func TestOutfldCapture(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2}, `
+module m
+  real :: flwds(:)
+contains
+  subroutine s()
+    flwds = 3.5
+    call outfld('FLDS', flwds)
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Outputs["FLDS"]
+	if len(got) != 2 || got[0] != 3.5 {
+		t.Fatalf("FLDS = %v", got)
+	}
+	means := m.OutputMeans()
+	if means["FLDS"] != 3.5 {
+		t.Fatalf("mean = %v", means["FLDS"])
+	}
+	if names := m.OutputNames(); len(names) != 1 || names[0] != "FLDS" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRandomNumberPluggable(t *testing.T) {
+	src := `
+module m
+  real :: r(:)
+contains
+  subroutine s()
+    call random_number(r)
+  end subroutine
+end module
+`
+	m1 := machineFor(t, Config{Ncol: 4, RNG: rng.NewKISS(42)}, src)
+	m2 := machineFor(t, Config{Ncol: 4, RNG: rng.NewMT19937(42)}, src)
+	if err := m1.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := m1.ModuleVar("m", "r")
+	r2, _ := m2.ModuleVar("m", "r")
+	same := true
+	for i := range r1.A {
+		if r1.A[i] != r2.A[i] {
+			same = false
+		}
+		if r1.A[i] < 0 || r1.A[i] >= 1 {
+			t.Fatalf("out of range: %v", r1.A)
+		}
+	}
+	if same {
+		t.Fatal("KISS and MT19937 gave identical fields")
+	}
+}
+
+func TestFMAModeChangesRounding(t *testing.T) {
+	// x = a*b + c with values chosen so fused and unfused rounding
+	// differ: classic cancellation a*b ≈ -c.
+	src := `
+module mg
+  real :: a, b, c, x
+contains
+  subroutine s()
+    a = 1.0000000000000004
+    b = 1.0000000000000004
+    c = -1.0
+    x = a * b + c
+  end subroutine
+end module
+`
+	run := func(fma bool) float64 {
+		m := machineFor(t, Config{Ncol: 1, FMA: func(string) bool { return fma }}, src)
+		if err := m.Call("mg", "s"); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := m.ModuleVar("mg", "x")
+		return v.F
+	}
+	unfused, fused := run(false), run(true)
+	if unfused == fused {
+		t.Fatalf("FMA mode made no difference: %v", fused)
+	}
+	// The fused result keeps the (2eps)^2 term that unfused rounding
+	// discards: (1+2eps)^2 - 1 = 4eps + 4eps^2.
+	if fused <= unfused {
+		t.Fatalf("fused %v <= unfused %v", fused, unfused)
+	}
+}
+
+func TestFMAPerModuleSelectivity(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1, FMA: func(mod string) bool { return mod == "hot" }}, `
+module hot
+  real :: x
+contains
+  subroutine s()
+    x = 1.0000000000000004 * 1.0000000000000004 + (-1.0)
+  end subroutine
+end module
+`, `
+module cold
+  real :: y
+contains
+  subroutine s()
+    y = 1.0000000000000004 * 1.0000000000000004 + (-1.0)
+  end subroutine
+end module
+`)
+	if err := m.Call("hot", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call("cold", "s"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := m.ModuleVar("hot", "x")
+	y, _ := m.ModuleVar("cold", "y")
+	if x.F == y.F {
+		t.Fatalf("per-module FMA not selective: %v == %v", x.F, y.F)
+	}
+}
+
+func TestTraceRecordsSubprograms(t *testing.T) {
+	var calls []string
+	m := machineFor(t, Config{Ncol: 1, Trace: func(mod, sub string) {
+		calls = append(calls, mod+"::"+sub)
+	}}, `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = helper(1.0)
+  end subroutine
+  function helper(a) result(r)
+    real :: a, r
+    r = a
+  end function
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != "m::s" || calls[1] != "m::helper" {
+		t.Fatalf("trace = %v", calls)
+	}
+}
+
+func TestKernelWatchSnapshots(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2, KernelWatch: "mg::micro_mg_tend"}, `
+module mg
+  real :: q(:)
+contains
+  subroutine driver()
+    q = 2.0
+    call micro_mg_tend(q)
+  end subroutine
+  subroutine micro_mg_tend(qin)
+    real, intent(in) :: qin(:)
+    real :: dum(:)
+    dum = qin * 3.0
+  end subroutine
+end module
+`)
+	if err := m.Call("mg", "driver"); err != nil {
+		t.Fatal(err)
+	}
+	dum := m.Kernel["dum"]
+	if len(dum) != 2 || dum[0] != 6 {
+		t.Fatalf("kernel dum = %v", dum)
+	}
+	if _, ok := m.Kernel["qin"]; !ok {
+		t.Fatal("kernel missed argument")
+	}
+}
+
+func TestArrayElementAccess(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 3}, `
+module m
+  real :: a(:), x
+contains
+  subroutine s()
+    a(1) = 5.0
+    a(2) = a(1) * 2.0
+    x = a(2)
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := m.ModuleVar("m", "x")
+	if x.F != 10 {
+		t.Fatalf("x = %v", x.F)
+	}
+}
+
+func TestIndexOutOfBoundsError(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2}, `
+module m
+  real :: a(:)
+contains
+  subroutine s()
+    a(5) = 1.0
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+}
+
+func TestUnknownSubroutineError(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: x
+contains
+  subroutine s()
+    call nosuch(x)
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err == nil {
+		t.Fatal("unknown call accepted")
+	}
+	if err := m.Call("m", "alsonothere"); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+}
+
+func TestRecursionDepthGuard(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: x
+contains
+  subroutine s()
+    call s()
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err == nil {
+		t.Fatal("infinite recursion not caught")
+	}
+}
+
+func TestInterfaceDispatchByArity(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real :: x, y
+  interface combine
+    module procedure one, two
+  end interface
+contains
+  subroutine s()
+    x = combine(3.0)
+    y = combine(3.0, 4.0)
+  end subroutine
+  function one(a) result(r)
+    real :: a, r
+    r = a
+  end function
+  function two(a, b) result(r)
+    real :: a, b, r
+    r = a + b
+  end function
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := m.ModuleVar("m", "x")
+	y, _ := m.ModuleVar("m", "y")
+	if x.F != 3 || y.F != 7 {
+		t.Fatalf("x=%v y=%v", x.F, y.F)
+	}
+}
+
+func TestSetModuleVar(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 2}, `
+module m
+  real :: t(:)
+end module
+`)
+	nv := NewArray(2)
+	nv.A[0], nv.A[1] = 1, 2
+	if err := m.SetModuleVar("m", "t", nv); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ModuleVar("m", "t")
+	if v.A[1] != 2 {
+		t.Fatalf("t = %v", v.A)
+	}
+	if err := m.SetModuleVar("m", "nope", nv); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestParameterInitEvaluated(t *testing.T) {
+	m := machineFor(t, Config{Ncol: 1}, `
+module m
+  real, parameter :: k = 2.0 * 3.0 + 1.0
+  real :: x
+contains
+  subroutine s()
+    x = k
+  end subroutine
+end module
+`)
+	if err := m.Call("m", "s"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := m.ModuleVar("m", "x")
+	if x.F != 7 {
+		t.Fatalf("x = %v", x.F)
+	}
+}

@@ -1,0 +1,144 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+)
+
+// intrinsicFn evaluates an intrinsic over already-evaluated arguments.
+type intrinsicFn func(m *Machine, args []*Value) (*Value, error)
+
+// intrinsicFns is the table of FortLite built-ins. min/max/abs/sqrt/
+// exp/log/mod/sign/floor apply elementwise; sum and size reduce; shift
+// cyclically rotates a field (the corpus' inter-column coupling).
+var intrinsicFns = map[string]intrinsicFn{
+	"min":   minMax(math.Min),
+	"max":   minMax(math.Max),
+	"abs":   unary1(math.Abs),
+	"sqrt":  unary1(math.Sqrt),
+	"exp":   unary1(math.Exp),
+	"log":   unary1(math.Log),
+	"floor": unary1(math.Floor),
+	"mod":   binary1(math.Mod),
+	"sign":  binary1(math.Copysign),
+	"sum":   sumIntrinsic,
+	"size":  sizeIntrinsic,
+	"shift": shiftIntrinsic,
+}
+
+func unary1(fn func(float64) float64) intrinsicFn {
+	return func(_ *Machine, args []*Value) (*Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("interp: intrinsic wants 1 arg, got %d", len(args))
+		}
+		v := args[0]
+		if v.Kind == KindScalar {
+			return NewScalar(fn(v.F)), nil
+		}
+		if v.Kind != KindArray {
+			return nil, fmt.Errorf("interp: intrinsic on derived value")
+		}
+		out := NewArray(len(v.A))
+		for i, x := range v.A {
+			out.A[i] = fn(x)
+		}
+		return out, nil
+	}
+}
+
+func binary1(fn func(a, b float64) float64) intrinsicFn {
+	return func(_ *Machine, args []*Value) (*Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("interp: intrinsic wants 2 args, got %d", len(args))
+		}
+		a, b := args[0], args[1]
+		n, anyArr := broadcastLen(a, b)
+		if !anyArr {
+			return NewScalar(fn(a.F, b.F)), nil
+		}
+		out := NewArray(n)
+		for i := 0; i < n; i++ {
+			out.A[i] = fn(at(a, i), at(b, i))
+		}
+		return out, nil
+	}
+}
+
+// minMax handles 2-or-more arguments, Fortran style.
+func minMax(fn func(a, b float64) float64) intrinsicFn {
+	return func(_ *Machine, args []*Value) (*Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("interp: min/max want >= 2 args")
+		}
+		n, anyArr := broadcastLen(args...)
+		if !anyArr {
+			acc := args[0].F
+			for _, v := range args[1:] {
+				acc = fn(acc, v.F)
+			}
+			return NewScalar(acc), nil
+		}
+		out := NewArray(n)
+		for i := 0; i < n; i++ {
+			acc := at(args[0], i)
+			for _, v := range args[1:] {
+				acc = fn(acc, at(v, i))
+			}
+			out.A[i] = acc
+		}
+		return out, nil
+	}
+}
+
+func sumIntrinsic(_ *Machine, args []*Value) (*Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("interp: sum wants 1 arg")
+	}
+	v := args[0]
+	if v.Kind == KindScalar {
+		return NewScalar(v.F), nil
+	}
+	if v.Kind != KindArray {
+		return nil, fmt.Errorf("interp: sum of derived value")
+	}
+	var s float64
+	for _, x := range v.A {
+		s += x
+	}
+	return NewScalar(s), nil
+}
+
+func sizeIntrinsic(_ *Machine, args []*Value) (*Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("interp: size wants 1 arg")
+	}
+	if args[0].Kind != KindArray {
+		return NewScalar(1), nil
+	}
+	return NewScalar(float64(len(args[0].A))), nil
+}
+
+// shiftIntrinsic cyclically rotates a field by k columns: the corpus'
+// stand-in for advection/neighbor coupling (CESM's cshift).
+func shiftIntrinsic(_ *Machine, args []*Value) (*Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("interp: shift wants 2 args")
+	}
+	v, kv := args[0], args[1]
+	if v.Kind != KindArray {
+		return v, nil
+	}
+	n := len(v.A)
+	if n == 0 {
+		return v, nil
+	}
+	k := int(kv.Scalar()) % n
+	if k < 0 {
+		k += n
+	}
+	out := NewArray(n)
+	for i := 0; i < n; i++ {
+		out.A[i] = v.A[(i+k)%n]
+	}
+	return out, nil
+}

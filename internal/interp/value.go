@@ -1,0 +1,90 @@
+// Package interp executes FortLite modules as a time-stepping column
+// model. It is the runtime substrate standing in for running CESM on a
+// supercomputer: the same source the metagraph is built from is
+// executed to produce ensemble and experimental outputs, so information
+// flow in the digraph corresponds to information flow at runtime — the
+// property the paper's experiments validate.
+//
+// The interpreter supports the experiment hooks the paper needs:
+//
+//   - per-module FMA semantics (a*b+c evaluated with math.FMA when the
+//     module is FMA-enabled), for the AVX2 experiments (§6.4-6.5);
+//   - a pluggable PRNG behind random_number, for RAND-MT (§6.2);
+//   - outfld capture (history output), feeding the ECT;
+//   - execution tracing of subprograms, feeding the coverage filter
+//     (the dynamic half of hybrid slicing);
+//   - kernel watchpoints that snapshot a subprogram's variables, the
+//     KGen-style extraction used to flag FMA-sensitive variables.
+package interp
+
+import "fmt"
+
+// ValueKind tags a runtime value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindScalar ValueKind = iota
+	KindArray
+	KindDerived
+)
+
+// Value is a runtime value: a scalar, a field over the model columns,
+// or a derived-type instance. Integers and logicals are represented as
+// scalars (FortLite semantics).
+type Value struct {
+	Kind ValueKind
+	F    float64
+	A    []float64
+	D    map[string]*Value
+}
+
+// NewScalar returns a scalar value.
+func NewScalar(f float64) *Value { return &Value{Kind: KindScalar, F: f} }
+
+// NewArray returns a field of n columns initialized to zero.
+func NewArray(n int) *Value { return &Value{Kind: KindArray, A: make([]float64, n)} }
+
+// Clone returns a deep copy of v.
+func (v *Value) Clone() *Value {
+	switch v.Kind {
+	case KindScalar:
+		return NewScalar(v.F)
+	case KindArray:
+		c := &Value{Kind: KindArray, A: append([]float64(nil), v.A...)}
+		return c
+	case KindDerived:
+		d := make(map[string]*Value, len(v.D))
+		for k, f := range v.D {
+			d[k] = f.Clone()
+		}
+		return &Value{Kind: KindDerived, D: d}
+	}
+	panic("interp: unknown value kind")
+}
+
+// Scalar returns the scalar payload; for a 1-element view of an array
+// it returns the first element. It panics on derived values.
+func (v *Value) Scalar() float64 {
+	switch v.Kind {
+	case KindScalar:
+		return v.F
+	case KindArray:
+		if len(v.A) > 0 {
+			return v.A[0]
+		}
+		return 0
+	}
+	panic("interp: derived value used as scalar")
+}
+
+func (v *Value) String() string {
+	switch v.Kind {
+	case KindScalar:
+		return fmt.Sprintf("%g", v.F)
+	case KindArray:
+		return fmt.Sprintf("array[%d]", len(v.A))
+	default:
+		return fmt.Sprintf("derived{%d fields}", len(v.D))
+	}
+}

@@ -1,0 +1,87 @@
+// Package kgen reproduces the KGen workflow the paper leans on twice
+// (§4.1, §6.4): identifying the modules actually built into the
+// executable configuration, and extracting a subprogram "kernel" whose
+// variable values are compared between two build configurations via
+// normalized root-mean-square differences, flagging variables that
+// exceed a threshold (1e-12 in the paper's AVX2 experiment).
+package kgen
+
+import (
+	"sort"
+
+	"github.com/climate-rca/rca/internal/stats"
+)
+
+// RMSThreshold is the paper's flagging threshold.
+const RMSThreshold = 1e-12
+
+// Flagged is one variable whose kernel values differ between the two
+// configurations.
+type Flagged struct {
+	Variable string
+	// NormRMS is RMS(a-b)/RMS(a).
+	NormRMS float64
+}
+
+// CompareKernels diffs two kernel snapshots (variable → values, as
+// captured by the interpreter's KernelWatch hook) and returns the
+// variables whose normalized RMS difference exceeds threshold, sorted
+// by descending difference. Variables missing from either snapshot or
+// with mismatched shapes are skipped (KGen skips unresolvable state).
+func CompareKernels(a, b map[string][]float64, threshold float64) []Flagged {
+	if threshold <= 0 {
+		threshold = RMSThreshold
+	}
+	var out []Flagged
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok || len(bv) != len(av) || len(av) == 0 {
+			continue
+		}
+		d := stats.NormalizedRMSDiff(av, bv)
+		if d > threshold {
+			out = append(out, Flagged{Variable: name, NormRMS: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NormRMS != out[j].NormRMS {
+			return out[i].NormRMS > out[j].NormRMS
+		}
+		return out[i].Variable < out[j].Variable
+	})
+	return out
+}
+
+// Names extracts the flagged variable names in rank order.
+func Names(fs []Flagged) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Variable
+	}
+	return out
+}
+
+// BuiltModules performs KGen's build-configuration filtering (§4.1):
+// starting from the driver module, it keeps every module reachable
+// through use statements — the modules "compiled into the executable
+// model". uses maps module → used modules.
+func BuiltModules(driver string, uses map[string][]string) []string {
+	seen := map[string]bool{driver: true}
+	queue := []string{driver}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		for _, u := range uses[m] {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

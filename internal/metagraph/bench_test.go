@@ -1,0 +1,26 @@
+package metagraph
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/fortran"
+)
+
+func BenchmarkBuildFromCorpus(b *testing.B) {
+	c := corpus.Generate(corpus.Config{AuxModules: 60, Seed: 1})
+	var mods []*fortran.Module
+	for _, f := range c.Files {
+		ms, err := fortran.ParseFile(f.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods = append(mods, ms...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(mods); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

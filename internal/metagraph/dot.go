@@ -1,0 +1,102 @@
+package metagraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// DotOptions styles a Graphviz export of a (sub)graph — the rendering
+// behind the paper's Figures 5-8 and 12-15.
+type DotOptions struct {
+	// Name is the graph name.
+	Name string
+	// Communities colors nodes by community membership (metagraph
+	// ids); nodes outside any community are gray.
+	Communities [][]int
+	// Highlight draws the listed nodes (metagraph ids) enlarged and
+	// red — the bug-location styling.
+	Highlight []int
+	// Secondary draws the listed nodes enlarged and orange — the
+	// sampled-central-node styling.
+	Secondary []int
+	// MaxNodes truncates huge graphs (0 = no limit).
+	MaxNodes int
+}
+
+var dotPalette = []string{
+	"lightblue", "palegreen", "khaki", "plum", "lightsalmon",
+	"lightcyan", "wheat", "thistle",
+}
+
+// WriteDot renders the subgraph sub (node i = metagraph node
+// nodeMap[i]) in Graphviz dot syntax.
+func (mg *Metagraph) WriteDot(w io.Writer, sub *graph.Digraph, nodeMap []int, opt DotOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "slice"
+	}
+	color := map[int]string{}
+	for ci, comm := range opt.Communities {
+		for _, n := range comm {
+			color[n] = dotPalette[ci%len(dotPalette)]
+		}
+	}
+	hi := map[int]bool{}
+	for _, n := range opt.Highlight {
+		hi[n] = true
+	}
+	sec := map[int]bool{}
+	for _, n := range opt.Secondary {
+		sec[n] = true
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=ellipse, style=filled, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	limit := sub.NumNodes()
+	if opt.MaxNodes > 0 && opt.MaxNodes < limit {
+		limit = opt.MaxNodes
+	}
+	// Deterministic node order.
+	order := make([]int, sub.NumNodes())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return mg.Nodes[nodeMap[order[a]]].Display < mg.Nodes[nodeMap[order[b]]].Display
+	})
+	kept := map[int]bool{}
+	for _, i := range order[:limit] {
+		kept[i] = true
+		g := nodeMap[i]
+		fill := color[g]
+		if fill == "" {
+			fill = "gray90"
+		}
+		extra := ""
+		switch {
+		case hi[g]:
+			extra = ", color=red, penwidth=3, width=1.2, height=0.8"
+		case sec[g]:
+			extra = ", color=orange, penwidth=3"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, fillcolor=%q%s];\n",
+			i, mg.Nodes[g].Display, fill, extra); err != nil {
+			return err
+		}
+	}
+	var err error
+	sub.Edges(func(u, v int) {
+		if err != nil || !kept[u] || !kept[v] {
+			return
+		}
+		_, err = fmt.Fprintf(w, "  n%d -> n%d;\n", u, v)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,69 @@
+package metagraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: a, b, out
+contains
+  subroutine s()
+    b = a * 2.0
+    out = b + 1.0
+  end subroutine
+end module
+`)
+	targets := mg.ByCanonical("out")
+	nodes := mg.G.Ancestors(targets)
+	sub, nodeMap := mg.G.Subgraph(nodes)
+
+	var sb strings.Builder
+	err := mg.WriteDot(&sb, sub, nodeMap, DotOptions{
+		Name:        "wsub",
+		Communities: [][]int{nodes},
+		Highlight:   mg.ByCanonical("a"),
+		Secondary:   targets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		`digraph "wsub"`, `label="a__m"`, `label="out__m"`,
+		"color=red", "color=orange", "->", "}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestWriteDotMaxNodes(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: a, b, c, d, e
+contains
+  subroutine s()
+    b = a
+    c = b
+    d = c
+    e = d
+  end subroutine
+end module
+`)
+	all := make([]int, mg.G.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	sub, nodeMap := mg.G.Subgraph(all)
+	var sb strings.Builder
+	if err := mg.WriteDot(&sb, sub, nodeMap, DotOptions{MaxNodes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "label="); got != 2 {
+		t.Fatalf("node count = %d; want 2", got)
+	}
+}

@@ -1,0 +1,561 @@
+package metagraph
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/fortran"
+)
+
+func mustBuild(t *testing.T, srcs ...string) *Metagraph {
+	t.Helper()
+	var mods []*fortran.Module
+	for _, s := range srcs {
+		ms, err := fortran.ParseFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, ms...)
+	}
+	mg, err := Build(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mg
+}
+
+// hasEdge checks for a directed edge between nodes identified by key.
+func hasEdge(mg *Metagraph, from, to string) bool {
+	u, ok1 := mg.NodeID(from)
+	v, ok2 := mg.NodeID(to)
+	return ok1 && ok2 && mg.G.HasEdge(u, v)
+}
+
+func TestSimpleAssignmentEdges(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: x, a, b
+contains
+  subroutine s()
+    x = a + b
+  end subroutine
+end module
+`)
+	if !hasEdge(mg, "m::::a", "m::::x") || !hasEdge(mg, "m::::b", "m::::x") {
+		t.Fatalf("assignment edges missing; nodes=%v", mg.Nodes)
+	}
+	if hasEdge(mg, "m::::x", "m::::a") {
+		t.Fatal("reverse edge should not exist")
+	}
+}
+
+func TestLocalsScopedToSubprogram(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+contains
+  subroutine s1()
+    real :: tmp
+    tmp = 1.0
+    tmp = tmp * 2.0
+  end subroutine
+  subroutine s2()
+    real :: tmp
+    tmp = 3.0
+  end subroutine
+end module
+`)
+	if _, ok := mg.NodeID("m::s1::tmp"); !ok {
+		t.Fatal("s1 tmp missing")
+	}
+	if _, ok := mg.NodeID("m::s2::tmp"); !ok {
+		t.Fatal("s2 tmp missing")
+	}
+	// Two distinct nodes with shared canonical name.
+	if len(mg.ByCanonical("tmp")) != 2 {
+		t.Fatalf("ByCanonical(tmp) = %v", mg.ByCanonical("tmp"))
+	}
+}
+
+func TestSelfLoopSkipped(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: x
+contains
+  subroutine s()
+    x = x + 1.0
+  end subroutine
+end module
+`)
+	id, _ := mg.NodeID("m::::x")
+	if mg.G.HasEdge(id, id) {
+		t.Fatal("self loop created")
+	}
+}
+
+func TestDerivedTypeCanonicalName(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  type physstate
+    real :: omega(:)
+  end type
+  type(physstate) :: state
+  real :: w(:)
+contains
+  subroutine s(ie)
+    integer :: ie
+    w = state%omega * 2.0
+    state%omega = w + 1.0
+  end subroutine
+end module
+`)
+	// Node canonical name is "omega", homed in the module scope.
+	ids := mg.ByCanonical("omega")
+	if len(ids) != 1 {
+		t.Fatalf("ByCanonical(omega) = %v", ids)
+	}
+	if !hasEdge(mg, "m::::omega", "m::::w") {
+		t.Fatal("state omega -> w edge missing")
+	}
+	if !hasEdge(mg, "m::::w", "m::::omega") {
+		t.Fatal("w -> state omega edge missing")
+	}
+}
+
+func TestIntrinsicLocalized(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: x, y, a, b
+contains
+  subroutine s()
+    x = min(a, b)
+    y = min(a, b)
+  end subroutine
+end module
+`)
+	// Two separate min nodes (per line), not one hub.
+	var minNodes []Node
+	for _, n := range mg.Nodes {
+		if n.Intrinsic {
+			minNodes = append(minNodes, n)
+		}
+	}
+	if len(minNodes) != 2 {
+		t.Fatalf("intrinsic nodes = %+v", minNodes)
+	}
+	// a and b feed each min; min feeds x and y respectively.
+	xid, _ := mg.NodeID("m::::x")
+	aid, _ := mg.NodeID("m::::a")
+	dist := mg.G.BFSFrom(aid)
+	if dist[xid] != 2 {
+		t.Fatalf("a->min->x distance = %d", dist[xid])
+	}
+	// Intrinsic nodes are excluded from canonical lookup.
+	if got := mg.ByCanonical(minNodes[0].Canonical); got != nil {
+		t.Fatalf("intrinsic in canonical index: %v", got)
+	}
+}
+
+func TestFunctionCallArgumentMapping(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: out, g, h
+contains
+  subroutine s()
+    out = f(g + h)
+  end subroutine
+  function f(x) result(y)
+    real :: x, y
+    y = x * 2.0
+  end function
+end module
+`)
+	// g -> x (dummy), x -> y (inside f), y -> out.
+	if !hasEdge(mg, "m::::g", "m::f::x") || !hasEdge(mg, "m::::h", "m::f::x") {
+		t.Fatal("actual -> dummy edges missing")
+	}
+	if !hasEdge(mg, "m::f::x", "m::f::y") {
+		t.Fatal("function-internal edge missing")
+	}
+	if !hasEdge(mg, "m::f::y", "m::::out") {
+		t.Fatal("result -> consumer edge missing")
+	}
+}
+
+func TestCompositeFunctionMapping(t *testing.T) {
+	// The paper's ω = α(b(c,d) * e(f(g+h))) example (§4.2): check the
+	// full chain h -> f -> e -> alpha -> omega exists as directed paths.
+	mg := mustBuild(t, `
+module m
+  real :: omega, c, d, e0, g, h
+contains
+  subroutine s()
+    omega = alpha(b(c, d) * e(f(g + h)))
+  end subroutine
+  function alpha(x) result(y)
+    real :: x, y
+    y = x
+  end function
+  function b(p, q) result(y)
+    real :: p, q, y
+    y = p + q
+  end function
+  function e(x) result(y)
+    real :: x, y
+    y = x
+  end function
+  function f(x) result(y)
+    real :: x, y
+    y = x
+  end function
+end module
+`)
+	hid, _ := mg.NodeID("m::::h")
+	oid, _ := mg.NodeID("m::::omega")
+	dist := mg.G.BFSFrom(hid)
+	// h -> f.x -> f.y -> e.x -> e.y -> alpha.x -> alpha.y -> omega = 7 hops.
+	if dist[oid] != 7 {
+		t.Fatalf("h to omega distance = %d; want 7", dist[oid])
+	}
+	cid, _ := mg.NodeID("m::::c")
+	dist = mg.G.BFSFrom(cid)
+	// c -> b.p -> b.y -> alpha.x -> alpha.y -> omega = 5 hops.
+	if dist[oid] != 5 {
+		t.Fatalf("c to omega distance = %d; want 5", dist[oid])
+	}
+}
+
+func TestSubroutineIntentDirections(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: a, b, c
+contains
+  subroutine s()
+    call helper(a, b, c)
+  end subroutine
+  subroutine helper(x, y, z)
+    real, intent(in) :: x
+    real, intent(out) :: y
+    real, intent(inout) :: z
+    y = x
+    z = z + x
+  end subroutine
+end module
+`)
+	if !hasEdge(mg, "m::::a", "m::helper::x") {
+		t.Fatal("intent(in) edge missing")
+	}
+	if hasEdge(mg, "m::helper::x", "m::::a") {
+		t.Fatal("intent(in) produced reverse edge")
+	}
+	if !hasEdge(mg, "m::helper::y", "m::::b") {
+		t.Fatal("intent(out) edge missing")
+	}
+	if hasEdge(mg, "m::::b", "m::helper::y") {
+		t.Fatal("intent(out) produced forward edge")
+	}
+	if !hasEdge(mg, "m::::c", "m::helper::z") || !hasEdge(mg, "m::helper::z", "m::::c") {
+		t.Fatal("intent(inout) should be bidirectional")
+	}
+}
+
+func TestSubroutineUnknownIntentBidirectional(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: a
+contains
+  subroutine s()
+    call helper(a)
+  end subroutine
+  subroutine helper(x)
+    real :: x
+    x = x * 2.0
+  end subroutine
+end module
+`)
+	if !hasEdge(mg, "m::::a", "m::helper::x") || !hasEdge(mg, "m::helper::x", "m::::a") {
+		t.Fatal("unknown intent should map both directions")
+	}
+}
+
+func TestUseOnlyAndRenames(t *testing.T) {
+	mg := mustBuild(t, `
+module src
+  real :: shared, hidden, orig
+end module
+`, `
+module dst
+  use src, only: shared, alias => orig
+  real :: y, z
+contains
+  subroutine s()
+    y = shared * 2.0
+    z = alias + 1.0
+  end subroutine
+end module
+`)
+	// shared resolves to src's node — one node total.
+	if len(mg.ByCanonical("shared")) != 1 {
+		t.Fatalf("shared nodes = %v", mg.ByCanonical("shared"))
+	}
+	if !hasEdge(mg, "src::::shared", "dst::::y") {
+		t.Fatal("use-imported edge missing")
+	}
+	// alias => orig: edge from src::orig.
+	if !hasEdge(mg, "src::::orig", "dst::::z") {
+		t.Fatal("renamed import edge missing")
+	}
+	// hidden was not imported: a reference would have created a local
+	// node; no node for it should exist outside src.
+	if _, ok := mg.NodeID("dst::s::hidden"); ok {
+		t.Fatal("unimported name leaked")
+	}
+}
+
+func TestBareUseImportsAll(t *testing.T) {
+	mg := mustBuild(t, `
+module src
+  real :: alpha
+end module
+`, `
+module dst
+  use src
+  real :: y
+contains
+  subroutine s()
+    y = alpha
+  end subroutine
+end module
+`)
+	if !hasEdge(mg, "src::::alpha", "dst::::y") {
+		t.Fatal("bare use import missing")
+	}
+}
+
+func TestChainedUseNotFollowed(t *testing.T) {
+	// c uses b, b uses a: c must NOT see a's variables through b.
+	mg := mustBuild(t, `
+module a
+  real :: deep
+end module
+`, `
+module b
+  use a
+  real :: mid
+end module
+`, `
+module c
+  use b
+  real :: y
+contains
+  subroutine s()
+    y = deep
+  end subroutine
+end module
+`)
+	// deep in c resolves to a *local* implicit node, not a::deep.
+	if hasEdge(mg, "a::::deep", "c::::y") {
+		t.Fatal("chained use was followed")
+	}
+	if !hasEdge(mg, "c::s::deep", "c::::y") {
+		t.Fatal("implicit local fallback missing")
+	}
+}
+
+func TestInterfaceFansOutToAllProcedures(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: out, tin
+  interface svp
+    module procedure svp_water, svp_ice
+  end interface
+contains
+  subroutine s()
+    out = svp(tin)
+  end subroutine
+  function svp_water(t) result(es)
+    real :: t, es
+    es = t * 2.0
+  end function
+  function svp_ice(t) result(es)
+    real :: t, es
+    es = t * 3.0
+  end function
+end module
+`)
+	// Conservative mapping: tin feeds both candidates, both results
+	// feed out.
+	for _, fn := range []string{"svp_water", "svp_ice"} {
+		if !hasEdge(mg, "m::::tin", "m::"+fn+"::t") {
+			t.Fatalf("interface arg edge to %s missing", fn)
+		}
+		if !hasEdge(mg, "m::"+fn+"::es", "m::::out") {
+			t.Fatalf("interface result edge from %s missing", fn)
+		}
+	}
+}
+
+func TestArrayVsFunctionDisambiguation(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: q(:), y, z
+  integer :: i
+contains
+  subroutine s()
+    y = q(i)
+    z = f(i)
+  end subroutine
+  function f(n) result(r)
+    integer :: n
+    real :: r
+    r = 1.0
+  end function
+end module
+`)
+	// q(i) is an array element: direct edge q -> y, and no edge i -> y
+	// (indices atomic).
+	if !hasEdge(mg, "m::::q", "m::::y") {
+		t.Fatal("array element edge missing")
+	}
+	if !hasEdge(mg, "m::::i", "m::::y") == false {
+		// i must NOT feed y.
+		if hasEdge(mg, "m::::i", "m::::y") {
+			t.Fatal("array index leaked into dataflow")
+		}
+	}
+	// f(i) is a call: i -> f.n and f.r -> z.
+	if !hasEdge(mg, "m::::i", "m::f::n") || !hasEdge(mg, "m::f::r", "m::::z") {
+		t.Fatal("function call edges missing")
+	}
+}
+
+func TestOutfldMapping(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  type ps
+    real :: omega(:)
+  end type
+  type(ps) :: state
+  real :: flwds(:)
+contains
+  subroutine s()
+    flwds = 1.0
+    call outfld('FLDS', flwds)
+    call outfld('OMEGA', state%omega)
+  end subroutine
+end module
+`)
+	if mg.OutputMap["FLDS"] != "flwds" {
+		t.Fatalf("OutputMap[FLDS] = %q", mg.OutputMap["FLDS"])
+	}
+	if mg.OutputMap["OMEGA"] != "omega" {
+		t.Fatalf("OutputMap[OMEGA] = %q", mg.OutputMap["OMEGA"])
+	}
+}
+
+func TestRandomNumberIsSource(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: r(:), cld(:)
+contains
+  subroutine s()
+    call random_number(r)
+    cld = r * 0.5
+  end subroutine
+end module
+`)
+	rid, _ := mg.NodeID("m::::r")
+	if mg.G.InDegree(rid) != 1 {
+		t.Fatalf("r in-degree = %d; want 1 (PRNG source)", mg.G.InDegree(rid))
+	}
+	src := int(mg.G.In(rid)[0])
+	if !mg.Nodes[src].Intrinsic {
+		t.Fatal("PRNG source not marked intrinsic")
+	}
+	if !hasEdge(mg, "m::::r", "m::::cld") {
+		t.Fatal("r -> cld missing")
+	}
+}
+
+func TestModulePartition(t *testing.T) {
+	mg := mustBuild(t, `
+module aa
+  real :: x, y
+contains
+  subroutine s()
+    y = x
+  end subroutine
+end module
+`, `
+module bb
+  use aa
+  real :: z
+contains
+  subroutine s2()
+    z = x
+  end subroutine
+end module
+`)
+	part, names := mg.ModulePartition()
+	if len(names) != 2 || names[0] != "aa" || names[1] != "bb" {
+		t.Fatalf("names = %v", names)
+	}
+	if len(part) != mg.G.NumNodes() {
+		t.Fatalf("partition size %d != nodes %d", len(part), mg.G.NumNodes())
+	}
+	q := mg.G.Quotient(part, 2)
+	// x (aa) feeds z (bb): quotient edge aa -> bb.
+	if !q.HasEdge(0, 1) {
+		t.Fatal("quotient edge missing")
+	}
+}
+
+func TestDuplicateModulesRejected(t *testing.T) {
+	mods, err := fortran.ParseFile(`
+module m
+  real :: x
+end module
+module m
+  real :: y
+end module
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(mods); err == nil {
+		t.Fatal("duplicate modules accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  real :: x, a
+contains
+  subroutine s()
+    x = a
+  end subroutine
+end module
+`)
+	st := mg.Stats()
+	if st.Modules != 1 || st.Nodes != 2 || st.Edges != 1 || st.Unparsed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDoLoopBoundsFeedLoopVar(t *testing.T) {
+	mg := mustBuild(t, `
+module m
+  integer :: n
+  real :: acc
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, n
+      acc = acc + 1.0
+    end do
+  end subroutine
+end module
+`)
+	if !hasEdge(mg, "m::::n", "m::s::i") {
+		t.Fatal("loop bound edge missing")
+	}
+}

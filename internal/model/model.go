@@ -1,0 +1,196 @@
+// Package model ties the synthetic corpus to the interpreter: it
+// builds a Machine from a Corpus, applies CESM-style initial-condition
+// perturbations, advances the model, and harvests the step-9 output
+// global means the consistency test consumes (UF-CAM-ECT evaluates at
+// time step nine, paper §2.1).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/fortran"
+	"github.com/climate-rca/rca/internal/interp"
+	"github.com/climate-rca/rca/internal/rng"
+)
+
+// Steps is the UF-ECT evaluation horizon.
+const Steps = 9
+
+// RNGKind selects the model's random_number generator.
+type RNGKind int
+
+// Generator choices.
+const (
+	RNGDefault RNGKind = iota // KISS, the CESM-like default
+	RNGMersenne
+)
+
+// RunConfig configures one model integration.
+type RunConfig struct {
+	Ncol int // columns; 0 = 16
+	// Member seeds the initial-condition perturbation (ensemble member
+	// id or experimental run id).
+	Member int
+	// PertScale is the absolute temperature perturbation magnitude.
+	// 0 selects the default 1e-9 (CESM uses O(1e-14) relative, which
+	// at T≈280 is the same order of magnitude).
+	PertScale float64
+	// RNG picks the random_number generator (RAND-MT swaps this).
+	RNG RNGKind
+	// RNGSeed seeds the model PRNG; it is deliberately identical for
+	// every member (CESM's PRNG streams are reproducible), so PRNG
+	// values are not a source of ensemble spread.
+	RNGSeed uint64
+	// FMA enables fused multiply-add per module (nil = all disabled).
+	FMA func(module string) bool
+	// Trace receives subprogram entries (coverage runs).
+	Trace func(module, subprogram string)
+	// KernelWatch is the module::subprogram to snapshot (KGen runs).
+	KernelWatch string
+	// SnapshotAll captures every variable's final values keyed by
+	// metagraph node key — the runtime-sampling instrumentation.
+	SnapshotAll bool
+	// StopAfter limits the number of steps (0 = full 9 steps); the
+	// coverage filter runs only 2 steps, per §2.1.
+	StopAfter int
+}
+
+// Result is one completed integration.
+type Result struct {
+	// Means maps output label to global mean at the final step.
+	Means ect.RunOutput
+	// Machine is the finished interpreter (exposes Outputs/Kernel).
+	Machine *interp.Machine
+}
+
+// Runner caches the parsed corpus for repeated integrations.
+type Runner struct {
+	Corpus  *corpus.Corpus
+	Modules []*fortran.Module
+}
+
+// NewRunner parses the corpus once.
+func NewRunner(c *corpus.Corpus) (*Runner, error) {
+	mods, err := c.Parse()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Corpus: c, Modules: mods}, nil
+}
+
+// Run integrates the model per cfg and returns the step-9 output
+// means.
+func (r *Runner) Run(cfg RunConfig) (*Result, error) {
+	if cfg.Ncol == 0 {
+		cfg.Ncol = 16
+	}
+	if cfg.PertScale == 0 {
+		cfg.PertScale = 1e-9
+	}
+	if cfg.RNGSeed == 0 {
+		cfg.RNGSeed = 777
+	}
+	var src rng.Source
+	switch cfg.RNG {
+	case RNGMersenne:
+		src = rng.NewMT19937(cfg.RNGSeed)
+	default:
+		src = rng.NewKISS(cfg.RNGSeed)
+	}
+	m, err := interp.NewMachine(r.Modules, interp.Config{
+		Ncol:        cfg.Ncol,
+		RNG:         src,
+		FMA:         cfg.FMA,
+		Trace:       cfg.Trace,
+		KernelWatch: cfg.KernelWatch,
+		SnapshotAll: cfg.SnapshotAll,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Call(r.Corpus.DriverModule, r.Corpus.InitSub); err != nil {
+		return nil, fmt.Errorf("model: init: %w", err)
+	}
+	if err := perturb(m, cfg); err != nil {
+		return nil, err
+	}
+	steps := Steps
+	if cfg.StopAfter > 0 && cfg.StopAfter < Steps {
+		steps = cfg.StopAfter
+	}
+	for s := 0; s < steps; s++ {
+		if err := m.Call(r.Corpus.DriverModule, r.Corpus.StepSub); err != nil {
+			return nil, fmt.Errorf("model: step %d: %w", s+1, err)
+		}
+	}
+	if cfg.SnapshotAll {
+		m.SnapshotModuleVars()
+	}
+	return &Result{Means: m.OutputMeans(), Machine: m}, nil
+}
+
+// perturb applies the member-specific initial-condition perturbation:
+// a random temperature field perturbation (CESM pertlim-style) plus a
+// small perturbation of the near-isolated wpert aerosol field so every
+// output has nonzero ensemble variance.
+func perturb(m *interp.Machine, cfg RunConfig) error {
+	gen := rng.NewLCG(uint64(cfg.Member)*2654435761 + 97)
+	st, ok := m.ModuleVar("physics_types", "state")
+	if !ok {
+		return fmt.Errorf("model: state variable missing")
+	}
+	t := st.D["t"]
+	for i := range t.A {
+		t.A[i] += cfg.PertScale * gauss(gen)
+	}
+	if wp, ok := m.ModuleVar("microp_aero", "wpert"); ok {
+		for i := range wp.A {
+			wp.A[i] += 1e-3 * gauss(gen)
+		}
+	}
+	return nil
+}
+
+// gauss draws a standard normal via Box-Muller.
+func gauss(g *rng.LCG) float64 {
+	u1 := g.Float64()
+	for u1 == 0 {
+		u1 = g.Float64()
+	}
+	u2 := g.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Ensemble integrates members 0..n-1 with the base configuration.
+func (r *Runner) Ensemble(n int, base RunConfig) ([]ect.RunOutput, error) {
+	out := make([]ect.RunOutput, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Member = i
+		res, err := r.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Means)
+	}
+	return out, nil
+}
+
+// ExperimentalSet integrates members offset..offset+n-1 (disjoint from
+// the ensemble's perturbation seeds).
+func (r *Runner) ExperimentalSet(n, offset int, base RunConfig) ([]ect.RunOutput, error) {
+	out := make([]ect.RunOutput, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Member = offset + i
+		res, err := r.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Means)
+	}
+	return out, nil
+}

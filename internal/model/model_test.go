@@ -1,0 +1,206 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/stats"
+)
+
+func runnerFor(t *testing.T, cfg corpus.Config) *Runner {
+	t.Helper()
+	r, err := NewRunner(corpus.Generate(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestModelRunsAndIsFinite(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 30, Seed: 2})
+	res, err := r.Run(RunConfig{Member: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Means) < 25 {
+		t.Fatalf("only %d outputs captured", len(res.Means))
+	}
+	for k, v := range res.Means {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("output %s = %v", k, v)
+		}
+	}
+	// Physical sanity: T should stay near its initial range.
+	if tm := res.Means["T"]; tm < 200 || tm > 350 {
+		t.Fatalf("T mean = %v", tm)
+	}
+}
+
+func TestDeterministicGivenMember(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 20, Seed: 2})
+	a, err := r.Run(RunConfig{Member: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(RunConfig{Member: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Means {
+		if a.Means[k] != b.Means[k] {
+			t.Fatalf("nondeterministic output %s", k)
+		}
+	}
+}
+
+func TestEnsembleSpreadExistsAndIsSmall(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 20, Seed: 2})
+	ens, err := r.Ensemble(8, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadT := sampleOf(ens, "T")
+	sd := stats.Std(spreadT)
+	if sd == 0 {
+		t.Fatal("no ensemble spread in T")
+	}
+	if sd/math.Abs(stats.Mean(spreadT)) > 1e-3 {
+		t.Fatalf("T spread suspiciously large: sd=%v", sd)
+	}
+	// wsub must also vary (via the wpert perturbation).
+	if stats.Std(sampleOf(ens, "WSUB")) == 0 {
+		t.Fatal("no spread in WSUB")
+	}
+}
+
+func sampleOf(runs []ect.RunOutput, key string) []float64 {
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r[key]
+	}
+	return out
+}
+
+// TestECTShape is the calibration gate for the whole reproduction: the
+// control passes the consistency test, and every experiment fails it
+// (paper §6: all experiments produce UF-CAM-ECT failures).
+func TestECTShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test is slow")
+	}
+	base := corpus.Config{AuxModules: 30, Seed: 2}
+	r := runnerFor(t, base)
+	ens, err := r.Ensemble(40, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := ect.NewTest(ens, ect.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, runs []ect.RunOutput, wantFail bool) {
+		t.Helper()
+		rate := test.FailureRate(runs)
+		if wantFail && rate < 0.8 {
+			t.Errorf("%s: failure rate %.2f; want >= 0.8", name, rate)
+		}
+		if !wantFail && rate > 0.2 {
+			t.Errorf("%s: failure rate %.2f; want <= 0.2", name, rate)
+		}
+	}
+
+	// Control: fresh members with unseen perturbation seeds must pass.
+	control, err := r.ExperimentalSet(10, 1000, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("control", control, false)
+
+	// RAND-MT: same source, Mersenne Twister PRNG.
+	mt, err := r.ExperimentalSet(10, 1000, RunConfig{RNG: RNGMersenne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("RAND-MT", mt, true)
+
+	// AVX2: FMA enabled everywhere.
+	fma, err := r.ExperimentalSet(10, 1000, RunConfig{FMA: func(string) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("AVX2", fma, true)
+
+	// Source bugs.
+	for _, bug := range []corpus.Bug{corpus.BugWsub, corpus.BugGoffGratch,
+		corpus.BugDyn3, corpus.BugRandomIdx} {
+		cfg := base
+		cfg.Bug = bug
+		br := runnerFor(t, cfg)
+		runs, err := br.ExperimentalSet(10, 1000, RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(bug.String(), runs, true)
+	}
+}
+
+func TestTraceCoversSubprograms(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 15, Seed: 2})
+	seen := map[string]bool{}
+	_, err := r.Run(RunConfig{
+		StopAfter: 2,
+		Trace:     func(mod, sub string) { seen[mod+"::"+sub] = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cam_driver::cam_init", "cam_driver::cam_step",
+		"micro_mg::micro_mg_tend", "dyn3::dyn3_hydro",
+	} {
+		if !seen[want] {
+			t.Fatalf("trace missing %s (have %d entries)", want, len(seen))
+		}
+	}
+	// Unused subprograms must not appear.
+	for k := range seen {
+		if k == "microp_aero::aero_unused" {
+			t.Fatalf("unused subprogram traced: %s", k)
+		}
+	}
+}
+
+func TestKernelWatchCapturesMicroMG(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 10, Seed: 2})
+	res, err := r.Run(RunConfig{KernelWatch: "micro_mg::micro_mg_tend"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"dum", "ratio", "tlat", "nctend", "qvlat", "nitend"} {
+		if len(res.Machine.Kernel[v]) == 0 {
+			t.Fatalf("kernel variable %s not captured", v)
+		}
+	}
+}
+
+func TestFMAChangesMicroMGKernel(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 10, Seed: 2})
+	off, err := r.Run(RunConfig{KernelWatch: "micro_mg::micro_mg_tend"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := r.Run(RunConfig{
+		KernelWatch: "micro_mg::micro_mg_tend",
+		FMA:         func(string) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := stats.NormalizedRMSDiff(off.Machine.Kernel["tlat"], on.Machine.Kernel["tlat"])
+	if !(diff > 1e-12) {
+		t.Fatalf("tlat normalized RMS diff = %v; want > 1e-12", diff)
+	}
+}

@@ -1,0 +1,200 @@
+// Package pca implements principal component analysis via a cyclic
+// Jacobi eigensolver for symmetric matrices. It is the numerical core
+// of the ensemble consistency test (internal/ect), standing in for the
+// PCA machinery of pyCECT (Baker et al. 2015).
+package pca
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SymEig computes the eigendecomposition of the symmetric n×n matrix a
+// (row-major, length n*n) using the cyclic Jacobi method. It returns
+// eigenvalues in descending order and the corresponding eigenvectors as
+// rows of vecs (vecs[k*n:(k+1)*n] is the unit eigenvector for vals[k]).
+// The input slice is not modified.
+func SymEig(a []float64, n int) (vals []float64, vecs []float64, err error) {
+	if n < 0 || len(a) != n*n {
+		return nil, nil, errors.New("pca: matrix size mismatch")
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	m := append([]float64(nil), a...)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m, n)
+		if off < 1e-14 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m[p*n+p]
+				aqq := m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, n, p, q, c, s)
+				rotateVecs(v, n, p, q, c, s)
+			}
+		}
+	}
+	// Extract eigenvalues (diagonal) and sort descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	ps := make([]pair, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pair{m[i*n+i], i}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].val > ps[j].val })
+	vals = make([]float64, n)
+	vecs = make([]float64, n*n)
+	for k, p := range ps {
+		vals[k] = p.val
+		for i := 0; i < n; i++ {
+			// Column p.idx of v is the eigenvector; store as row k.
+			vecs[k*n+i] = v[i*n+p.idx]
+		}
+	}
+	return vals, vecs, nil
+}
+
+func offDiagNorm(m []float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s += m[i*n+j] * m[i*n+j]
+		}
+	}
+	return math.Sqrt(2 * s)
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to m: m = JᵀmJ.
+func rotate(m []float64, n, p, q int, c, s float64) {
+	for i := 0; i < n; i++ {
+		mip := m[i*n+p]
+		miq := m[i*n+q]
+		m[i*n+p] = c*mip - s*miq
+		m[i*n+q] = s*mip + c*miq
+	}
+	for j := 0; j < n; j++ {
+		mpj := m[p*n+j]
+		mqj := m[q*n+j]
+		m[p*n+j] = c*mpj - s*mqj
+		m[q*n+j] = s*mpj + c*mqj
+	}
+}
+
+func rotateVecs(v []float64, n, p, q int, c, s float64) {
+	for i := 0; i < n; i++ {
+		vip := v[i*n+p]
+		viq := v[i*n+q]
+		v[i*n+p] = c*vip - s*viq
+		v[i*n+q] = s*vip + c*viq
+	}
+}
+
+// Model is a fitted PCA basis over d variables.
+type Model struct {
+	D          int       // number of variables
+	Mean       []float64 // per-variable mean of the training matrix
+	Std        []float64 // per-variable std (n-1); zeros replaced by 1
+	Components []float64 // row-major K×D loading matrix (rows are PCs)
+	Eigvals    []float64 // descending eigenvalues of the correlation matrix
+	K          int       // number of retained components
+}
+
+// Fit computes a PCA of the rows of x (n samples × d variables,
+// row-major), standardizing each variable first (so the decomposition is
+// of the correlation matrix, as pyCECT does with global means). keep
+// limits the number of retained components; keep <= 0 retains min(n-1, d).
+func Fit(x []float64, n, d, keep int) (*Model, error) {
+	if n < 2 || d < 1 || len(x) != n*d {
+		return nil, errors.New("pca: bad training matrix shape")
+	}
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i*d+j]
+		}
+		mean[j] = s / float64(n)
+	}
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			dv := x[i*d+j] - mean[j]
+			s += dv * dv
+		}
+		std[j] = math.Sqrt(s / float64(n-1))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	// Correlation matrix C = Zᵀ Z / (n-1).
+	c := make([]float64, d*d)
+	z := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			z[i*d+j] = (x[i*d+j] - mean[j]) / std[j]
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += z[i*d+a] * z[i*d+b]
+			}
+			s /= float64(n - 1)
+			c[a*d+b] = s
+			c[b*d+a] = s
+		}
+	}
+	vals, vecs, err := SymEig(c, d)
+	if err != nil {
+		return nil, err
+	}
+	maxK := n - 1
+	if d < maxK {
+		maxK = d
+	}
+	if keep <= 0 || keep > maxK {
+		keep = maxK
+	}
+	return &Model{
+		D:          d,
+		Mean:       mean,
+		Std:        std,
+		Components: vecs[:keep*d],
+		Eigvals:    vals,
+		K:          keep,
+	}, nil
+}
+
+// Scores projects a single d-vector onto the retained components,
+// returning K PC scores.
+func (m *Model) Scores(row []float64) []float64 {
+	out := make([]float64, m.K)
+	for k := 0; k < m.K; k++ {
+		var s float64
+		for j := 0; j < m.D; j++ {
+			s += m.Components[k*m.D+j] * (row[j] - m.Mean[j]) / m.Std[j]
+		}
+		out[k] = s
+	}
+	return out
+}

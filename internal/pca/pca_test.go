@@ -1,0 +1,199 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	}
+	vals, vecs, err := SymEig(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// First eigenvector should be +-e0.
+	if math.Abs(math.Abs(vecs[0])-1) > 1e-9 {
+		t.Fatalf("vec0 = %v", vecs[:3])
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := SymEig([]float64{2, 1, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt2 up to sign.
+	r := vecs[0] / vecs[1]
+	if math.Abs(r-1) > 1e-9 {
+		t.Fatalf("vec ratio = %v", r)
+	}
+}
+
+func TestSymEigErrors(t *testing.T) {
+	if _, _, err := SymEig([]float64{1, 2}, 3); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	vals, vecs, err := SymEig(nil, 0)
+	if err != nil || vals != nil || vecs != nil {
+		t.Fatalf("empty matrix: %v %v %v", vals, vecs, err)
+	}
+}
+
+// Property: A v = λ v for every returned pair on random symmetric
+// matrices, and eigenvalues are sorted descending.
+func TestSymEigResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i*n+j] = v
+				a[j*n+i] = v
+			}
+		}
+		vals, vecs, err := SymEig(a, n)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if k > 0 && vals[k] > vals[k-1]+1e-9 {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += a[i*n+j] * vecs[k*n+j]
+				}
+				if math.Abs(av-vals[k]*vecs[k*n+i]) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Data along direction (1,1) with small noise: PC1 loading should
+	// be ~(±1/√2, ±1/√2) and eigenvalue ratio large.
+	rng := rand.New(rand.NewSource(11))
+	n, d := 200, 2
+	x := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		s := rng.NormFloat64() * 10
+		x[i*d] = s + rng.NormFloat64()*0.1
+		x[i*d+1] = s + rng.NormFloat64()*0.1
+	}
+	m, err := Fit(x, n, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 2 {
+		t.Fatalf("K = %d", m.K)
+	}
+	r := m.Components[0] / m.Components[1]
+	if math.Abs(r-1) > 0.05 {
+		t.Fatalf("PC1 loadings ratio = %v", r)
+	}
+	if m.Eigvals[0] < 10*m.Eigvals[1] {
+		t.Fatalf("eigenvalue separation too small: %v", m.Eigvals)
+	}
+}
+
+func TestFitShapeErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 1, 3, 0); err == nil {
+		t.Fatal("n<2 accepted")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 2, 2, 0); err == nil {
+		t.Fatal("bad length accepted")
+	}
+}
+
+func TestFitKeepClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 4, 6
+	x := make([]float64, n*d)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	m, err := Fit(x, n, d, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != n-1 {
+		t.Fatalf("K = %d; want %d", m.K, n-1)
+	}
+}
+
+func TestScoresCentering(t *testing.T) {
+	// Scoring the mean row gives all-zero scores.
+	rng := rand.New(rand.NewSource(2))
+	n, d := 30, 4
+	x := make([]float64, n*d)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	m, err := Fit(x, n, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Scores(m.Mean)
+	for _, v := range s {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("mean-row scores = %v", s)
+		}
+	}
+}
+
+// Property: ensemble scores have (near) zero mean per component.
+func TestScoresZeroMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		d := 2 + rng.Intn(5)
+		x := make([]float64, n*d)
+		for i := range x {
+			x[i] = rng.NormFloat64()*3 + 1
+		}
+		m, err := Fit(x, n, d, 0)
+		if err != nil {
+			return false
+		}
+		sums := make([]float64, m.K)
+		for i := 0; i < n; i++ {
+			for k, s := range m.Scores(x[i*d : (i+1)*d]) {
+				sums[k] += s
+			}
+		}
+		for _, s := range sums {
+			if math.Abs(s)/float64(n) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

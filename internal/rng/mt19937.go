@@ -1,0 +1,80 @@
+package rng
+
+// MT19937 is the 32-bit Mersenne Twister of Matsumoto & Nishimura
+// (1998), implemented from the reference recurrence. It is the
+// generator substituted into the model for the RAND-MT experiment.
+type MT19937 struct {
+	state [624]uint32
+	index int
+}
+
+const (
+	mtN          = 624
+	mtM          = 397
+	mtMatrixA    = 0x9908b0df
+	mtUpperMask  = 0x80000000
+	mtLowerMask  = 0x7fffffff
+	mtInitMult   = 1812433253
+	mtTemperB    = 0x9d2c5680
+	mtTemperC    = 0xefc60000
+	mtDefaultKey = 5489
+)
+
+// NewMT19937 returns a seeded Mersenne Twister. Seed 0 selects the
+// reference default seed 5489.
+func NewMT19937(seed uint64) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed implements Source using the reference init_genrand procedure on
+// the low 32 bits of seed (0 maps to the canonical default 5489).
+func (m *MT19937) Seed(seed uint64) {
+	s := uint32(seed)
+	if s == 0 {
+		s = mtDefaultKey
+	}
+	m.state[0] = s
+	for i := 1; i < mtN; i++ {
+		m.state[i] = mtInitMult*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+}
+
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Uint32 returns the next tempered output word.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= y >> 11
+	y ^= (y << 7) & mtTemperB
+	y ^= (y << 15) & mtTemperC
+	y ^= y >> 18
+	return y
+}
+
+// Float64 implements Source using the reference genrand_res53 method
+// (53-bit resolution from two 32-bit words).
+func (m *MT19937) Float64() float64 {
+	a := m.Uint32() >> 5 // 27 bits
+	b := m.Uint32() >> 6 // 26 bits
+	return (float64(a)*67108864.0 + float64(b)) / 9007199254740992.0
+}
+
+// Name implements Source.
+func (m *MT19937) Name() string { return "mt19937" }

@@ -1,0 +1,115 @@
+// Package rng provides the pseudorandom number generators used by the
+// synthetic climate model: a KISS-style default generator standing in
+// for CESM's kissvec PRNG, a from-scratch MT19937 Mersenne Twister for
+// the RAND-MT experiment (§6.2), and a minimal LCG for corpus synthesis.
+//
+// All generators implement Source and produce uniform float64 values in
+// [0, 1), matching Fortran's random_number contract.
+package rng
+
+// Source is a deterministic uniform generator.
+type Source interface {
+	// Float64 returns the next uniform variate in [0, 1).
+	Float64() float64
+	// Seed resets the generator state from a 64-bit seed.
+	Seed(seed uint64)
+	// Name identifies the generator family (used to label experiments).
+	Name() string
+}
+
+// KISS is the keep-it-simple-stupid combined generator (Marsaglia), the
+// same family as CESM's default kissvec random number generator.
+type KISS struct {
+	x, y, z, w uint32
+}
+
+// NewKISS returns a seeded KISS generator.
+func NewKISS(seed uint64) *KISS {
+	k := &KISS{}
+	k.Seed(seed)
+	return k
+}
+
+// Seed implements Source.
+func (k *KISS) Seed(seed uint64) {
+	// Derive four nonzero state words from the seed with splitmix-style
+	// mixing so nearby seeds decorrelate.
+	s := seed
+	next := func() uint32 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return uint32(z ^ (z >> 31))
+	}
+	k.x = next() | 1
+	k.y = next() | 1
+	k.z = next() | 1
+	k.w = next() | 1
+}
+
+func (k *KISS) uint32() uint32 {
+	// Linear congruential component.
+	k.x = 69069*k.x + 1327217885
+	// Xorshift component.
+	k.y ^= k.y << 13
+	k.y ^= k.y >> 17
+	k.y ^= k.y << 5
+	// Multiply-with-carry components.
+	k.z = 18000*(k.z&65535) + (k.z >> 16)
+	k.w = 30903*(k.w&65535) + (k.w >> 16)
+	return k.x + k.y + (k.z << 16) + k.w
+}
+
+// Float64 implements Source.
+func (k *KISS) Float64() float64 {
+	// 32 bits of mantissa is plenty for the model's cloud sampling and
+	// matches kissvec's single call granularity.
+	return float64(k.uint32()) / (1 << 32)
+}
+
+// Name implements Source.
+func (k *KISS) Name() string { return "kiss" }
+
+// LCG is a 64-bit linear congruential generator (Knuth MMIX constants)
+// used for deterministic corpus synthesis, where statistical quality is
+// irrelevant but speed and tiny state matter.
+type LCG struct {
+	state uint64
+}
+
+// NewLCG returns a seeded LCG.
+func NewLCG(seed uint64) *LCG {
+	l := &LCG{}
+	l.Seed(seed)
+	return l
+}
+
+// Seed implements Source.
+func (l *LCG) Seed(seed uint64) { l.state = seed*2862933555777941757 + 3037000493 }
+
+func (l *LCG) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state
+}
+
+// Float64 implements Source.
+func (l *LCG) Float64() float64 {
+	return float64(l.next()>>11) / (1 << 53)
+}
+
+// Uint64 returns the next raw state word (corpus generator helper).
+func (l *LCG) Uint64() uint64 { return l.next() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0. The high
+// bits of the LCG state are used: the low bits of any power-of-two
+// modulus LCG are short-period.
+func (l *LCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int((l.next() >> 33) % uint64(n))
+}
+
+// Name implements Source.
+func (l *LCG) Name() string { return "lcg" }

@@ -1,0 +1,200 @@
+package slicing
+
+import (
+	"testing"
+
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/fortran"
+	"github.com/climate-rca/rca/internal/metagraph"
+)
+
+func mgFor(t *testing.T, srcs ...string) *metagraph.Metagraph {
+	t.Helper()
+	var mods []*fortran.Module
+	for _, s := range srcs {
+		ms, err := fortran.ParseFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, ms...)
+	}
+	mg, err := metagraph.Build(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mg
+}
+
+const sliceSrc = `
+module m
+  real :: a, b, c, out, unrelated, downstream
+contains
+  subroutine s()
+    b = a * 2.0
+    c = b + 1.0
+    out = c * 3.0
+    downstream = out + 1.0
+    unrelated = 42.0
+    call outfld('OUT', out)
+  end subroutine
+end module
+`
+
+func TestFromOutputsAncestorClosure(t *testing.T) {
+	mg := mgFor(t, sliceSrc)
+	s, err := FromOutputs(mg, []string{"OUT"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice = {a, b, c, out}: ancestors of out only.
+	if s.Sub.NumNodes() != 4 {
+		t.Fatalf("slice nodes = %d; want 4", s.Sub.NumNodes())
+	}
+	names := map[string]bool{}
+	for _, g := range s.NodeMap {
+		names[mg.Nodes[g].Canonical] = true
+	}
+	for _, want := range []string{"a", "b", "c", "out"} {
+		if !names[want] {
+			t.Fatalf("slice missing %s: %v", want, names)
+		}
+	}
+	if names["unrelated"] || names["downstream"] {
+		t.Fatalf("slice over-approximates: %v", names)
+	}
+	if len(s.Targets) != 1 {
+		t.Fatalf("targets = %v", s.Targets)
+	}
+}
+
+func TestFromOutputsUnknownLabel(t *testing.T) {
+	mg := mgFor(t, sliceSrc)
+	if _, err := FromOutputs(mg, []string{"NOPE"}, Options{}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestFromInternalsMultipleTargets(t *testing.T) {
+	mg := mgFor(t, sliceSrc)
+	s, err := FromInternals(mg, []string{"out", "unrelated"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union of both ancestor sets.
+	if s.Sub.NumNodes() != 5 {
+		t.Fatalf("slice nodes = %d; want 5", s.Sub.NumNodes())
+	}
+	if len(s.Targets) != 2 {
+		t.Fatalf("targets = %v", s.Targets)
+	}
+}
+
+func TestModuleFilterAndClusters(t *testing.T) {
+	mg := mgFor(t, `
+module cammod
+  real :: x, y
+contains
+  subroutine s()
+    y = x * 2.0
+    call outfld('Y', y)
+  end subroutine
+end module
+`, `
+module lndmod
+  use cammod
+  real :: z, w
+contains
+  subroutine s2()
+    z = x + 1.0
+    w = z * 2.0
+    y = w
+  end subroutine
+end module
+`)
+	s, err := FromOutputs(mg, []string{"Y"}, Options{
+		ModuleFilter: func(m string) bool { return m == "cammod" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range s.NodeMap {
+		if mg.Nodes[g].Module != "cammod" {
+			t.Fatalf("filter leaked module %s", mg.Nodes[g].Module)
+		}
+	}
+}
+
+func TestMinClusterSizeDropsResiduals(t *testing.T) {
+	mg := mgFor(t, `
+module m
+  real :: a, b, out, i1, i2
+contains
+  subroutine s()
+    b = a * 2.0
+    out = b + 1.0
+    i2 = i1 * 2.0
+    call outfld('OUT', out)
+    call outfld('I2', i2)
+  end subroutine
+end module
+`)
+	// Slice on both outputs: two weak components {a,b,out} and {i1,i2}.
+	s, err := FromOutputs(mg, []string{"OUT", "I2"}, Options{MinClusterSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d; want 3 (small cluster dropped)", s.Sub.NumNodes())
+	}
+}
+
+func TestIDTranslation(t *testing.T) {
+	mg := mgFor(t, sliceSrc)
+	s, err := FromOutputs(mg, []string{"OUT"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, s.Sub.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	gids := s.GraphIDs(all)
+	back := s.LocalIDs(gids)
+	if len(back) != len(all) {
+		t.Fatalf("roundtrip lost nodes: %v -> %v", all, back)
+	}
+	// Foreign ids are dropped.
+	if got := s.LocalIDs([]int{999999}); len(got) != 0 {
+		t.Fatalf("foreign id translated: %v", got)
+	}
+}
+
+// TestPaperScaleShape checks the slice shapes on the synthetic corpus:
+// a WSUB slice is tiny (paper: 14 nodes), a multi-variable slice is a
+// few orders larger (paper: thousands of nodes).
+func TestPaperScaleShape(t *testing.T) {
+	c := corpus.Generate(corpus.Config{AuxModules: 60, Seed: 2})
+	mods, err := c.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := metagraph.Build(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsub, err := FromOutputs(mg, []string{"WSUB"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := FromOutputs(mg, []string{"FLDS", "QRL", "TAUX", "SNOWHLND", "FLNS"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsub.Sub.NumNodes() > 25 {
+		t.Fatalf("WSUB slice = %d nodes; want tiny", wsub.Sub.NumNodes())
+	}
+	if big.Sub.NumNodes() < 10*wsub.Sub.NumNodes() {
+		t.Fatalf("multi-output slice %d not much larger than WSUB %d",
+			big.Sub.NumNodes(), wsub.Sub.NumNodes())
+	}
+}

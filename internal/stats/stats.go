@@ -1,0 +1,192 @@
+// Package stats provides the descriptive statistics and the
+// median-distance variable-selection method of Milroy et al. §3:
+// standardization by ensemble mean/std, medians and interquartile
+// ranges, IQR-overlap filtering and ranking by standardized median
+// distance.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// IQR holds the first and third quartiles of a sample.
+type IQR struct {
+	Q1, Q3 float64
+}
+
+// ComputeIQR returns the interquartile range bounds of xs.
+func ComputeIQR(xs []float64) IQR {
+	return IQR{Q1: Quantile(xs, 0.25), Q3: Quantile(xs, 0.75)}
+}
+
+// Overlaps reports whether two interquartile ranges intersect.
+func (a IQR) Overlaps(b IQR) bool {
+	return a.Q1 <= b.Q3 && b.Q1 <= a.Q3
+}
+
+// Standardize returns (xs - mean) / std elementwise, using the supplied
+// reference mean and std (the ensemble's, per the paper). A zero std
+// yields zeros to avoid NaN propagation from constant variables.
+func Standardize(xs []float64, mean, std float64) []float64 {
+	out := make([]float64, len(xs))
+	if std == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - mean) / std
+	}
+	return out
+}
+
+// VariableDistance is the result of the median-distance selection method
+// for one output variable.
+type VariableDistance struct {
+	Name string
+	// Distance is |median(exp) - median(ens)| after standardizing both
+	// samples by the ensemble mean and std.
+	Distance float64
+	// IQROverlap reports whether the standardized ensemble and
+	// experimental interquartile ranges overlap. Variables with
+	// overlapping IQRs are not considered "affected".
+	IQROverlap bool
+}
+
+// MedianDistanceRanking implements selection method 1 of §3. ens and exp
+// map variable name to the per-run sample of (global-mean) values for
+// the ensemble and the experimental set respectively. Variables whose
+// standardized IQRs do not overlap are returned ranked by descending
+// standardized median distance; overlapping variables are appended
+// afterwards (still ranked) with IQROverlap set, so callers can inspect
+// the full ordering.
+func MedianDistanceRanking(ens, exp map[string][]float64) []VariableDistance {
+	out := make([]VariableDistance, 0, len(ens))
+	for name, e := range ens {
+		x, ok := exp[name]
+		if !ok || len(e) == 0 || len(x) == 0 {
+			continue
+		}
+		m, s := Mean(e), Std(e)
+		se := Standardize(e, m, s)
+		sx := Standardize(x, m, s)
+		d := math.Abs(Median(sx) - Median(se))
+		out = append(out, VariableDistance{
+			Name:       name,
+			Distance:   d,
+			IQROverlap: ComputeIQR(se).Overlaps(ComputeIQR(sx)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Non-overlapping (affected) variables first, then by distance.
+		if out[i].IQROverlap != out[j].IQROverlap {
+			return !out[i].IQROverlap
+		}
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance > out[j].Distance
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SelectAffected returns the names of up to maxVars variables whose
+// standardized IQRs do not overlap, in descending distance order — the
+// paper's "not more than 10" working set.
+func SelectAffected(ranking []VariableDistance, maxVars int) []string {
+	var names []string
+	for _, v := range ranking {
+		if v.IQROverlap {
+			break
+		}
+		names = append(names, v.Name)
+		if len(names) == maxVars {
+			break
+		}
+	}
+	return names
+}
+
+// RMS returns the root mean square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// NormalizedRMSDiff returns RMS(a-b) / max(RMS(a), tiny): the normalized
+// root-mean-square difference KGen uses to flag variables (§6.4), with
+// the 1e-12 threshold applied by the caller.
+func NormalizedRMSDiff(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	diff := make([]float64, len(a))
+	for i := range a {
+		diff[i] = a[i] - b[i]
+	}
+	den := RMS(a)
+	if den == 0 {
+		den = 1e-300
+	}
+	return RMS(diff) / den
+}

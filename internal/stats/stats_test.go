@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std([]float64{5}) != 0 {
+		t.Fatal("Std of singleton != 0")
+	}
+	// Sample std of {2,4,4,4,5,5,7,9} = sqrt(32/7).
+	got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("Std = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v; want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile(nil) not NaN")
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestIQROverlap(t *testing.T) {
+	a := IQR{Q1: 0, Q3: 1}
+	b := IQR{Q1: 0.5, Q3: 2}
+	c := IQR{Q1: 1.5, Q3: 3}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("overlapping IQRs reported disjoint")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint IQRs reported overlapping")
+	}
+	// Touching endpoints count as overlap.
+	d := IQR{Q1: 1, Q3: 2}
+	if !a.Overlaps(d) {
+		t.Fatal("touching IQRs should overlap")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	got := Standardize([]float64{1, 2, 3}, 2, 1)
+	if got[0] != -1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("Standardize = %v", got)
+	}
+	if got := Standardize([]float64{1, 2}, 5, 0); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("zero-std should yield zeros, got %v", got)
+	}
+}
+
+func TestMedianDistanceRankingOrdersBuggiestFirst(t *testing.T) {
+	// wsub is shifted far away; cld slightly; t unchanged.
+	ens := map[string][]float64{
+		"wsub": {1.00, 1.01, 0.99, 1.02, 0.98},
+		"cld":  {0.50, 0.51, 0.49, 0.52, 0.48},
+		"t":    {280, 280.1, 279.9, 280.05, 279.95},
+	}
+	exp := map[string][]float64{
+		"wsub": {10.0, 10.1, 9.9, 10.05, 9.95},
+		"cld":  {0.56, 0.57, 0.55, 0.58, 0.54},
+		"t":    {280, 280.1, 279.9, 280.05, 279.95},
+	}
+	ranking := MedianDistanceRanking(ens, exp)
+	if ranking[0].Name != "wsub" {
+		t.Fatalf("top variable = %s", ranking[0].Name)
+	}
+	if ranking[0].IQROverlap {
+		t.Fatal("wsub IQRs should not overlap")
+	}
+	// Mirrors §6.1: the top distance dwarfs the runner-up.
+	if ranking[0].Distance < 10*ranking[1].Distance {
+		t.Fatalf("wsub distance %v not dominant over %v", ranking[0].Distance, ranking[1].Distance)
+	}
+	// Unaffected variable ranks last and overlaps.
+	last := ranking[len(ranking)-1]
+	if last.Name != "t" || !last.IQROverlap {
+		t.Fatalf("last = %+v", last)
+	}
+}
+
+func TestSelectAffected(t *testing.T) {
+	ranking := []VariableDistance{
+		{Name: "a", Distance: 9, IQROverlap: false},
+		{Name: "b", Distance: 5, IQROverlap: false},
+		{Name: "c", Distance: 1, IQROverlap: true},
+	}
+	if got := SelectAffected(ranking, 10); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("SelectAffected = %v", got)
+	}
+	if got := SelectAffected(ranking, 1); len(got) != 1 {
+		t.Fatalf("maxVars ignored: %v", got)
+	}
+}
+
+func TestMedianDistanceRankingSkipsMissing(t *testing.T) {
+	ens := map[string][]float64{"a": {1, 2, 3}, "b": {1, 2, 3}}
+	exp := map[string][]float64{"a": {4, 5, 6}}
+	ranking := MedianDistanceRanking(ens, exp)
+	if len(ranking) != 1 || ranking[0].Name != "a" {
+		t.Fatalf("ranking = %+v", ranking)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil) != 0")
+	}
+	if got := RMS([]float64{3, 4}); !almost(got, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMS = %v", got)
+	}
+}
+
+func TestNormalizedRMSDiff(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if got := NormalizedRMSDiff(a, a); got != 0 {
+		t.Fatalf("identical arrays diff = %v", got)
+	}
+	b := []float64{1 + 1e-13, 2, 3}
+	got := NormalizedRMSDiff(a, b)
+	if got <= 0 || got > 1e-12 {
+		t.Fatalf("tiny diff = %v", got)
+	}
+	if !math.IsNaN(NormalizedRMSDiff(a, []float64{1})) {
+		t.Fatal("shape mismatch should be NaN")
+	}
+}
+
+// Property: standardized data has ~zero mean and ~unit std when
+// standardized by its own moments.
+func TestStandardizeMomentsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*7 + 3
+		}
+		z := Standardize(xs, Mean(xs), Std(xs))
+		return almost(Mean(z), 0, 1e-9) && almost(Std(z), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package rca is a Go reproduction of "Making Root Cause Analysis
+// Feasible for Large Code Bases: A Solution Approach for a Climate
+// Model" (Milroy, Baker, Hammerling, Kim, Jessup, Hauser — HPDC 2019,
+// arXiv:1810.13432).
+//
+// The package exposes the complete pipeline the paper describes:
+//
+//  1. an ensemble consistency test (UF-CAM-ECT style, PCA-based) that
+//     issues the Pass/Fail verdict starting an investigation;
+//  2. affected-output-variable selection (standardized median
+//     distances and lasso logistic regression);
+//  3. compilation of (FortLite) Fortran source into a variable
+//     dependency digraph with metadata — the metagraph;
+//  4. hybrid slicing: coverage filtering plus BFS ancestor closures
+//     over canonical variable names;
+//  5. the Algorithm 5.4 iterative refinement: Girvan-Newman
+//     communities, eigenvector in-centrality, runtime sampling, and
+//     subgraph contraction, converging on the defect;
+//  6. module-level quotient-graph centrality for selective
+//     instruction (FMA/AVX2) disablement.
+//
+// Because CESM itself is 1.5M lines of unavailable Fortran, the
+// repository ships a synthetic CESM-like corpus (internal/corpus) and
+// an interpreter (internal/interp) that executes it; see DESIGN.md for
+// the substitution map. Six experiments from the paper are prewired:
+// WSUBBUG, RAND-MT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG.
+//
+// Quick start:
+//
+//	out, err := rca.RunExperiment(rca.GOFFGRATCH, rca.Setup{})
+//	fmt.Print(rca.FormatOutcome(out))
+package rca
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/climate-rca/rca/internal/core"
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/experiments"
+)
+
+// Spec names one experiment configuration (which defect is injected
+// and how the slice is restricted).
+type Spec = experiments.Spec
+
+// Setup sizes an experiment run: corpus scale, ensemble and
+// experimental set sizes, sampler kind and refinement options.
+type Setup = experiments.Setup
+
+// Outcome carries everything one experiment produces: the consistency
+// verdict, selected variables, graph/slice sizes, the refinement trace
+// and whether the defect was located.
+type Outcome = experiments.Outcome
+
+// CorpusConfig sizes the synthetic CESM-like corpus.
+type CorpusConfig = corpus.Config
+
+// Bug selects an injectable source defect.
+type Bug = corpus.Bug
+
+// Table1Row is one row of the selective-FMA-disablement study.
+type Table1Row = experiments.Table1Row
+
+// Table1Setup sizes the selective-FMA-disablement study.
+type Table1Setup = experiments.Table1Setup
+
+// The paper's experiments (§6 and supplement §8.2).
+var (
+	WSUBBUG    = experiments.WSUBBUG
+	RANDMT     = experiments.RANDMT
+	GOFFGRATCH = experiments.GOFFGRATCH
+	AVX2       = experiments.AVX2
+	RANDOMBUG  = experiments.RANDOMBUG
+	DYN3BUG    = experiments.DYN3BUG
+	AVX2Full   = experiments.AVX2Full
+	LANDBUG    = experiments.LANDBUG
+)
+
+// Injectable bugs (for custom Specs).
+const (
+	BugNone       = corpus.BugNone
+	BugWsub       = corpus.BugWsub
+	BugGoffGratch = corpus.BugGoffGratch
+	BugDyn3       = corpus.BugDyn3
+	BugRandomIdx  = corpus.BugRandomIdx
+)
+
+// DefaultCorpus returns the CI-sized corpus configuration.
+func DefaultCorpus() CorpusConfig { return corpus.Default() }
+
+// PaperScaleCorpus returns a corpus sized like the paper's 561-module
+// quotient graph.
+func PaperScaleCorpus() CorpusConfig { return corpus.PaperScale() }
+
+// RunExperiment executes the full root-cause-analysis pipeline for
+// one experiment.
+func RunExperiment(spec Spec, setup Setup) (*Outcome, error) {
+	return experiments.Run(spec, setup)
+}
+
+// RunTable1 reproduces the paper's Table 1 (selective AVX2/FMA
+// disablement failure rates).
+func RunTable1(setup Table1Setup) ([]Table1Row, error) {
+	return experiments.Table1(setup)
+}
+
+// Experiments returns the prewired specs in paper order.
+func Experiments() []Spec {
+	return []Spec{WSUBBUG, RANDMT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG}
+}
+
+// FormatOutcome renders an experiment outcome as a human-readable
+// report mirroring the quantities the paper states per experiment.
+func FormatOutcome(o *Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment       %s\n", o.Spec.Name)
+	fmt.Fprintf(&b, "UF-ECT failure   %.0f%%\n", 100*o.FailureRate)
+	if o.FirstStep != nil {
+		verdict := "inconclusive"
+		if o.FirstStep.Conclusive() {
+			verdict = "conclusive"
+		}
+		fmt.Fprintf(&b, "first-step diff  %d of %d variables differ (%s)\n",
+			len(o.FirstStep.Differing), o.FirstStep.Total, verdict)
+	}
+	fmt.Fprintf(&b, "selected outputs %s\n", strings.Join(o.SelectedOutputs, ", "))
+	fmt.Fprintf(&b, "internal vars    %s\n", strings.Join(o.Internals, ", "))
+	fmt.Fprintf(&b, "coverage filter  modules %d->%d (-%.0f%%), subprograms %d->%d (-%.0f%%)\n",
+		o.Coverage.ModulesBefore, o.Coverage.ModulesAfter, o.Coverage.ModuleReductionPct(),
+		o.Coverage.SubprogramsBefore, o.Coverage.SubprogramsAfter, o.Coverage.SubprogramReductionPct())
+	fmt.Fprintf(&b, "metagraph        %d nodes, %d edges\n", o.GraphNodes, o.GraphEdges)
+	fmt.Fprintf(&b, "induced subgraph %d nodes, %d edges\n", o.SliceNodes, o.SliceEdges)
+	if len(o.KGenFlagged) > 0 {
+		fmt.Fprintf(&b, "kgen flagged     %s\n", strings.Join(o.KGenFlagged, ", "))
+	}
+	fmt.Fprintf(&b, "bug locations    %s (in slice: %v)\n",
+		strings.Join(o.BugDisplays, ", "), o.BugInSlice)
+	for i, it := range o.Refine.Iterations {
+		fmt.Fprintf(&b, "iteration %d      %d nodes / %d edges (largest SCC %d), %d communities, sampled %d, detected %d -> %s\n",
+			i+1, it.Nodes, it.Edges, it.LargestSCC, len(it.Communities), len(it.Sampled), len(it.Detected), it.Action)
+	}
+	fmt.Fprintf(&b, "final subgraph   %d nodes\n", len(o.Refine.Final))
+	fmt.Fprintf(&b, "bug located      %v (instrumented directly: %v)\n",
+		o.BugLocated, o.Refine.BugInstrumented)
+	return b.String()
+}
+
+// FormatTable1 renders Table 1 rows like the paper's table.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Experiment                                      ECT failure rate\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-48s %3.0f%%\n", r.Config, 100*r.FailureRate)
+	}
+	return b.String()
+}
+
+// RefineOptions re-exports the Algorithm 5.4 knobs for custom setups.
+type RefineOptions = core.Options
