@@ -32,6 +32,39 @@ func benchSetup() Setup {
 	}
 }
 
+// benchSession builds a fresh Session with the benchSetup sizing.
+func benchSession() *Session {
+	return NewSession(CorpusConfig{AuxModules: 40, Seed: 2},
+		WithEnsembleSize(30), WithExpSize(8))
+}
+
+// BenchmarkPipelineSixSpecsOneShot runs the six §6 experiments as
+// independent one-shot calls (the seed API): every call regenerates
+// the corpus, re-runs the ensemble and recompiles the metagraph.
+// Compare against BenchmarkPipelineSixSpecsSession.
+func BenchmarkPipelineSixSpecsOneShot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range Experiments() {
+			if _, err := RunExperiment(spec, benchSetup()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineSixSpecsSession runs the same six experiments on
+// one Session per iteration: the corpus, the ensemble ECT fingerprint
+// and the metagraphs are generated once and shared, and RunAll fans
+// out concurrently — the compile-once, run-many speedup the Session
+// API exists for.
+func BenchmarkPipelineSixSpecsSession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSession().RunAll(Experiments()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func runSpec(b *testing.B, spec Spec, print bool) *Outcome {
 	b.Helper()
 	var out *Outcome
@@ -76,14 +109,14 @@ func BenchmarkTable2VariableSelection(b *testing.B) {
 		if i == 0 {
 			fmt.Printf("\n--- Table 2 ---\n")
 		}
-		for _, spec := range Experiments() {
-			out, err := RunExperiment(spec, benchSetup())
-			if err != nil {
-				b.Fatal(err)
-			}
-			if i == 0 {
+		outs, err := benchSession().RunAll(Experiments())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, out := range outs {
 				fmt.Printf("%-11s outputs: %v\n%-11s internal: %v\n",
-					spec.Name, out.SelectedOutputs, "", out.Internals)
+					out.Spec.Name, out.SelectedOutputs, "", out.Internals)
 			}
 		}
 	}
@@ -217,11 +250,14 @@ func BenchmarkFigure13and14Dyn3Bug(b *testing.B) { runSpec(b, DYN3BUG, true) }
 // conclusions after an extra iteration).
 func BenchmarkFigure15AVX2Unrestricted(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		restricted, err := RunExperiment(AVX2, benchSetup())
+		// One session: the two variants share the corpus, ensemble and
+		// the compiled AVX2 metagraph; only the slice differs.
+		s := benchSession()
+		restricted, err := s.Run(AVX2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		full, err := RunExperiment(AVX2Full, benchSetup())
+		full, err := s.Run(AVX2Full)
 		if err != nil {
 			b.Fatal(err)
 		}

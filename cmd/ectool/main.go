@@ -18,9 +18,8 @@ import (
 	"sort"
 	"strconv"
 
-	"github.com/climate-rca/rca/internal/corpus"
+	rca "github.com/climate-rca/rca"
 	"github.com/climate-rca/rca/internal/ect"
-	"github.com/climate-rca/rca/internal/model"
 )
 
 func main() {
@@ -56,26 +55,19 @@ func main() {
 }
 
 func generate(path string, aux int, seed uint64, members, offset int, mt, fma bool) error {
-	c := corpus.Generate(corpus.Config{AuxModules: aux, Seed: seed})
-	r, err := model.NewRunner(c)
-	if err != nil {
-		return err
-	}
-	cfg := model.RunConfig{}
-	if mt {
-		cfg.RNG = model.RNGMersenne
-	}
-	if fma {
-		cfg.FMA = func(string) bool { return true }
-	}
-	runs, err := r.ExperimentalSet(members, offset, cfg)
+	session := rca.NewSession(rca.CorpusConfig{AuxModules: aux, Seed: seed})
+	spec := rca.Spec{Name: "ECTOOL", Mersenne: mt, FMA: fma}
+	runs, err := session.ExperimentalOutputs(spec, members, offset)
 	if err != nil {
 		return err
 	}
 	return writeCSV(path, runs)
 }
 
-func writeCSV(path string, runs []ect.RunOutput) error {
+func writeCSV(path string, runs []rca.RunOutput) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("no runs to write (need -members >= 1)")
+	}
 	var vars []string
 	for v := range runs[0] {
 		vars = append(vars, v)

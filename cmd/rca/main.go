@@ -1,11 +1,14 @@
 // Command rca runs the root-cause-analysis pipeline end to end on the
 // synthetic CESM-like corpus: inject an experiment's defect, confirm
 // the consistency-test failure, select affected variables, build the
-// metagraph, slice, and iteratively refine to the defect.
+// metagraph, slice, and iteratively refine to the defect. All modes
+// share one rca.Session, so the corpus, the ensemble fingerprint and
+// the metagraph are generated once per invocation.
 //
 // Usage:
 //
 //	rca -experiment GOFFGRATCH -aux 100 -ensemble 40 -runs 10
+//	rca -all
 //	rca -table1 -aux 100 -topk 20
 //	rca -list
 package main
@@ -23,6 +26,7 @@ func main() {
 	var (
 		name     = flag.String("experiment", "GOFFGRATCH", "experiment name (see -list)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		all      = flag.Bool("all", false, "run all six §6 experiments concurrently")
 		aux      = flag.Int("aux", 100, "auxiliary module count (corpus scale)")
 		seed     = flag.Uint64("seed", 1, "corpus structure seed")
 		ensemble = flag.Int("ensemble", 40, "ensemble size")
@@ -36,65 +40,106 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments (§6):")
 		for _, s := range rca.Experiments() {
-			fmt.Printf("%-12s bug=%v mersenne=%v fma=%v\n", s.Name, s.Bug, s.Mersenne, s.FMA)
+			fmt.Printf("  %-12s bug=%v mersenne=%v fma=%v\n", s.Name, s.Bug, s.Mersenne, s.FMA)
+		}
+		fmt.Println("supplement (§8.2, Figure 15):")
+		for _, s := range rca.SupplementExperiments() {
+			fmt.Printf("  %-12s bug=%v mersenne=%v fma=%v\n", s.Name, s.Bug, s.Mersenne, s.FMA)
 		}
 		return
+	}
+
+	// Validate the sampler up front: a typo should fail here, not ten
+	// minutes into an ensemble run.
+	var strategy rca.Sampler
+	switch *sampler {
+	case "value":
+		strategy = rca.ValueSampling(0)
+		if *graded {
+			strategy = rca.GradedSampling()
+		}
+	case "reach":
+		if *graded {
+			fmt.Fprintln(os.Stderr, "rca: -magnitudes requires -sampler value")
+			os.Exit(2)
+		}
+		strategy = rca.ReachSampling()
+	default:
+		fmt.Fprintf(os.Stderr, "rca: invalid -sampler %q (valid: value, reach)\n", *sampler)
+		os.Exit(2)
 	}
 
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = *aux
 	ccfg.Seed = *seed
 
-	if *table1 {
-		rows, err := rca.RunTable1(rca.Table1Setup{
-			Corpus:       ccfg,
+	session := rca.NewSession(ccfg,
+		rca.WithEnsembleSize(*ensemble),
+		rca.WithExpSize(*runs),
+		rca.WithSampler(strategy))
+
+	switch {
+	case *table1:
+		rows, err := session.Table1(rca.Table1Setup{
 			EnsembleSize: *ensemble,
 			ExpSize:      *runs,
 			TopK:         *topk,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rca:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Print(rca.FormatTable1(rows))
-		return
-	}
 
-	var spec rca.Spec
-	found := false
-	for _, s := range rca.Experiments() {
-		if strings.EqualFold(s.Name, *name) {
-			spec, found = s, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "rca: unknown experiment %q (try -list)\n", *name)
-		os.Exit(2)
-	}
-	out, err := rca.RunExperiment(spec, rca.Setup{
-		Corpus:       ccfg,
-		EnsembleSize: *ensemble,
-		ExpSize:      *runs,
-		SamplerKind:  *sampler,
-		Magnitudes:   *graded,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rca:", err)
-		os.Exit(1)
-	}
-	fmt.Print(rca.FormatOutcome(out))
-	if *dot != "" {
-		f, err := os.Create(*dot)
+	case *all:
+		outs, err := session.RunAll(rca.Experiments())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rca:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		defer f.Close()
-		if err := out.WriteSliceDot(f); err != nil {
-			fmt.Fprintln(os.Stderr, "rca:", err)
-			os.Exit(1)
+		located := 0
+		for _, out := range outs {
+			fmt.Println("================================================================")
+			fmt.Print(rca.FormatOutcome(out))
+			if out.BugLocated {
+				located++
+			}
 		}
-		fmt.Printf("wrote %s\n", *dot)
+		fmt.Println("================================================================")
+		fmt.Printf("located %d/%d injected defects\n", located, len(outs))
+
+	default:
+		var spec rca.Spec
+		found := false
+		for _, s := range rca.AllExperiments() {
+			if strings.EqualFold(s.Name, *name) {
+				spec, found = s, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "rca: unknown experiment %q (try -list)\n", *name)
+			os.Exit(2)
+		}
+		out, err := session.Run(spec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rca.FormatOutcome(out))
+		if *dot != "" {
+			f, err := os.Create(*dot)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := out.WriteSliceDot(f); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *dot)
+		}
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rca:", err)
+	os.Exit(1)
 }

@@ -1,8 +1,9 @@
 // Bughunt: walk every prewired experiment of the paper (§6 and the
 // supplement) and report, for each, the consistency-test verdict,
 // variable selection, slice size, and the Algorithm 5.4 refinement
-// trace. This is the per-experiment narrative the paper's Figures 5-8
-// and 12-14 illustrate, as text.
+// trace. One Session serves all eight investigations: the corpus is
+// generated once, the 30-member ensemble fingerprint is computed once,
+// and RunAll fans out concurrently over the shared cached state.
 package main
 
 import (
@@ -13,20 +14,20 @@ import (
 )
 
 func main() {
-	setup := rca.Setup{
-		Corpus:       rca.DefaultCorpus(),
-		EnsembleSize: 30,
-		ExpSize:      8,
-	}
-	setup.Corpus.AuxModules = 40
+	ccfg := rca.DefaultCorpus()
+	ccfg.AuxModules = 40
 
+	session := rca.NewSession(ccfg,
+		rca.WithEnsembleSize(30),
+		rca.WithExpSize(8))
+
+	specs := rca.AllExperiments()
+	outs, err := session.RunAll(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	located := 0
-	specs := rca.Experiments()
-	for _, spec := range specs {
-		out, err := rca.RunExperiment(spec, setup)
-		if err != nil {
-			log.Fatalf("%s: %v", spec.Name, err)
-		}
+	for _, out := range outs {
 		fmt.Println("================================================================")
 		fmt.Print(rca.FormatOutcome(out))
 		if out.BugLocated {

@@ -1,26 +1,22 @@
-// Modulerank: build the full metagraph of the synthetic corpus, form
-// the module quotient graph (the graph minor of §6.5), and print the
-// modules ranked by eigenvector centrality — the ordering that drives
-// the selective-FMA-disablement result. Also prints the digraph's
-// degree distribution summary (Figure 4's power-law shape).
+// Modulerank: build the full metagraph of the synthetic corpus via a
+// Session, form the module quotient graph (the graph minor of §6.5),
+// and print the modules ranked by eigenvector centrality — the
+// ordering that drives the selective-FMA-disablement result. Also
+// prints the digraph's degree distribution summary (Figure 4's
+// power-law shape).
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"github.com/climate-rca/rca/internal/corpus"
+	rca "github.com/climate-rca/rca"
 	"github.com/climate-rca/rca/internal/experiments"
-	"github.com/climate-rca/rca/internal/metagraph"
 )
 
 func main() {
-	c := corpus.Generate(corpus.Config{AuxModules: 100, Seed: 1})
-	mods, err := c.Parse()
-	if err != nil {
-		log.Fatal(err)
-	}
-	mg, err := metagraph.Build(mods)
+	session := rca.NewSession(rca.CorpusConfig{AuxModules: 100, Seed: 1})
+	mg, err := session.FullMetagraph()
 	if err != nil {
 		log.Fatal(err)
 	}

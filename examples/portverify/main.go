@@ -4,7 +4,9 @@
 // variables responsible; and the Table 1 study shows that disabling
 // FMA on only the most central modules (by quotient-graph eigenvector
 // centrality) restores statistical consistency, while disabling it on
-// the largest or random modules does not.
+// the largest or random modules does not. Both steps run on one
+// Session, so the corpus, the ensemble fingerprint and the metagraph
+// are shared between the experiment and the Table 1 study.
 package main
 
 import (
@@ -18,21 +20,19 @@ func main() {
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = 40
 
+	session := rca.NewSession(ccfg,
+		rca.WithEnsembleSize(30),
+		rca.WithExpSize(8))
+
 	fmt.Println("== AVX2 experiment (KGen flagging + refinement) ==")
-	out, err := rca.RunExperiment(rca.AVX2, rca.Setup{
-		Corpus:       ccfg,
-		EnsembleSize: 30,
-		ExpSize:      8,
-	})
+	out, err := session.Run(rca.AVX2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(rca.FormatOutcome(out))
 
 	fmt.Println("\n== Table 1: selective AVX2 disablement ==")
-	rows, err := rca.RunTable1(rca.Table1Setup{
-		Corpus:        ccfg,
-		EnsembleSize:  30,
+	rows, err := session.Table1(rca.Table1Setup{
 		ExpSize:       8,
 		TopK:          8,
 		RandomSamples: 4,

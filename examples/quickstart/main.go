@@ -1,9 +1,10 @@
-// Quickstart: run one complete root-cause analysis with the public
-// API. A coefficient typo is injected into the Goff-Gratch saturation
-// vapor pressure function (the paper's §6.3 GOFFGRATCH experiment);
-// the pipeline confirms the consistency-test failure, selects the
-// affected output variables, slices the dependency graph, and refines
-// to the defect.
+// Quickstart: run one complete root-cause analysis with the staged
+// Session API. A coefficient typo is injected into the Goff-Gratch
+// saturation vapor pressure function (the paper's §6.3 GOFFGRATCH
+// experiment); the session confirms the consistency-test failure,
+// selects the affected output variables, slices the dependency graph,
+// and refines to the defect — each stage reusing the cached corpus
+// and ensemble fingerprint.
 package main
 
 import (
@@ -14,14 +15,22 @@ import (
 )
 
 func main() {
-	setup := rca.Setup{
-		Corpus:       rca.DefaultCorpus(),
-		EnsembleSize: 30,
-		ExpSize:      8,
-	}
-	setup.Corpus.AuxModules = 40 // keep the quickstart snappy
+	ccfg := rca.DefaultCorpus()
+	ccfg.AuxModules = 40 // keep the quickstart snappy
 
-	out, err := rca.RunExperiment(rca.GOFFGRATCH, setup)
+	session := rca.NewSession(ccfg,
+		rca.WithEnsembleSize(30),
+		rca.WithExpSize(8))
+
+	// Stage 0: the UF-ECT verdict that starts an investigation.
+	v, err := session.Verdict(rca.GOFFGRATCH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("UF-ECT failure rate: %.0f%% — investigating\n\n", 100*v.FailureRate)
+
+	// The remaining stages compose; Run reuses the verdict above.
+	out, err := session.Run(rca.GOFFGRATCH)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module github.com/climate-rca/rca
+
+go 1.21

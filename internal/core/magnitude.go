@@ -24,7 +24,7 @@ func RefineWithMagnitudes(sub *graph.Digraph, nodeMap []int, graded GradedSample
 	st := &state{cur: sub, curMap: nodeMap}
 
 	wrapped := func(nodes []int) []int {
-		diffs := graded(nodes)
+		diffs := graded.Differences(nodes)
 		var detected []int
 		for _, d := range diffs {
 			if d.Magnitude > 1e-12 {
@@ -77,5 +77,5 @@ func RefineWithMagnitudes(sub *graph.Digraph, nodeMap []int, graded GradedSample
 		}
 		return detected
 	}
-	return Refine(sub, nodeMap, syncSampler, bugNodes, opt)
+	return Refine(sub, nodeMap, SamplerFunc(syncSampler), bugNodes, opt)
 }

@@ -12,7 +12,7 @@ func TestMagnitudeSamplerRanksByDifference(t *testing.T) {
 	ens := map[string][]float64{"a": {1}, "b": {1}, "c": {1}}
 	exp := map[string][]float64{"a": {1.5}, "b": {1.01}, "c": {1}}
 	g := MagnitudeSampler(keyOf, ens, exp)
-	diffs := g([]int{1, 2, 3})
+	diffs := g.Differences([]int{1, 2, 3})
 	if len(diffs) != 3 {
 		t.Fatalf("diffs = %+v", diffs)
 	}
@@ -30,7 +30,7 @@ func TestValueSamplerDelegatesToMagnitudes(t *testing.T) {
 	ens := map[string][]float64{"a": {1}, "b": {1}}
 	exp := map[string][]float64{"a": {2}, "b": {1}}
 	s := ValueSampler(keyOf, ens, exp, 1e-12)
-	got := s([]int{1, 2})
+	got := s.Sample([]int{1, 2})
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("detected = %v", got)
 	}
@@ -76,7 +76,7 @@ func TestRefineWithMagnitudesBreaksFixedPoint(t *testing.T) {
 	}
 
 	// Plain Refine hits the fixed point.
-	plain := Refine(g.Clone(), ids, func(nodes []int) []int { return nodes },
+	plain := Refine(g.Clone(), ids, SamplerFunc(func(nodes []int) []int { return nodes }),
 		[]int{7}, Options{SmallEnough: 2, MaxIterations: 6})
 	hitFixed := false
 	for _, it := range plain.Iterations {
@@ -89,7 +89,7 @@ func TestRefineWithMagnitudesBreaksFixedPoint(t *testing.T) {
 	}
 
 	// Magnitude-aware refinement converges on the defect.
-	res := RefineWithMagnitudes(g, ids, graded, []int{7},
+	res := RefineWithMagnitudes(g, ids, GradedSamplerFunc(graded), []int{7},
 		Options{SmallEnough: 2, MaxIterations: 8})
 	if !res.Converged {
 		t.Fatalf("magnitude refinement did not converge: %+v", res.Iterations)

@@ -29,7 +29,7 @@ func TestRefineReportsLargestSCC(t *testing.T) {
 	g, ids := twoCommunityGraph(n / 2)
 	// Add a back edge creating a cycle in cluster 1.
 	g.AddEdge(10, 0)
-	res := Refine(g, ids, func([]int) []int { return nil }, nil,
+	res := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
 		Options{SmallEnough: 4, MaxIterations: 1})
 	if len(res.Iterations) == 0 {
 		t.Fatal("no iterations")

@@ -17,13 +17,6 @@ import (
 	"github.com/climate-rca/rca/internal/graph"
 )
 
-// Sampler reports which of the instrumented nodes take different
-// values between the ensemble and the experimental run. Node ids are
-// in the caller's (metagraph) id space. Implementations:
-// ReachabilitySampler (the paper's simulation) and the value-based
-// sampler built on interpreter snapshots (internal/experiments).
-type Sampler func(nodes []int) []int
-
 // Options tunes Algorithm 5.4.
 type Options struct {
 	// TopM is the number of most-central nodes instrumented per
@@ -184,7 +177,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 		it.Sampled = translate(sampledLocal, curMap)
 
 		// Step 7: instrument (simulated or value-based sampling).
-		detectedGlobal := sampler(it.Sampled)
+		detectedGlobal := sampler.Sample(it.Sampled)
 		it.Detected = detectedGlobal
 
 		// Step 9 success: a bug node was instrumented.
@@ -298,7 +291,7 @@ func ReachabilitySampler(g *graph.Digraph, bugNodes []int) Sampler {
 	for _, d := range g.Descendants(bugNodes) {
 		influenced[d] = true
 	}
-	return func(nodes []int) []int {
+	return SamplerFunc(func(nodes []int) []int {
 		var out []int
 		for _, n := range nodes {
 			if influenced[n] {
@@ -306,5 +299,5 @@ func ReachabilitySampler(g *graph.Digraph, bugNodes []int) Sampler {
 			}
 		}
 		return out
-	}
+	})
 }

@@ -62,7 +62,7 @@ func TestRefineFindsBugViaSampling(t *testing.T) {
 
 func TestRefineSmallEnoughStopsImmediately(t *testing.T) {
 	g, ids := twoCommunityGraph(5) // 10 nodes < default SmallEnough
-	res := Refine(g, ids, func([]int) []int { return nil }, nil, Options{})
+	res := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil, Options{})
 	if len(res.Iterations) != 1 || res.Iterations[0].Action != ActionSmallEnough {
 		t.Fatalf("iterations = %+v", res.Iterations)
 	}
@@ -103,7 +103,7 @@ func TestRefineNoCommunitiesOnSparseGraph(t *testing.T) {
 	for i := range ids {
 		ids[i] = i
 	}
-	res := Refine(g, ids, func([]int) []int { return nil }, nil,
+	res := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
 		Options{SmallEnough: 5, MinCommunity: 3})
 	last := res.Iterations[len(res.Iterations)-1]
 	if last.Action != ActionNoCommunities {
@@ -137,12 +137,12 @@ func TestReachabilitySampler(t *testing.T) {
 	g.AddEdge(0, 1)
 	g.AddEdge(1, 2)
 	s := ReachabilitySampler(g, []int{0})
-	got := s([]int{1, 2, 3})
+	got := s.Sample([]int{1, 2, 3})
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("detected = %v", got)
 	}
 	// The bug node itself is "influenced".
-	if got := s([]int{0}); len(got) != 1 {
+	if got := s.Sample([]int{0}); len(got) != 1 {
 		t.Fatalf("bug node not detected: %v", got)
 	}
 }
@@ -161,7 +161,7 @@ func TestValueSampler(t *testing.T) {
 		"m::s::c": {1, 2, 3},     // shape mismatch -> skipped
 	}
 	s := ValueSampler(keyOf, ens, exp, 1e-12)
-	got := s([]int{1, 2, 3, 4})
+	got := s.Sample([]int{1, 2, 3, 4})
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("detected = %v", got)
 	}

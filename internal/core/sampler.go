@@ -6,6 +6,22 @@ import (
 	"github.com/climate-rca/rca/internal/stats"
 )
 
+// Sampler is the step-7 instrumentation abstraction of Algorithm 5.4:
+// given the instrumented node set it reports which nodes take
+// different values between the ensemble and the experimental run. Node
+// ids are in the caller's (metagraph) id space. Implementations:
+// ReachabilitySampler (the paper's simulation) and ValueSampler
+// (interpreter snapshots).
+type Sampler interface {
+	Sample(nodes []int) []int
+}
+
+// SamplerFunc adapts a plain function to the Sampler interface.
+type SamplerFunc func(nodes []int) []int
+
+// Sample calls f.
+func (f SamplerFunc) Sample(nodes []int) []int { return f(nodes) }
+
 // ValueSampler builds a Sampler from actual runtime snapshots: a node
 // registers a difference when its captured values in the experimental
 // run differ from the ensemble run beyond tol (normalized RMS). keyOf
@@ -23,15 +39,15 @@ func ValueSampler(keyOf func(node int) string, ens, exp map[string][]float64, to
 	if tol <= 0 {
 		tol = 1e-12
 	}
-	return func(nodes []int) []int {
+	return SamplerFunc(func(nodes []int) []int {
 		var out []int
-		for _, d := range m(nodes) {
+		for _, d := range m.Differences(nodes) {
 			if d.Magnitude > tol {
 				out = append(out, d.Node)
 			}
 		}
 		return out
-	}
+	})
 }
 
 // Difference is a sampled node's normalized-RMS deviation between the
@@ -46,12 +62,20 @@ type Difference struct {
 // non-refining fixed points ("rank the differences obtained by
 // sampling and further refine the subgraph based on the nodes with
 // the greatest differences", §6.3 future work).
-type GradedSampler func(nodes []int) []Difference
+type GradedSampler interface {
+	Differences(nodes []int) []Difference
+}
+
+// GradedSamplerFunc adapts a plain function to GradedSampler.
+type GradedSamplerFunc func(nodes []int) []Difference
+
+// Differences calls f.
+func (f GradedSamplerFunc) Differences(nodes []int) []Difference { return f(nodes) }
 
 // MagnitudeSampler builds a GradedSampler from runtime snapshots.
 // Nodes without comparable snapshots are omitted.
 func MagnitudeSampler(keyOf func(node int) string, ens, exp map[string][]float64) GradedSampler {
-	return func(nodes []int) []Difference {
+	return GradedSamplerFunc(func(nodes []int) []Difference {
 		var out []Difference
 		for _, n := range nodes {
 			k := keyOf(n)
@@ -69,5 +93,5 @@ func MagnitudeSampler(keyOf func(node int) string, ens, exp map[string][]float64
 			return out[i].Node < out[j].Node
 		})
 		return out
-	}
+	})
 }

@@ -5,6 +5,12 @@
 // coverage-filter and compile the source into the metagraph, slice,
 // and run the Algorithm 5.4 refinement with either simulated
 // (reachability) or real (value-snapshot) sampling.
+//
+// The pipeline is exposed two ways: the staged, compile-once Session
+// (see session.go) that caches the corpus, the ensemble ECT
+// fingerprint and the compiled metagraphs across experiments, and the
+// original one-shot Run/Table1 functions, now thin wrappers over a
+// single-use Session.
 package experiments
 
 import (
@@ -57,19 +63,29 @@ var (
 	LANDBUG = Spec{Name: "LANDBUG", Bug: corpus.BugLand, CAMOnly: false, SelectK: 2}
 )
 
-// Setup sizes the harness.
+// Setup sizes the one-shot harness.
 type Setup struct {
 	Corpus       corpus.Config
 	EnsembleSize int // default 40
 	ExpSize      int // default 10
+	// Sampler selects the step-7 instrumentation strategy; nil maps
+	// the deprecated SamplerKind/Magnitudes fields (default
+	// ValueSampling).
+	Sampler Sampler
 	// SamplerKind selects step-7 instrumentation: "value" (real
-	// runtime snapshots) or "reach" (the paper's reachability
-	// simulation). Default "value".
+	// runtime snapshots), "reach" (the paper's reachability
+	// simulation) or "graded" (magnitude-ranked). Default "value".
+	// Unrecognized kinds are rejected with an error (they used to fall
+	// back to value sampling silently).
+	//
+	// Deprecated: set the typed Sampler field instead.
 	SamplerKind string
 	// Magnitudes enables the §6.3 future-work extension: graded
 	// sampling that contracts to the greatest-difference node when
 	// plain contraction would hit a fixed point. Requires value
 	// sampling.
+	//
+	// Deprecated: set Sampler to GradedSampling() instead.
 	Magnitudes bool
 	Refine     core.Options
 }
@@ -130,144 +146,31 @@ type Outcome struct {
 }
 
 // Run executes the full pipeline for one experiment.
+//
+// Deprecated: Run builds a single-use Session per call, regenerating
+// the corpus, the ensemble and the metagraph every time. Use
+// NewSession and Session.Run (or Session.RunAll) to amortize that work
+// across experiments.
 func Run(spec Spec, setup Setup) (*Outcome, error) {
+	s, err := sessionForSetup(setup)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(spec)
+}
+
+// sessionForSetup translates the legacy Setup into a Session.
+func sessionForSetup(setup Setup) (*Session, error) {
 	setup = setup.withDefaults()
-	out := &Outcome{Spec: spec}
-
-	// Control and experimental model builds.
-	controlCfg := setup.Corpus
-	controlCfg.Bug = corpus.BugNone
-	controlCorpus := corpus.Generate(controlCfg)
-	control, err := model.NewRunner(controlCorpus)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: control: %w", err)
-	}
-	expCfg := setup.Corpus
-	expCfg.Bug = spec.Bug
-	expCorpus := corpus.Generate(expCfg)
-	exper, err := model.NewRunner(expCorpus)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: experiment: %w", err)
-	}
-	runCfg := model.RunConfig{}
-	expRunCfg := model.RunConfig{}
-	if spec.Mersenne {
-		expRunCfg.RNG = model.RNGMersenne
-	}
-	if spec.FMA {
-		expRunCfg.FMA = func(string) bool { return true }
-	}
-
-	// Step 0: UF-ECT verdict.
-	ens, err := control.Ensemble(setup.EnsembleSize, runCfg)
+	sampler, err := SamplerForSetup(setup)
 	if err != nil {
 		return nil, err
 	}
-	expRuns, err := exper.ExperimentalSet(setup.ExpSize, 1000, expRunCfg)
-	if err != nil {
-		return nil, err
-	}
-	test, err := ect.NewTest(ens, ect.Config{})
-	if err != nil {
-		return nil, err
-	}
-	out.FailureRate = test.FailureRate(expRuns)
-
-	// Step 1 (§3): variable selection. The direct first-step
-	// comparison is tried first (the paper's recommendation); when it
-	// is inconclusive — the common case, since changes propagate to
-	// most variables — the distribution methods take over.
-	out.MedianRanking = stats.MedianDistanceRanking(group(ens), group(expRuns))
-	out.FirstStep, _ = FirstStepDiff(control, exper, expRunCfg, 1e-12)
-	if out.FirstStep != nil && out.FirstStep.Conclusive() {
-		out.SelectedOutputs = out.FirstStep.Differing
-		if max := spec.SelectK; max > 0 && len(out.SelectedOutputs) > max {
-			out.SelectedOutputs = out.SelectedOutputs[:max]
-		}
-	} else {
-		out.SelectedOutputs, err = selectOutputs(spec, test.Vars(), ens, expRuns, out.MedianRanking)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Steps 2-3 (§4): coverage filter + metagraph from the
-	// experimental source tree.
-	tr := coverage.NewTrace()
-	if _, err := exper.Run(model.RunConfig{StopAfter: 2, Trace: tr.Record,
-		RNG: expRunCfg.RNG, FMA: expRunCfg.FMA}); err != nil {
-		return nil, err
-	}
-	filtered, rep := coverage.Filter(exper.Modules, tr)
-	out.Coverage = rep
-	mg, err := metagraph.Build(filtered)
-	if err != nil {
-		return nil, err
-	}
-	out.Metagraph = mg
-	out.GraphNodes = mg.G.NumNodes()
-	out.GraphEdges = mg.G.NumEdges()
-
-	// Map selected outputs to internal names (§5.1 instrumentation).
-	for _, lbl := range out.SelectedOutputs {
-		if internal, ok := mg.OutputMap[lbl]; ok {
-			out.Internals = append(out.Internals, internal)
-		}
-	}
-	if len(out.Internals) == 0 {
-		return nil, fmt.Errorf("experiments: no internal mappings for %v", out.SelectedOutputs)
-	}
-
-	// Step 4: induce the slice.
-	opt := slicing.Options{MinClusterSize: 4}
-	if spec.CAMOnly {
-		opt.ModuleFilter = func(m string) bool { return expCorpus.IsCAM(m) }
-	}
-	sl, err := slicing.FromInternals(mg, out.Internals, opt)
-	if err != nil {
-		return nil, err
-	}
-	out.Slice = sl
-	out.SliceNodes = sl.Sub.NumNodes()
-	out.SliceEdges = sl.Sub.NumEdges()
-
-	// Known bug locations.
-	out.BugNodes, out.KGenFlagged, err = bugNodes(spec, mg, control, exper, expRunCfg)
-	if err != nil {
-		return nil, err
-	}
-	for _, b := range out.BugNodes {
-		out.BugDisplays = append(out.BugDisplays, mg.Nodes[b].Display)
-	}
-	out.BugInSlice = len(sl.LocalIDs(out.BugNodes)) > 0
-
-	// Steps 5-9: iterative refinement.
-	if setup.Magnitudes && setup.SamplerKind == "value" {
-		graded, err := buildGradedSampler(mg, control, exper, runCfg, expRunCfg)
-		if err != nil {
-			return nil, err
-		}
-		out.Refine = core.RefineWithMagnitudes(sl.Sub, sl.NodeMap, graded, out.BugNodes, setup.Refine)
-	} else {
-		sampler, err := buildSampler(setup, mg, control, exper, runCfg, expRunCfg, out.BugNodes)
-		if err != nil {
-			return nil, err
-		}
-		out.Refine = core.Refine(sl.Sub, sl.NodeMap, sampler, out.BugNodes, setup.Refine)
-	}
-	out.BugLocated = out.Refine.BugInstrumented
-	if !out.BugLocated {
-		bugSet := map[int]bool{}
-		for _, b := range out.BugNodes {
-			bugSet[b] = true
-		}
-		for _, n := range out.Refine.Final {
-			if bugSet[n] {
-				out.BugLocated = true
-			}
-		}
-	}
-	return out, nil
+	return NewSession(setup.Corpus,
+		WithEnsembleSize(setup.EnsembleSize),
+		WithExpSize(setup.ExpSize),
+		WithSampler(sampler),
+		WithRefineOptions(setup.Refine)), nil
 }
 
 // group transposes runs into per-variable samples.
@@ -416,53 +319,6 @@ func bugNodes(spec Spec, mg *metagraph.Metagraph, control, exper *model.Runner,
 		return ids, names, nil
 	}
 	return nil, nil, nil
-}
-
-// buildSampler constructs the step-7 instrumentation.
-func buildSampler(setup Setup, mg *metagraph.Metagraph, control, exper *model.Runner,
-	runCfg, expRunCfg model.RunConfig, bugs []int) (core.Sampler, error) {
-	if setup.SamplerKind == "reach" {
-		return core.ReachabilitySampler(mg.G, bugs), nil
-	}
-	// Value sampling: same perturbation member on both builds, full
-	// variable snapshots, compare per node key.
-	ctl := runCfg
-	ctl.Member = 1000
-	ctl.SnapshotAll = true
-	cres, err := control.Run(ctl)
-	if err != nil {
-		return nil, err
-	}
-	ex := expRunCfg
-	ex.Member = 1000
-	ex.SnapshotAll = true
-	eres, err := exper.Run(ex)
-	if err != nil {
-		return nil, err
-	}
-	keyOf := func(n int) string { return mg.Nodes[n].Key }
-	return core.ValueSampler(keyOf, cres.Machine.AllValues, eres.Machine.AllValues, 1e-12), nil
-}
-
-// buildGradedSampler is the magnitude-aware variant of buildSampler.
-func buildGradedSampler(mg *metagraph.Metagraph, control, exper *model.Runner,
-	runCfg, expRunCfg model.RunConfig) (core.GradedSampler, error) {
-	ctl := runCfg
-	ctl.Member = 1000
-	ctl.SnapshotAll = true
-	cres, err := control.Run(ctl)
-	if err != nil {
-		return nil, err
-	}
-	ex := expRunCfg
-	ex.Member = 1000
-	ex.SnapshotAll = true
-	eres, err := exper.Run(ex)
-	if err != nil {
-		return nil, err
-	}
-	keyOf := func(n int) string { return mg.Nodes[n].Key }
-	return core.MagnitudeSampler(keyOf, cres.Machine.AllValues, eres.Machine.AllValues), nil
 }
 
 // WriteSliceDot renders the induced subgraph with the first

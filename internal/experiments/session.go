@@ -1,0 +1,482 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/climate-rca/rca/internal/core"
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/metagraph"
+	"github.com/climate-rca/rca/internal/model"
+)
+
+// Session is the compile-once, run-many entry point to the pipeline.
+// Constructed once per corpus configuration, it lazily generates and
+// caches everything the experiments share — the parsed corpus builds,
+// the control-ensemble ECT fingerprint, the coverage-filtered
+// metagraphs — and exposes the pipeline as typed stages (Verdict,
+// SelectVariables, Compile, Slice, Refine) plus Run/RunAll/Table1
+// composing them. Every cache is built at most once (sync.Once per
+// entry) and all cached state is immutable after construction, so one
+// Session may be shared by concurrent goroutines; RunAll fans out over
+// it with bounded workers.
+type Session struct {
+	cfg      corpus.Config
+	ensemble int
+	expSize  int
+	sampler  Sampler
+	refine   core.Options
+	ctx      context.Context
+	workers  int
+
+	mu         sync.Mutex
+	fp         cell[*Fingerprint]
+	fullMG     cell[*metagraph.Metagraph]
+	runners    map[corpus.Bug]*cell[*model.Runner]
+	compiled   map[buildKey]*cell[*Compiled]
+	verdicts   map[Spec]*cell[*Verdict]
+	selections map[Spec]*cell[*Selection]
+	slices     map[Spec]*cell[*Sliced]
+	refined    map[Spec]*cell[*core.Result]
+}
+
+// buildKey identifies the stage state two specs may share: the
+// compiled metagraph depends only on the injected bug and the
+// configuration changes that alter the coverage trace.
+type buildKey struct {
+	bug      corpus.Bug
+	mersenne bool
+	fma      bool
+}
+
+// cell is a build-at-most-once slot; concurrent getters block on the
+// first builder and then share its result.
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *cell[T]) get(build func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = build() })
+	return c.val, c.err
+}
+
+// keyedCell returns (creating if needed) the cell for key k. Only the
+// map access is serialized; building happens outside the lock.
+func keyedCell[K comparable, T any](mu *sync.Mutex, m map[K]*cell[T], k K) *cell[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	c, ok := m[k]
+	if !ok {
+		c = &cell[T]{}
+		m[k] = c
+	}
+	return c
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithEnsembleSize sets the control-ensemble size (default 40).
+func WithEnsembleSize(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.ensemble = n
+		}
+	}
+}
+
+// WithExpSize sets the experimental-set size (default 10).
+func WithExpSize(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.expSize = n
+		}
+	}
+}
+
+// WithSampler sets the step-7 instrumentation strategy (default
+// ValueSampling).
+func WithSampler(sampler Sampler) Option {
+	return func(s *Session) {
+		if sampler != nil {
+			s.sampler = sampler
+		}
+	}
+}
+
+// WithRefineOptions sets the Algorithm 5.4 knobs.
+func WithRefineOptions(o core.Options) Option {
+	return func(s *Session) { s.refine = o }
+}
+
+// WithContext attaches a cancellation context. Each stage checks it
+// on entry, so cancellation aborts between stages; a stage already
+// integrating the model (e.g. an in-flight ensemble) runs to
+// completion first.
+func WithContext(ctx context.Context) Option {
+	return func(s *Session) {
+		if ctx != nil {
+			s.ctx = ctx
+		}
+	}
+}
+
+// WithWorkers bounds RunAll's concurrent fan-out (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// NewSession builds a Session for one corpus configuration. Nothing is
+// generated until a stage needs it. The configuration's Bug field is
+// ignored: the control build always uses BugNone and each Spec selects
+// its own defect.
+func NewSession(cfg corpus.Config, opts ...Option) *Session {
+	s := &Session{
+		cfg:        cfg,
+		ensemble:   40,
+		expSize:    10,
+		sampler:    ValueSampling(0),
+		ctx:        context.Background(),
+		runners:    make(map[corpus.Bug]*cell[*model.Runner]),
+		compiled:   make(map[buildKey]*cell[*Compiled]),
+		verdicts:   make(map[Spec]*cell[*Verdict]),
+		selections: make(map[Spec]*cell[*Selection]),
+		slices:     make(map[Spec]*cell[*Sliced]),
+		refined:    make(map[Spec]*cell[*core.Result]),
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// runner returns the cached model build for one injected bug,
+// generating and parsing the corpus on first use.
+func (s *Session) runner(bug corpus.Bug) (*model.Runner, error) {
+	c := keyedCell(&s.mu, s.runners, bug)
+	return c.get(func() (*model.Runner, error) {
+		cfg := s.cfg
+		cfg.Bug = bug
+		return model.NewRunner(corpus.Generate(cfg))
+	})
+}
+
+// Builds returns the control and experimental model builds for a spec.
+// Runners are cached per injected bug (RAND-MT and AVX2 share the
+// clean build with the control).
+func (s *Session) Builds(spec Spec) (*Builds, error) {
+	control, err := s.runner(corpus.BugNone)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: control: %w", err)
+	}
+	exper, err := s.runner(spec.Bug)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: experiment: %w", err)
+	}
+	b := &Builds{Control: control, Exper: exper}
+	if spec.Mersenne {
+		b.ExpRunCfg.RNG = model.RNGMersenne
+	}
+	if spec.FMA {
+		b.ExpRunCfg.FMA = func(string) bool { return true }
+	}
+	return b, nil
+}
+
+// Fingerprint returns the cached control ensemble and its ECT PCA
+// fingerprint — the spec-independent state every Verdict shares.
+func (s *Session) Fingerprint() (*Fingerprint, error) {
+	return s.fp.get(func() (*Fingerprint, error) {
+		control, err := s.runner(corpus.BugNone)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: control: %w", err)
+		}
+		ens, err := control.Ensemble(s.ensemble, model.RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		test, err := ect.NewTest(ens, ect.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &Fingerprint{Ensemble: ens, Test: test}, nil
+	})
+}
+
+// Verdict runs the spec's experimental set against the cached ensemble
+// fingerprint and returns the UF-ECT failure rate (pipeline step 0).
+func (s *Session) Verdict(spec Spec) (*Verdict, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.verdicts, spec)
+	return c.get(func() (*Verdict, error) {
+		fp, err := s.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Builds(spec)
+		if err != nil {
+			return nil, err
+		}
+		return verdictStage(spec, fp, b, s.expSize)
+	})
+}
+
+// SelectVariables applies the §3 variable selection to the spec's
+// verdict (first-step comparison, then lasso/median distances).
+func (s *Session) SelectVariables(spec Spec) (*Selection, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.selections, spec)
+	return c.get(func() (*Selection, error) {
+		v, err := s.Verdict(spec)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := s.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Builds(spec)
+		if err != nil {
+			return nil, err
+		}
+		return selectStage(spec, fp, b, v)
+	})
+}
+
+// Compile returns the coverage-filtered metagraph for the spec's
+// source configuration. The result is cached per (bug, PRNG, FMA)
+// tuple, so specs sharing a source tree (e.g. AVX2 and AVX2-FULL)
+// compile once.
+func (s *Session) Compile(spec Spec) (*Compiled, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.compiled, buildKey{spec.Bug, spec.Mersenne, spec.FMA})
+	return c.get(func() (*Compiled, error) {
+		b, err := s.Builds(spec)
+		if err != nil {
+			return nil, err
+		}
+		return compileStage(b)
+	})
+}
+
+// Slice induces the hybrid slice for the spec from its compiled
+// metagraph and selected variables (§5.1-5.3).
+func (s *Session) Slice(spec Spec) (*Sliced, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.slices, spec)
+	return c.get(func() (*Sliced, error) {
+		sel, err := s.SelectVariables(spec)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := s.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Builds(spec)
+		if err != nil {
+			return nil, err
+		}
+		return sliceStage(spec, b, comp, sel)
+	})
+}
+
+// Refine runs the Algorithm 5.4 iterative refinement over the spec's
+// slice with the session's sampler strategy.
+func (s *Session) Refine(spec Spec) (*core.Result, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.refined, spec)
+	return c.get(func() (*core.Result, error) {
+		sl, err := s.Slice(spec)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := s.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Builds(spec)
+		if err != nil {
+			return nil, err
+		}
+		return refineStage(b, comp, sl, s.sampler, s.refine)
+	})
+}
+
+// Run composes the stages end to end for one experiment. Stage results
+// are cached, so repeated runs (and stage calls before or after) reuse
+// all shared work.
+func (s *Session) Run(spec Spec) (*Outcome, error) {
+	v, err := s.Verdict(spec)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := s.SelectVariables(spec)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := s.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := s.Slice(spec)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := s.Refine(spec)
+	if err != nil {
+		return nil, err
+	}
+	return assembleOutcome(spec, v, sel, comp, sl, ref), nil
+}
+
+// RunAll runs every spec concurrently over the shared cached state
+// with bounded worker goroutines, returning outcomes in spec order.
+// The ensemble fingerprint is built once up front so workers start
+// from warm shared state.
+func (s *Session) RunAll(specs []Spec) ([]*Outcome, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if _, err := s.Fingerprint(); err != nil {
+		return nil, err
+	}
+	outs := make([]*Outcome, len(specs))
+	errs := make([]error, len(specs))
+	workers := s.workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				outs[i], errs[i] = s.Run(specs[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specs[i].Name, err)
+		}
+	}
+	return outs, nil
+}
+
+// FullMetagraph compiles (once) the unfiltered metagraph of the clean
+// corpus — the full variable digraph behind Figure 4 and the §6.5
+// module quotient graph.
+func (s *Session) FullMetagraph() (*metagraph.Metagraph, error) {
+	return s.fullMG.get(func() (*metagraph.Metagraph, error) {
+		control, err := s.runner(corpus.BugNone)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: control: %w", err)
+		}
+		return metagraph.Build(control.Modules)
+	})
+}
+
+// EnsembleOutputs returns the cached control-ensemble outputs.
+func (s *Session) EnsembleOutputs() ([]ect.RunOutput, error) {
+	fp, err := s.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	return fp.Ensemble, nil
+}
+
+// ExperimentalOutputs integrates n experimental members (perturbation
+// seeds offset..offset+n-1) under the spec's configuration, reusing
+// the cached corpus builds.
+func (s *Session) ExperimentalOutputs(spec Spec, n, offset int) ([]ect.RunOutput, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := s.Builds(spec)
+	if err != nil {
+		return nil, err
+	}
+	return b.Exper.ExperimentalSet(n, offset, b.ExpRunCfg)
+}
+
+// Table1 reproduces the paper's Table 1 selective-FMA study over the
+// session's cached state: the clean build, the ensemble fingerprint
+// (when the sizes agree) and the full metagraph are all reused.
+// setup.Corpus is ignored — the session's corpus configuration
+// applies; a zero EnsembleSize inherits the session's.
+func (s *Session) Table1(setup Table1Setup) ([]Table1Row, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if setup.EnsembleSize == 0 {
+		setup.EnsembleSize = s.ensemble
+	}
+	setup = setup.withDefaults()
+
+	runner, err := s.runner(corpus.BugNone)
+	if err != nil {
+		return nil, err
+	}
+	var test *ect.Test
+	if setup.EnsembleSize == s.ensemble {
+		fp, err := s.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		test = fp.Test
+	} else {
+		ens, err := runner.Ensemble(setup.EnsembleSize, model.RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		test, err = ect.NewTest(ens, ect.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	mg, err := s.FullMetagraph()
+	if err != nil {
+		return nil, err
+	}
+	return table1Rows(runner, test, mg, setup)
+}

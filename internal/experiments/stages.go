@@ -1,0 +1,213 @@
+// The pipeline's typed stages. experiments.Run used to be one
+// monolithic function; each paper step is now a stage function with
+// typed inputs and outputs so a Session can cache and recombine them:
+//
+//	Builds      — control + experimental model builds (corpus parse)
+//	Fingerprint — control ensemble + its ECT PCA fingerprint
+//	Verdict     — experimental set + UF-ECT failure rate      (step 0)
+//	Selection   — affected output variables                   (§3)
+//	Compiled    — coverage filter + metagraph                 (§4)
+//	Sliced      — internal names, induced subgraph, bug sites (§5.1-5.3)
+//	core.Result — Algorithm 5.4 refinement trace              (§5.4)
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/climate-rca/rca/internal/core"
+	"github.com/climate-rca/rca/internal/coverage"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/metagraph"
+	"github.com/climate-rca/rca/internal/model"
+	"github.com/climate-rca/rca/internal/slicing"
+	"github.com/climate-rca/rca/internal/stats"
+)
+
+// Builds pairs the control and experimental model builds for one spec.
+// The runners cache the parsed corpus; RunCfg/ExpRunCfg carry the
+// spec's configuration changes (Mersenne PRNG swap, FMA enablement).
+type Builds struct {
+	Control, Exper    *model.Runner
+	RunCfg, ExpRunCfg model.RunConfig
+}
+
+// Fingerprint is the cached ensemble state every experiment shares:
+// the control ensemble outputs and the ECT PCA fingerprint fitted to
+// them (the accept/reject machinery of §2.1).
+type Fingerprint struct {
+	Ensemble []ect.RunOutput
+	Test     *ect.Test
+}
+
+// Verdict is the stage-0 result: the experimental set and its UF-ECT
+// failure rate — the Pass/Fail verdict that starts an investigation.
+type Verdict struct {
+	Spec        Spec
+	FailureRate float64
+	ExpRuns     []ect.RunOutput
+}
+
+// Selection is the §3 result: the affected output variables, the
+// median-distance ranking, and the first-time-step comparison.
+type Selection struct {
+	Outputs       []string
+	MedianRanking []stats.VariableDistance
+	FirstStep     *FirstStepResult
+}
+
+// Compiled is the §4 result: the dynamic coverage filter report and
+// the metagraph compiled from the filtered experimental source tree.
+type Compiled struct {
+	Coverage  coverage.Report
+	Metagraph *metagraph.Metagraph
+}
+
+// Sliced is the §5.1-5.3 result: internal canonical names for the
+// selected outputs, the induced subgraph, and the known defect sites.
+type Sliced struct {
+	Internals   []string
+	Slice       *slicing.Slice
+	BugNodes    []int
+	BugDisplays []string
+	KGenFlagged []string
+	BugInSlice  bool
+}
+
+// verdictStage runs the experimental set and scores it against the
+// ensemble fingerprint.
+func verdictStage(spec Spec, fp *Fingerprint, b *Builds, expSize int) (*Verdict, error) {
+	runs, err := b.Exper.ExperimentalSet(expSize, 1000, b.ExpRunCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Verdict{Spec: spec, FailureRate: fp.Test.FailureRate(runs), ExpRuns: runs}, nil
+}
+
+// selectStage applies §3: the direct first-step comparison is tried
+// first (the paper's recommendation); when it is inconclusive — the
+// common case, since changes propagate to most variables — the
+// distribution methods (lasso, median distances) take over.
+func selectStage(spec Spec, fp *Fingerprint, b *Builds, v *Verdict) (*Selection, error) {
+	sel := &Selection{}
+	sel.MedianRanking = stats.MedianDistanceRanking(group(fp.Ensemble), group(v.ExpRuns))
+	sel.FirstStep, _ = FirstStepDiff(b.Control, b.Exper, b.ExpRunCfg, 1e-12)
+	if sel.FirstStep != nil && sel.FirstStep.Conclusive() {
+		sel.Outputs = sel.FirstStep.Differing
+		if max := spec.SelectK; max > 0 && len(sel.Outputs) > max {
+			sel.Outputs = sel.Outputs[:max]
+		}
+		return sel, nil
+	}
+	var err error
+	sel.Outputs, err = selectOutputs(spec, fp.Test.Vars(), fp.Ensemble, v.ExpRuns, sel.MedianRanking)
+	if err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// compileStage runs the two-step coverage trace (§2.1) on the
+// experimental build, filters the source tree, and compiles the
+// metagraph.
+func compileStage(b *Builds) (*Compiled, error) {
+	tr := coverage.NewTrace()
+	if _, err := b.Exper.Run(model.RunConfig{StopAfter: 2, Trace: tr.Record,
+		RNG: b.ExpRunCfg.RNG, FMA: b.ExpRunCfg.FMA}); err != nil {
+		return nil, err
+	}
+	filtered, rep := coverage.Filter(b.Exper.Modules, tr)
+	mg, err := metagraph.Build(filtered)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Coverage: rep, Metagraph: mg}, nil
+}
+
+// sliceStage maps selected outputs to internal canonical names (§5.1),
+// induces the hybrid slice (step 4), and locates the known defect
+// nodes for the success check.
+func sliceStage(spec Spec, b *Builds, comp *Compiled, sel *Selection) (*Sliced, error) {
+	mg := comp.Metagraph
+	out := &Sliced{}
+	for _, lbl := range sel.Outputs {
+		if internal, ok := mg.OutputMap[lbl]; ok {
+			out.Internals = append(out.Internals, internal)
+		}
+	}
+	if len(out.Internals) == 0 {
+		return nil, fmt.Errorf("experiments: no internal mappings for %v", sel.Outputs)
+	}
+
+	opt := slicing.Options{MinClusterSize: 4}
+	if spec.CAMOnly {
+		c := b.Exper.Corpus
+		opt.ModuleFilter = func(m string) bool { return c.IsCAM(m) }
+	}
+	sl, err := slicing.FromInternals(mg, out.Internals, opt)
+	if err != nil {
+		return nil, err
+	}
+	out.Slice = sl
+
+	out.BugNodes, out.KGenFlagged, err = bugNodes(spec, mg, b.Control, b.Exper, b.ExpRunCfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, bn := range out.BugNodes {
+		out.BugDisplays = append(out.BugDisplays, mg.Nodes[bn].Display)
+	}
+	out.BugInSlice = len(sl.LocalIDs(out.BugNodes)) > 0
+	return out, nil
+}
+
+// refineStage runs Algorithm 5.4 with the chosen sampler strategy.
+func refineStage(b *Builds, comp *Compiled, sl *Sliced, sampler Sampler, opts core.Options) (*core.Result, error) {
+	return sampler.Refine(RefineInput{
+		Metagraph: comp.Metagraph,
+		Slice:     sl.Slice,
+		Control:   b.Control,
+		Exper:     b.Exper,
+		RunCfg:    b.RunCfg,
+		ExpRunCfg: b.ExpRunCfg,
+		BugNodes:  sl.BugNodes,
+		Options:   opts,
+	})
+}
+
+// assembleOutcome flattens the stage results into the monolithic
+// Outcome the one-shot API has always returned.
+func assembleOutcome(spec Spec, v *Verdict, sel *Selection, comp *Compiled, sl *Sliced, ref *core.Result) *Outcome {
+	out := &Outcome{
+		Spec:            spec,
+		FailureRate:     v.FailureRate,
+		SelectedOutputs: sel.Outputs,
+		Internals:       sl.Internals,
+		MedianRanking:   sel.MedianRanking,
+		FirstStep:       sel.FirstStep,
+		Coverage:        comp.Coverage,
+		GraphNodes:      comp.Metagraph.G.NumNodes(),
+		GraphEdges:      comp.Metagraph.G.NumEdges(),
+		SliceNodes:      sl.Slice.Sub.NumNodes(),
+		SliceEdges:      sl.Slice.Sub.NumEdges(),
+		BugNodes:        sl.BugNodes,
+		BugDisplays:     sl.BugDisplays,
+		KGenFlagged:     sl.KGenFlagged,
+		Refine:          ref,
+		BugInSlice:      sl.BugInSlice,
+		Metagraph:       comp.Metagraph,
+		Slice:           sl.Slice,
+	}
+	out.BugLocated = ref.BugInstrumented
+	if !out.BugLocated {
+		bugSet := map[int]bool{}
+		for _, b := range sl.BugNodes {
+			bugSet[b] = true
+		}
+		for _, n := range ref.Final {
+			if bugSet[n] {
+				out.BugLocated = true
+			}
+		}
+	}
+	return out
+}

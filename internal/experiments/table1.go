@@ -83,6 +83,10 @@ func ModuleCentralityRanking(mg *metagraph.Metagraph) []string {
 // Table1 reproduces the selective AVX2 disablement study: the ensemble
 // is generated with FMA disabled everywhere; experimental sets enable
 // FMA everywhere except the modules in each strategy's disable set.
+//
+// Deprecated: Table1 regenerates the corpus, the ensemble and the
+// metagraph on every call. Use Session.Table1 to share them with the
+// rest of a session's pipeline.
 func Table1(setup Table1Setup) ([]Table1Row, error) {
 	setup = setup.withDefaults()
 	c := corpus.Generate(setup.Corpus)
@@ -98,15 +102,19 @@ func Table1(setup Table1Setup) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	mods, err := c.Parse()
+	mg, err := metagraph.Build(runner.Modules)
 	if err != nil {
 		return nil, err
 	}
-	mg, err := metagraph.Build(mods)
-	if err != nil {
-		return nil, err
-	}
+	return table1Rows(runner, test, mg, setup)
+}
 
+// table1Rows runs the five disablement strategies against
+// already-built state (a clean runner, a fitted ECT test and the full
+// metagraph) — shared by the one-shot Table1 and Session.Table1.
+func table1Rows(runner *model.Runner, test *ect.Test, mg *metagraph.Metagraph,
+	setup Table1Setup) ([]Table1Row, error) {
+	c := runner.Corpus
 	rate := func(disabled map[string]bool) (float64, error) {
 		fma := func(module string) bool { return !disabled[module] }
 		runs, err := runner.ExperimentalSet(setup.ExpSize, 1000, model.RunConfig{FMA: fma})

@@ -25,10 +25,17 @@
 // the substitution map. Six experiments from the paper are prewired:
 // WSUBBUG, RAND-MT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG.
 //
-// Quick start:
+// Quick start (one experiment):
 //
 //	out, err := rca.RunExperiment(rca.GOFFGRATCH, rca.Setup{})
 //	fmt.Print(rca.FormatOutcome(out))
+//
+// Running several investigations against the same corpus? Build a
+// Session once — it caches the corpus, the 40-member ensemble's ECT
+// fingerprint and the compiled metagraphs — and fan out over it:
+//
+//	session := rca.NewSession(rca.DefaultCorpus())
+//	outs, err := session.RunAll(rca.Experiments())
 package rca
 
 import (
@@ -95,19 +102,39 @@ func PaperScaleCorpus() CorpusConfig { return corpus.PaperScale() }
 
 // RunExperiment executes the full root-cause-analysis pipeline for
 // one experiment.
+//
+// Deprecated: RunExperiment builds a single-use Session per call,
+// regenerating the corpus, the ensemble and the metagraph every time.
+// Use NewSession and Session.Run (or Session.RunAll) to amortize that
+// work across experiments.
 func RunExperiment(spec Spec, setup Setup) (*Outcome, error) {
 	return experiments.Run(spec, setup)
 }
 
 // RunTable1 reproduces the paper's Table 1 (selective AVX2/FMA
 // disablement failure rates).
+//
+// Deprecated: use Session.Table1, which shares the ensemble and the
+// metagraph with the rest of the session's pipeline.
 func RunTable1(setup Table1Setup) ([]Table1Row, error) {
 	return experiments.Table1(setup)
 }
 
-// Experiments returns the prewired specs in paper order.
+// Experiments returns the prewired §6 specs in paper order.
 func Experiments() []Spec {
 	return []Spec{WSUBBUG, RANDMT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG}
+}
+
+// SupplementExperiments returns the supplement specs (Figure 15's
+// unrestricted AVX2 slice and the land-module defect).
+func SupplementExperiments() []Spec {
+	return []Spec{AVX2Full, LANDBUG}
+}
+
+// AllExperiments returns every prewired spec: the six §6 experiments
+// followed by the supplement.
+func AllExperiments() []Spec {
+	return append(Experiments(), SupplementExperiments()...)
 }
 
 // FormatOutcome renders an experiment outcome as a human-readable

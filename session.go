@@ -1,0 +1,84 @@
+package rca
+
+import (
+	"context"
+
+	"github.com/climate-rca/rca/internal/core"
+	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/experiments"
+)
+
+// Session is the compile-once, run-many entry point: constructed once
+// per corpus configuration, it caches the generated corpus, the
+// control-ensemble ECT fingerprint and the compiled metagraphs, and
+// exposes the pipeline as typed stages plus Run/RunAll/Table1
+// composing them. A Session is safe for concurrent use.
+//
+//	session := rca.NewSession(rca.DefaultCorpus(),
+//		rca.WithEnsembleSize(40),
+//		rca.WithSampler(rca.ValueSampling(0)))
+//	outs, err := session.RunAll(rca.Experiments())
+type Session = experiments.Session
+
+// Option configures a Session (functional options for NewSession).
+type Option = experiments.Option
+
+// Sampler is the step-7 instrumentation strategy used by the
+// refinement loop; see ValueSampling, ReachSampling, GradedSampling.
+type Sampler = experiments.Sampler
+
+// Stage payloads of the Session API.
+type (
+	// Verdict is the UF-ECT consistency verdict (pipeline step 0).
+	Verdict = experiments.Verdict
+	// Selection is the §3 affected-variable selection.
+	Selection = experiments.Selection
+	// Compiled is the coverage-filtered metagraph (§4).
+	Compiled = experiments.Compiled
+	// Sliced is the induced subgraph plus known defect sites (§5).
+	Sliced = experiments.Sliced
+	// RefineResult is the Algorithm 5.4 refinement trace.
+	RefineResult = core.Result
+	// RunOutput maps output labels to step-9 global means.
+	RunOutput = ect.RunOutput
+)
+
+// NewSession builds a Session for one corpus configuration. Nothing is
+// generated until a stage needs it; every expensive artifact (corpus,
+// ensemble, metagraph) is then cached for the session's lifetime.
+func NewSession(cfg CorpusConfig, opts ...Option) *Session {
+	return experiments.NewSession(cfg, opts...)
+}
+
+// WithEnsembleSize sets the control-ensemble size (default 40, the
+// paper's choice).
+func WithEnsembleSize(n int) Option { return experiments.WithEnsembleSize(n) }
+
+// WithExpSize sets the experimental-set size (default 10).
+func WithExpSize(n int) Option { return experiments.WithExpSize(n) }
+
+// WithSampler selects the step-7 instrumentation strategy (default
+// ValueSampling).
+func WithSampler(s Sampler) Option { return experiments.WithSampler(s) }
+
+// WithRefineOptions sets the Algorithm 5.4 knobs.
+func WithRefineOptions(o RefineOptions) Option { return experiments.WithRefineOptions(o) }
+
+// WithContext attaches a cancellation context; cancellation aborts
+// between stages (an in-flight stage runs to completion first).
+func WithContext(ctx context.Context) Option { return experiments.WithContext(ctx) }
+
+// WithWorkers bounds RunAll's concurrent fan-out (default GOMAXPROCS).
+func WithWorkers(n int) Option { return experiments.WithWorkers(n) }
+
+// ValueSampling instruments refinement nodes with real runtime value
+// snapshots; tol <= 0 selects the default normalized-RMS tolerance.
+func ValueSampling(tol float64) Sampler { return experiments.ValueSampling(tol) }
+
+// ReachSampling simulates instrumentation by bug-node reachability —
+// the paper's §5.2 simulation.
+func ReachSampling() Sampler { return experiments.ReachSampling() }
+
+// GradedSampling ranks sampled differences by magnitude and contracts
+// to the greatest difference at fixed points (§6.3 extension).
+func GradedSampling() Sampler { return experiments.GradedSampling() }

@@ -1,0 +1,217 @@
+package rca
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// outcomeSummary collects every deterministic quantity an Outcome
+// carries, for whole-pipeline equality checks.
+type outcomeSummary struct {
+	Name            string
+	FailureRate     float64
+	SelectedOutputs []string
+	Internals       []string
+	GraphNodes      int
+	GraphEdges      int
+	SliceNodes      int
+	SliceEdges      int
+	BugNodes        []int
+	BugDisplays     []string
+	KGenFlagged     []string
+	BugInSlice      bool
+	BugLocated      bool
+	Iterations      int
+	Actions         []string
+	Final           []int
+}
+
+func summarize(o *Outcome) outcomeSummary {
+	s := outcomeSummary{
+		Name:            o.Spec.Name,
+		FailureRate:     o.FailureRate,
+		SelectedOutputs: o.SelectedOutputs,
+		Internals:       o.Internals,
+		GraphNodes:      o.GraphNodes,
+		GraphEdges:      o.GraphEdges,
+		SliceNodes:      o.SliceNodes,
+		SliceEdges:      o.SliceEdges,
+		BugNodes:        o.BugNodes,
+		BugDisplays:     o.BugDisplays,
+		KGenFlagged:     o.KGenFlagged,
+		BugInSlice:      o.BugInSlice,
+		BugLocated:      o.BugLocated,
+		Iterations:      len(o.Refine.Iterations),
+		Final:           o.Refine.Final,
+	}
+	for _, it := range o.Refine.Iterations {
+		s.Actions = append(s.Actions, string(it.Action))
+	}
+	return s
+}
+
+// TestSessionMatchesRunExperiment asserts the staged Session pipeline
+// is observationally identical to the one-shot seed API for all six §6
+// experiments: sharing the cached corpus, ensemble fingerprint and
+// metagraphs must not change a single outcome quantity.
+func TestSessionMatchesRunExperiment(t *testing.T) {
+	cfg := CorpusConfig{AuxModules: 30, Seed: 2}
+	setup := Setup{Corpus: cfg, EnsembleSize: 24, ExpSize: 6}
+	session := NewSession(cfg, WithEnsembleSize(24), WithExpSize(6))
+	for _, spec := range Experiments() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want, err := RunExperiment(spec, setup)
+			if err != nil {
+				t.Fatalf("one-shot: %v", err)
+			}
+			got, err := session.Run(spec)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			if !reflect.DeepEqual(summarize(got), summarize(want)) {
+				t.Fatalf("session outcome diverges from one-shot:\nsession: %+v\none-shot: %+v",
+					summarize(got), summarize(want))
+			}
+		})
+	}
+}
+
+// TestSessionRunAllConcurrent proves the cached corpus, ensemble and
+// metagraphs are safe to share across RunAll's worker goroutines (run
+// under -race in CI) and that the fan-out returns the same outcomes a
+// sequential composition does.
+func TestSessionRunAllConcurrent(t *testing.T) {
+	cfg := CorpusConfig{AuxModules: 30, Seed: 2}
+	specs := Experiments()
+
+	concurrent := NewSession(cfg, WithEnsembleSize(20), WithExpSize(5), WithWorkers(len(specs)))
+	outs, err := concurrent.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(specs) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(specs))
+	}
+	sequential := NewSession(cfg, WithEnsembleSize(20), WithExpSize(5))
+	for i, spec := range specs {
+		if outs[i] == nil || outs[i].Spec.Name != spec.Name {
+			t.Fatalf("outcome %d = %+v, want %s", i, outs[i], spec.Name)
+		}
+		want, err := sequential.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(summarize(outs[i]), summarize(want)) {
+			t.Fatalf("%s: concurrent outcome diverges:\nconcurrent: %+v\nsequential: %+v",
+				spec.Name, summarize(outs[i]), summarize(want))
+		}
+	}
+}
+
+// TestSessionStagesCompose exercises the typed stages individually and
+// checks they agree with the composed Run.
+func TestSessionStagesCompose(t *testing.T) {
+	session := NewSession(CorpusConfig{AuxModules: 30, Seed: 2},
+		WithEnsembleSize(20), WithExpSize(5))
+	spec := WSUBBUG
+
+	v, err := session.Verdict(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FailureRate < 0.8 {
+		t.Fatalf("failure rate = %v", v.FailureRate)
+	}
+	sel, err := session.SelectVariables(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Outputs) == 0 {
+		t.Fatal("no outputs selected")
+	}
+	comp, err := session.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Metagraph.G.NumNodes() == 0 {
+		t.Fatal("empty metagraph")
+	}
+	sl, err := session.Slice(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sl.BugInSlice {
+		t.Fatal("bug not in slice")
+	}
+	ref, err := session.Refine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := session.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FailureRate != v.FailureRate || out.Refine != ref ||
+		out.Metagraph != comp.Metagraph || out.Slice != sl.Slice {
+		t.Fatal("Run did not reuse the cached stage results")
+	}
+	if !out.BugLocated {
+		t.Fatal("bug not located")
+	}
+}
+
+// TestSessionContextCancellation: a cancelled context aborts stages.
+func TestSessionContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	session := NewSession(CorpusConfig{AuxModules: 30, Seed: 2}, WithContext(ctx))
+	if _, err := session.Run(WSUBBUG); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+// TestSessionTable1 shares the session's ensemble and metagraph with
+// the selective-FMA study.
+func TestSessionTable1(t *testing.T) {
+	session := NewSession(CorpusConfig{AuxModules: 25, Seed: 2},
+		WithEnsembleSize(20), WithExpSize(4))
+	rows, err := session.Table1(Table1Setup{ExpSize: 3, TopK: 5, RandomSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Enabled-everywhere must fail far more often than
+	// disabled-everywhere (the Table 1 shape).
+	if rows[0].FailureRate < rows[len(rows)-1].FailureRate {
+		t.Fatalf("table shape wrong: %+v", rows)
+	}
+}
+
+// TestRunExperimentRejectsUnknownSampler: the stringly-typed kind now
+// fails loudly instead of silently running the value sampler.
+func TestRunExperimentRejectsUnknownSampler(t *testing.T) {
+	setup := Setup{Corpus: CorpusConfig{AuxModules: 25, Seed: 2}, SamplerKind: "bogus"}
+	if _, err := RunExperiment(WSUBBUG, setup); err == nil {
+		t.Fatal("expected unknown-sampler error")
+	}
+}
+
+func TestAllExperimentsIncludesSupplement(t *testing.T) {
+	all := AllExperiments()
+	if len(all) != 8 {
+		t.Fatalf("all experiments = %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, s := range all {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"AVX2-FULL", "LANDBUG"} {
+		if !names[want] {
+			t.Fatalf("missing supplement spec %s", want)
+		}
+	}
+}
