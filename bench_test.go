@@ -13,6 +13,7 @@ package rca
 // reproduction target.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -59,13 +60,13 @@ func BenchmarkPipelineSixSpecsOneShot(b *testing.B) {
 // API exists for.
 func BenchmarkPipelineSixSpecsSession(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := benchSession().RunAll(Experiments()); err != nil {
+		if _, err := benchSession().RunAll(context.Background(), Experiments()); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func runSpec(b *testing.B, spec Spec, print bool) *Outcome {
+func runSpec(b *testing.B, spec Scenario, print bool) *Outcome {
 	b.Helper()
 	var out *Outcome
 	var err error
@@ -75,7 +76,7 @@ func runSpec(b *testing.B, spec Spec, print bool) *Outcome {
 			b.Fatal(err)
 		}
 		if i == 0 && print {
-			fmt.Printf("\n--- %s ---\n%s", spec.Name, FormatOutcome(out))
+			fmt.Printf("\n--- %s ---\n%s", spec.Name(), FormatOutcome(out))
 		}
 	}
 	return out
@@ -109,14 +110,14 @@ func BenchmarkTable2VariableSelection(b *testing.B) {
 		if i == 0 {
 			fmt.Printf("\n--- Table 2 ---\n")
 		}
-		outs, err := benchSession().RunAll(Experiments())
+		outs, err := benchSession().RunAll(context.Background(), Experiments())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			for _, out := range outs {
 				fmt.Printf("%-11s outputs: %v\n%-11s internal: %v\n",
-					out.Spec.Name, out.SelectedOutputs, "", out.Internals)
+					out.Name, out.SelectedOutputs, "", out.Internals)
 			}
 		}
 	}
@@ -253,11 +254,11 @@ func BenchmarkFigure15AVX2Unrestricted(b *testing.B) {
 		// One session: the two variants share the corpus, ensemble and
 		// the compiled AVX2 metagraph; only the slice differs.
 		s := benchSession()
-		restricted, err := s.Run(AVX2)
+		restricted, err := s.Run(context.Background(), AVX2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		full, err := s.Run(AVX2Full)
+		full, err := s.Run(context.Background(), AVX2Full)
 		if err != nil {
 			b.Fatal(err)
 		}

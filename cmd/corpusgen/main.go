@@ -1,60 +1,98 @@
 // Command corpusgen emits the synthetic CESM-like FortLite source tree
-// to a directory, optionally with one of the paper's defects injected.
+// to a directory — clean, with one of the paper's prewired defects, or
+// with arbitrary composed injections. It rides the Session/Scenario
+// API, so the emitted tree is byte-identical to what the pipeline's
+// experimental build interprets and compiles.
 //
 // Usage:
 //
-//	corpusgen -out ./cesm-src -aux 540 -bug GOFFGRATCH
+//	corpusgen -out ./cesm-src -aux 540
+//	corpusgen -out ./cesm-src -bug GOFFGRATCH
+//	corpusgen -out ./cesm-src -inject 'micro_mg_tend.ratio*=1.0001' -inject 'aero_run.wsub:0.20=>2.00'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
-	"github.com/climate-rca/rca/internal/corpus"
+	rca "github.com/climate-rca/rca"
 )
 
+type injectFlags []string
+
+func (f *injectFlags) String() string     { return strings.Join(*f, "; ") }
+func (f *injectFlags) Set(s string) error { *f = append(*f, s); return nil }
+
 func main() {
+	var injects injectFlags
 	var (
 		out  = flag.String("out", "corpus-src", "output directory")
 		aux  = flag.Int("aux", 100, "auxiliary module count")
 		seed = flag.Uint64("seed", 1, "structure seed")
-		bug  = flag.String("bug", "NONE", "bug to inject: NONE|WSUBBUG|GOFFGRATCH|DYN3BUG|RANDOMBUG")
+		bug  = flag.String("bug", "NONE", "prewired defect: NONE|WSUBBUG|GOFFGRATCH|DYN3BUG|RANDOMBUG|LANDBUG")
 	)
+	flag.Var(&injects, "inject",
+		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | param:NAME=V")
 	flag.Parse()
 
-	var b corpus.Bug
+	var injs []rca.Injection
 	switch strings.ToUpper(*bug) {
 	case "NONE":
-		b = corpus.BugNone
 	case "WSUBBUG":
-		b = corpus.BugWsub
+		injs = append(injs, rca.WsubDefect())
 	case "GOFFGRATCH":
-		b = corpus.BugGoffGratch
+		injs = append(injs, rca.GoffGratchDefect())
 	case "DYN3BUG":
-		b = corpus.BugDyn3
+		injs = append(injs, rca.Dyn3Defect())
 	case "RANDOMBUG":
-		b = corpus.BugRandomIdx
+		injs = append(injs, rca.RandomIdxDefect())
+	case "LANDBUG":
+		injs = append(injs, rca.LandDefect())
 	default:
 		fmt.Fprintf(os.Stderr, "corpusgen: unknown bug %q\n", *bug)
 		os.Exit(2)
 	}
+	for _, s := range injects {
+		inj, err := rca.ParseInjection(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(2)
+		}
+		injs = append(injs, inj)
+	}
+	sc := rca.NewScenario("corpusgen", rca.ScenarioOptions{}, injs...)
 
-	c := corpus.Generate(corpus.Config{AuxModules: *aux, Seed: *seed, Bug: b})
+	session := rca.NewSession(rca.CorpusConfig{AuxModules: *aux, Seed: *seed})
+	files, err := session.Sources(context.Background(), sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "corpusgen:", err)
 		os.Exit(1)
 	}
 	var lines int
-	for _, f := range c.Files {
+	for _, f := range files {
 		if err := os.WriteFile(filepath.Join(*out, f.Name), []byte(f.Source), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "corpusgen:", err)
 			os.Exit(1)
 		}
 		lines += strings.Count(f.Source, "\n")
 	}
-	fmt.Printf("corpusgen: wrote %d files (%d lines) to %s (bug=%s)\n",
-		len(c.Files), lines, *out, b)
+	var ids []string
+	for _, inj := range sc.Injections() {
+		ids = append(ids, inj.ID())
+	}
+	desc := "clean"
+	if len(ids) > 0 {
+		desc = strings.Join(ids, " + ")
+	}
+	fmt.Printf("corpusgen: wrote %d files (%d lines) to %s (%s)\n",
+		len(files), lines, *out, desc)
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -56,8 +57,15 @@ func main() {
 
 func generate(path string, aux int, seed uint64, members, offset int, mt, fma bool) error {
 	session := rca.NewSession(rca.CorpusConfig{AuxModules: aux, Seed: seed})
-	spec := rca.Spec{Name: "ECTOOL", Mersenne: mt, FMA: fma}
-	runs, err := session.ExperimentalOutputs(spec, members, offset)
+	var injs []rca.Injection
+	if mt {
+		injs = append(injs, rca.MersennePRNG())
+	}
+	if fma {
+		injs = append(injs, rca.EnableFMA())
+	}
+	sc := rca.NewScenario("ECTOOL", rca.ScenarioOptions{}, injs...)
+	runs, err := session.ExperimentalOutputs(context.Background(), sc, members, offset)
 	if err != nil {
 		return err
 	}

@@ -1,30 +1,47 @@
 // Command rca runs the root-cause-analysis pipeline end to end on the
-// synthetic CESM-like corpus: inject an experiment's defect, confirm
+// synthetic CESM-like corpus: inject a scenario's defects, confirm
 // the consistency-test failure, select affected variables, build the
 // metagraph, slice, and iteratively refine to the defect. All modes
 // share one rca.Session, so the corpus, the ensemble fingerprint and
-// the metagraph are generated once per invocation.
+// the metagraph are generated once per invocation. Ctrl-C cancels the
+// run cleanly between pipeline checkpoints.
 //
 // Usage:
 //
 //	rca -experiment GOFFGRATCH -aux 100 -ensemble 40 -runs 10
 //	rca -all
+//	rca -inject 'micro_mg_tend.ratio*=1.0001' -name RATIO
+//	rca -inject 'aero_run.wsub:0.20=>2.00' -inject prng=mt -name WSUB+MT
+//	rca -scenario twobugs.json
 //	rca -table1 -aux 100 -topk 20
 //	rca -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	rca "github.com/climate-rca/rca"
 )
 
+// injectFlags collects repeated -inject values.
+type injectFlags []string
+
+func (f *injectFlags) String() string     { return strings.Join(*f, "; ") }
+func (f *injectFlags) Set(s string) error { *f = append(*f, s); return nil }
+
 func main() {
+	var injects injectFlags
 	var (
-		name     = flag.String("experiment", "GOFFGRATCH", "experiment name (see -list)")
+		name     = flag.String("experiment", "", "prewired experiment name (see -list)")
+		scName   = flag.String("name", "CUSTOM", "scenario name for -inject runs")
+		scFile   = flag.String("scenario", "", "JSON scenario definition file")
+		camOnly  = flag.Bool("camonly", true, "restrict the slice to CAM modules (-inject runs)")
+		selectK  = flag.Int("selectk", 5, "lasso target support (-inject runs)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		all      = flag.Bool("all", false, "run all six §6 experiments concurrently")
 		aux      = flag.Int("aux", 100, "auxiliary module count (corpus scale)")
@@ -37,19 +54,27 @@ func main() {
 		dot      = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
 		graded   = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
 	)
+	flag.Var(&injects, "inject",
+		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | prng=mt | fma=all|m1,m2 | param:NAME=V")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments (§6):")
 		for _, s := range rca.Experiments() {
-			fmt.Printf("  %-12s bug=%v mersenne=%v fma=%v\n", s.Name, s.Bug, s.Mersenne, s.FMA)
+			fmt.Printf("  %-12s %s\n", s.Name(), injectionIDs(s))
 		}
 		fmt.Println("supplement (§8.2, Figure 15):")
 		for _, s := range rca.SupplementExperiments() {
-			fmt.Printf("  %-12s bug=%v mersenne=%v fma=%v\n", s.Name, s.Bug, s.Mersenne, s.FMA)
+			fmt.Printf("  %-12s %s\n", s.Name(), injectionIDs(s))
 		}
+		fmt.Println("\ncustom scenarios: -inject (repeatable) or -scenario FILE.json")
 		return
 	}
+
+	// Ctrl-C cancels between pipeline checkpoints; the exit path
+	// reports ErrCanceled instead of tearing the process down mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// Validate the sampler up front: a typo should fail here, not ten
 	// minutes into an ensemble run.
@@ -82,7 +107,7 @@ func main() {
 
 	switch {
 	case *table1:
-		rows, err := session.Table1(rca.Table1Setup{
+		rows, err := session.Table1(ctx, rca.Table1Setup{
 			EnsembleSize: *ensemble,
 			ExpSize:      *runs,
 			TopK:         *topk,
@@ -93,7 +118,7 @@ func main() {
 		fmt.Print(rca.FormatTable1(rows))
 
 	case *all:
-		outs, err := session.RunAll(rca.Experiments())
+		outs, err := session.RunAll(ctx, rca.Experiments())
 		if err != nil {
 			fail(err)
 		}
@@ -109,18 +134,12 @@ func main() {
 		fmt.Printf("located %d/%d injected defects\n", located, len(outs))
 
 	default:
-		var spec rca.Spec
-		found := false
-		for _, s := range rca.AllExperiments() {
-			if strings.EqualFold(s.Name, *name) {
-				spec, found = s, true
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "rca: unknown experiment %q (try -list)\n", *name)
+		sc, err := resolveScenario(*name, *scFile, injects, *scName, *camOnly, *selectK)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rca:", err)
 			os.Exit(2)
 		}
-		out, err := session.Run(spec)
+		out, err := session.Run(ctx, sc)
 		if err != nil {
 			fail(err)
 		}
@@ -137,6 +156,59 @@ func main() {
 			fmt.Printf("wrote %s\n", *dot)
 		}
 	}
+}
+
+// resolveScenario picks the investigation: -scenario JSON wins, then
+// -inject composition, then a prewired experiment name (defaulting to
+// GOFFGRATCH when nothing is given).
+func resolveScenario(name, file string, injects []string, scName string,
+	camOnly bool, selectK int) (rca.Scenario, error) {
+	if file != "" {
+		if name != "" || len(injects) > 0 {
+			return nil, fmt.Errorf("-scenario excludes -experiment and -inject")
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return rca.ScenarioFromJSON(data)
+	}
+	if len(injects) > 0 {
+		if name != "" {
+			return nil, fmt.Errorf("-inject excludes -experiment (use one or the other)")
+		}
+		injs := make([]rca.Injection, 0, len(injects))
+		for _, s := range injects {
+			inj, err := rca.ParseInjection(s)
+			if err != nil {
+				return nil, err
+			}
+			injs = append(injs, inj)
+		}
+		return rca.NewScenario(scName,
+			rca.ScenarioOptions{CAMOnly: camOnly, SelectK: selectK}, injs...), nil
+	}
+	if name == "" {
+		name = "GOFFGRATCH"
+	}
+	for _, s := range rca.AllExperiments() {
+		if strings.EqualFold(s.Name(), name) {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (try -list, or -inject for a custom scenario)", name)
+}
+
+// injectionIDs renders a scenario's injection fingerprints for -list.
+func injectionIDs(s rca.Scenario) string {
+	var ids []string
+	for _, inj := range s.Injections() {
+		ids = append(ids, inj.ID())
+	}
+	if len(ids) == 0 {
+		return "(no injections)"
+	}
+	return strings.Join(ids, " + ")
 }
 
 func fail(err error) {

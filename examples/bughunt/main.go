@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 		rca.WithExpSize(8))
 
 	specs := rca.AllExperiments()
-	outs, err := session.RunAll(specs)
+	outs, err := session.RunAll(context.Background(), specs)
 	if err != nil {
 		log.Fatal(err)
 	}

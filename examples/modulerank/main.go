@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ import (
 
 func main() {
 	session := rca.NewSession(rca.CorpusConfig{AuxModules: 100, Seed: 1})
-	mg, err := session.FullMetagraph()
+	mg, err := session.FullMetagraph(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,14 +26,15 @@ func main() {
 		rca.WithExpSize(8))
 
 	fmt.Println("== AVX2 experiment (KGen flagging + refinement) ==")
-	out, err := session.Run(rca.AVX2)
+	ctx := context.Background()
+	out, err := session.Run(ctx, rca.AVX2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(rca.FormatOutcome(out))
 
 	fmt.Println("\n== Table 1: selective AVX2 disablement ==")
-	rows, err := session.Table1(rca.Table1Setup{
+	rows, err := session.Table1(ctx, rca.Table1Setup{
 		ExpSize:       8,
 		TopK:          8,
 		RandomSamples: 4,

@@ -4,10 +4,14 @@
 // experiment); the session confirms the consistency-test failure,
 // selects the affected output variables, slices the dependency graph,
 // and refines to the defect — each stage reusing the cached corpus
-// and ensemble fingerprint.
+// and ensemble fingerprint. A second, user-defined scenario (a
+// micro_mg ratio perturbation that is not in the paper's catalog)
+// then runs through the same session and the same caches, showing the
+// open Scenario API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +19,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = 40 // keep the quickstart snappy
 
@@ -23,14 +29,14 @@ func main() {
 		rca.WithExpSize(8))
 
 	// Stage 0: the UF-ECT verdict that starts an investigation.
-	v, err := session.Verdict(rca.GOFFGRATCH)
+	v, err := session.Verdict(ctx, rca.GOFFGRATCH)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("UF-ECT failure rate: %.0f%% — investigating\n\n", 100*v.FailureRate)
 
 	// The remaining stages compose; Run reuses the verdict above.
-	out, err := session.Run(rca.GOFFGRATCH)
+	out, err := session.Run(ctx, rca.GOFFGRATCH)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,4 +48,21 @@ func main() {
 			fmt.Println("  ", d)
 		}
 	}
+
+	// A custom scenario: perturb the Morrison-Gettelman ratio
+	// assignment by 0.01% — a defect the prewired catalog does not
+	// know. The same session caches serve it: the control build and
+	// the ensemble fingerprint are reused as-is.
+	inj, err := rca.ParseInjection("micro_mg_tend.ratio*=1.0001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	custom := rca.NewScenario("MG-RATIO",
+		rca.ScenarioOptions{CAMOnly: true, SelectK: 5}, inj)
+	out2, err := session.Run(ctx, custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rca.FormatOutcome(out2))
 }

@@ -1,0 +1,95 @@
+package rca
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/core"
+	"github.com/climate-rca/rca/internal/coverage"
+	"github.com/climate-rca/rca/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestFormatOutcomeGolden pins the FormatOutcome report layout — the
+// surface ectool/rca users scrape — against a golden file, so
+// formatting regressions are caught by CI instead of downstream
+// parsers.
+func TestFormatOutcomeGolden(t *testing.T) {
+	out := &Outcome{
+		Name:        "WSUB+GG",
+		FailureRate: 0.875,
+		FirstStep: &experiments.FirstStepResult{
+			Differing: []string{"WSUB"},
+			Total:     120,
+		},
+		SelectedOutputs: []string{"WSUB", "CLDLOW"},
+		Internals:       []string{"wsub", "cldlow"},
+		Coverage: coverage.Report{
+			ModulesBefore: 104, ModulesAfter: 63,
+			SubprogramsBefore: 340, SubprogramsAfter: 181,
+		},
+		GraphNodes:  4821,
+		GraphEdges:  19044,
+		SliceNodes:  212,
+		SliceEdges:  845,
+		BugNodes:    []int{17, 93},
+		BugDisplays: []string{"wsub__microp_aero", "es__goffgratch_svp"},
+		KGenFlagged: []string{"ratio", "dum"},
+		BugInSlice:  true,
+		BugLocated:  true,
+		Refine: &core.Result{
+			Iterations: []core.Iteration{
+				{Nodes: 212, Edges: 845, LargestSCC: 9,
+					Communities: [][]int{{1, 2, 3}, {4, 5}},
+					Sampled:     []int{1, 4}, Detected: []int{1},
+					Action: core.ActionContractToDetected},
+				{Nodes: 31, Edges: 77, LargestSCC: 3,
+					Communities: [][]int{{1, 2}},
+					Sampled:     []int{1}, Detected: []int{1},
+					Action: core.ActionBugInstrumented},
+			},
+			Final:           []int{17},
+			BugInstrumented: true,
+			Converged:       true,
+		},
+	}
+	golden(t, "format_outcome.golden", FormatOutcome(out))
+}
+
+// TestFormatTable1Golden pins the Table 1 rendering.
+func TestFormatTable1Golden(t *testing.T) {
+	rows := []Table1Row{
+		{Config: "AVX2 enabled, all modules", FailureRate: 0.92},
+		{Config: "AVX2 disabled, 50 largest modules", FailureRate: 0.86},
+		{Config: "AVX2 disabled, 50 rand mods (10 sample avg)", FailureRate: 0.83},
+		{Config: "AVX2 disabled, 50 central modules", FailureRate: 0.08},
+		{Config: "AVX2 disabled, all modules", FailureRate: 0.02},
+	}
+	golden(t, "format_table1.golden", FormatTable1(rows))
+}

@@ -9,7 +9,7 @@ import "github.com/climate-rca/rca/internal/graph"
 // node with the greatest value difference, which keeps the k-ary
 // search moving. All other behaviour matches Refine.
 func RefineWithMagnitudes(sub *graph.Digraph, nodeMap []int, graded GradedSampler,
-	bugNodes []int, opt Options) *Result {
+	bugNodes []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 
 	// Track the current subgraph size across sampler calls so the

@@ -76,7 +76,7 @@ func TestRefineWithMagnitudesBreaksFixedPoint(t *testing.T) {
 	}
 
 	// Plain Refine hits the fixed point.
-	plain := Refine(g.Clone(), ids, SamplerFunc(func(nodes []int) []int { return nodes }),
+	plain, _ := Refine(g.Clone(), ids, SamplerFunc(func(nodes []int) []int { return nodes }),
 		[]int{7}, Options{SmallEnough: 2, MaxIterations: 6})
 	hitFixed := false
 	for _, it := range plain.Iterations {
@@ -89,7 +89,7 @@ func TestRefineWithMagnitudesBreaksFixedPoint(t *testing.T) {
 	}
 
 	// Magnitude-aware refinement converges on the defect.
-	res := RefineWithMagnitudes(g, ids, GradedSamplerFunc(graded), []int{7},
+	res, _ := RefineWithMagnitudes(g, ids, GradedSamplerFunc(graded), []int{7},
 		Options{SmallEnough: 2, MaxIterations: 8})
 	if !res.Converged {
 		t.Fatalf("magnitude refinement did not converge: %+v", res.Iterations)

@@ -7,7 +7,7 @@ import (
 func TestRefineLouvainVariant(t *testing.T) {
 	g, ids := twoCommunityGraph(20)
 	bug := []int{3}
-	res := Refine(g, ids, ReachabilitySampler(g, bug), bug,
+	res, _ := Refine(g, ids, ReachabilitySampler(g, bug), bug,
 		Options{SmallEnough: 5, CommunityMethod: "louvain"})
 	if !res.Converged {
 		t.Fatalf("louvain refinement did not converge: %+v", res)
@@ -29,7 +29,7 @@ func TestRefineReportsLargestSCC(t *testing.T) {
 	g, ids := twoCommunityGraph(n / 2)
 	// Add a back edge creating a cycle in cluster 1.
 	g.AddEdge(10, 0)
-	res := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
+	res, _ := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
 		Options{SmallEnough: 4, MaxIterations: 1})
 	if len(res.Iterations) == 0 {
 		t.Fatal("no iterations")

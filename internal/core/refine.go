@@ -45,6 +45,12 @@ type Options struct {
 	// default) or "louvain" (greedy modularity, much faster at paper
 	// scale).
 	CommunityMethod string
+	// Checkpoint, when non-nil, is called at the top of every
+	// refinement iteration; a non-nil return aborts the loop with that
+	// error. The experiments layer wires per-call context cancellation
+	// through it, so a canceled investigation stops between iterations
+	// instead of running the loop to convergence.
+	Checkpoint func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -114,8 +120,9 @@ type Result struct {
 // Refine runs Algorithm 5.4 on the slice subgraph sub whose node i is
 // metagraph node nodeMap[i]. sampler implements step 7; bugNodes (may
 // be nil) are the known defect locations used only for the
-// bug-instrumented success check in step 9.
-func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, opt Options) *Result {
+// bug-instrumented success check in step 9. The only error source is
+// opt.Checkpoint, evaluated between iterations.
+func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	bugSet := make(map[int]bool, len(bugNodes))
 	for _, b := range bugNodes {
@@ -126,6 +133,11 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 	curMap := append([]int(nil), nodeMap...)
 
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		if opt.Checkpoint != nil {
+			if err := opt.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
 		it := Iteration{Nodes: cur.NumNodes(), Edges: cur.NumEdges()}
 		it.LargestSCC = cur.Condensation().LargestSCC
 
@@ -134,7 +146,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 			res.Iterations = append(res.Iterations, it)
 			res.Final = append([]int(nil), curMap...)
 			res.Converged = true
-			return res
+			return res, nil
 		}
 
 		// Step 5: communities of the undirected view.
@@ -158,7 +170,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 			res.Iterations = append(res.Iterations, it)
 			res.Final = append([]int(nil), curMap...)
 			res.Converged = true
-			return res
+			return res, nil
 		}
 		for _, c := range comms {
 			it.Communities = append(it.Communities, translate(c, curMap))
@@ -188,7 +200,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 				res.Final = append([]int(nil), curMap...)
 				res.BugInstrumented = true
 				res.Converged = true
-				return res
+				return res, nil
 			}
 		}
 
@@ -221,7 +233,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 			last.Action = ActionFixedPoint
 			res.Final = translateLocalKeep(keepLocal, curMap, cur.NumNodes())
 			res.Converged = true
-			return res
+			return res, nil
 		}
 		next, nextLocal := cur.Subgraph(keepLocal)
 		nextMap := make([]int, len(nextLocal))
@@ -231,7 +243,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 		cur, curMap = next, nextMap
 	}
 	res.Final = append([]int(nil), curMap...)
-	return res
+	return res, nil
 }
 
 // rankBy dispatches the centrality measure named by kind.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/climate-rca/rca/internal/graph"
 )
+
+var errTest = errors.New("test checkpoint failure")
 
 // twoCommunityGraph builds a directed graph with two dense clusters
 // (0..k-1 and k..2k-1) joined by one edge, where node `bug` feeds its
@@ -38,7 +41,7 @@ func twoCommunityGraph(k int) (*graph.Digraph, []int) {
 func TestRefineFindsBugViaSampling(t *testing.T) {
 	g, ids := twoCommunityGraph(20)
 	bug := []int{3} // in the first cluster, feeding everything there
-	res := Refine(g, ids, ReachabilitySampler(g, bug), bug, Options{SmallEnough: 5})
+	res, _ := Refine(g, ids, ReachabilitySampler(g, bug), bug, Options{SmallEnough: 5})
 	if !res.Converged {
 		t.Fatalf("did not converge: %+v", res)
 	}
@@ -62,7 +65,7 @@ func TestRefineFindsBugViaSampling(t *testing.T) {
 
 func TestRefineSmallEnoughStopsImmediately(t *testing.T) {
 	g, ids := twoCommunityGraph(5) // 10 nodes < default SmallEnough
-	res := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil, Options{})
+	res, _ := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil, Options{})
 	if len(res.Iterations) != 1 || res.Iterations[0].Action != ActionSmallEnough {
 		t.Fatalf("iterations = %+v", res.Iterations)
 	}
@@ -76,7 +79,7 @@ func TestRefine8aRemovesCleanRegion(t *testing.T) {
 	// should drop A's ancestor region and keep B.
 	g, ids := twoCommunityGraph(20)
 	bug := []int{25} // second cluster
-	res := Refine(g, ids, ReachabilitySampler(g, bug), bug, Options{SmallEnough: 4, MaxIterations: 6})
+	res, _ := Refine(g, ids, ReachabilitySampler(g, bug), bug, Options{SmallEnough: 4, MaxIterations: 6})
 	// The bug node must survive every contraction.
 	for _, it := range res.Iterations {
 		_ = it
@@ -103,7 +106,7 @@ func TestRefineNoCommunitiesOnSparseGraph(t *testing.T) {
 	for i := range ids {
 		ids[i] = i
 	}
-	res := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
+	res, _ := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
 		Options{SmallEnough: 5, MinCommunity: 3})
 	last := res.Iterations[len(res.Iterations)-1]
 	if last.Action != ActionNoCommunities {
@@ -117,7 +120,7 @@ func TestRefineNoCommunitiesOnSparseGraph(t *testing.T) {
 func TestRefineRecordsCommunitiesAndSamples(t *testing.T) {
 	g, ids := twoCommunityGraph(15)
 	bug := []int{2}
-	res := Refine(g, ids, ReachabilitySampler(g, bug), bug,
+	res, _ := Refine(g, ids, ReachabilitySampler(g, bug), bug,
 		Options{SmallEnough: 4, TopM: 3, MaxIterations: 1})
 	it := res.Iterations[0]
 	if len(it.Communities) < 2 {
@@ -185,7 +188,7 @@ func TestRefineFixedPointDetected(t *testing.T) {
 		ids[i] = i
 	}
 	// Everything detects (bug node 0 reaches all).
-	res := Refine(g, ids, ReachabilitySampler(g, []int{0}), nil,
+	res, _ := Refine(g, ids, ReachabilitySampler(g, []int{0}), nil,
 		Options{SmallEnough: 2, MaxIterations: 5})
 	last := res.Iterations[len(res.Iterations)-1]
 	if last.Action != ActionFixedPoint {
@@ -193,5 +196,58 @@ func TestRefineFixedPointDetected(t *testing.T) {
 	}
 	if len(res.Final) != n {
 		t.Fatalf("final = %d nodes", len(res.Final))
+	}
+}
+
+// TestRefineCheckpointAborts: a failing checkpoint stops the loop
+// before any iteration runs and surfaces the error.
+func TestRefineCheckpointAborts(t *testing.T) {
+	g, ids := twoCommunityGraph(20)
+	calls := 0
+	wantErr := errTest
+	res, err := Refine(g, ids, SamplerFunc(func([]int) []int { return nil }), nil,
+		Options{Checkpoint: func() error { calls++; return wantErr }})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil", res)
+	}
+	if calls != 1 {
+		t.Fatalf("checkpoint calls = %d", calls)
+	}
+}
+
+// TestRefineCheckpointBetweenIterations: a checkpoint that trips after
+// the first iteration aborts a multi-iteration refinement midway.
+func TestRefineCheckpointBetweenIterations(t *testing.T) {
+	// A chain digraph; the sampler always detects the smallest sampled
+	// node, so 8b contracts to a strictly shorter prefix each round.
+	n := 40
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	calls := 0
+	_, err := Refine(g, ids, SamplerFunc(func(nodes []int) []int {
+		return nodes[:1]
+	}), nil, Options{SmallEnough: 2, WholeGraphSampling: true,
+		Checkpoint: func() error {
+			calls++
+			if calls > 1 {
+				return errTest
+			}
+			return nil
+		}})
+	if err != errTest {
+		t.Fatalf("err = %v, want errTest", err)
+	}
+	if calls != 2 {
+		t.Fatalf("checkpoint calls = %d, want 2", calls)
 	}
 }

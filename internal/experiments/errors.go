@@ -1,0 +1,60 @@
+// The typed error model of the Scenario API. Callers classify
+// failures with errors.Is/errors.As instead of string matching:
+//
+//	ErrCanceled                — a per-call context was canceled or
+//	                             timed out (also matches ctx.Err())
+//	ErrConflictingInjections   — a scenario composes injections that
+//	                             contradict each other
+//	corpus.ErrUnknownSubprogram — an injection targets a subprogram,
+//	                             assignment or metagraph node the
+//	                             corpus does not contain
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports a pipeline call aborted by its context. Errors
+// wrapping it also unwrap to the underlying context error, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled)
+// hold for a canceled run.
+var ErrCanceled = errors.New("experiments: canceled")
+
+// ErrConflictingInjections reports a scenario whose injections
+// contradict each other (two PRNG swaps, two FMA policies, two
+// perturbations of the same parameter, or two patches of the same
+// assignment).
+var ErrConflictingInjections = errors.New("experiments: conflicting injections")
+
+// canceledError adapts a context error into the typed model.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string        { return "experiments: canceled: " + e.cause.Error() }
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+func (e *canceledError) Unwrap() error        { return e.cause }
+
+// ctxErr returns the context's error wrapped as an ErrCanceled, or nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &canceledError{cause: err}
+	}
+	return nil
+}
+
+// isCanceled reports whether err is a cancellation of any flavor —
+// the class of errors the session caches must never memoize.
+func isCanceled(err error) bool {
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// conflictf builds an ErrConflictingInjections with detail.
+func conflictf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrConflictingInjections, fmt.Sprintf(format, args...))
+}

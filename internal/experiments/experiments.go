@@ -14,24 +14,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
-	"strings"
 
 	"github.com/climate-rca/rca/internal/core"
 	"github.com/climate-rca/rca/internal/corpus"
 	"github.com/climate-rca/rca/internal/coverage"
 	"github.com/climate-rca/rca/internal/ect"
-	"github.com/climate-rca/rca/internal/kgen"
 	"github.com/climate-rca/rca/internal/lasso"
 	"github.com/climate-rca/rca/internal/metagraph"
-	"github.com/climate-rca/rca/internal/model"
 	"github.com/climate-rca/rca/internal/slicing"
 	"github.com/climate-rca/rca/internal/stats"
 )
 
-// Spec names one experiment configuration.
+// Spec names one experiment configuration over the closed defect
+// catalog.
+//
+// Deprecated: Spec is the closed-world predecessor of the Scenario
+// interface — it can only express the prewired defects. New code
+// should compose a Scenario from Injections (see NewScenario); legacy
+// Specs convert losslessly with Scenario().
 type Spec struct {
 	Name string
 	// Bug is the injected source defect (source-change experiments).
@@ -45,6 +48,28 @@ type Spec struct {
 	CAMOnly bool
 	// SelectK is the lasso target support (paper: ~5).
 	SelectK int
+}
+
+// Scenario converts the legacy closed-world Spec into an open-world
+// Scenario: the Bug enum maps to its catalog injection, Mersenne to
+// MersennePRNG, FMA to EnableFMA everywhere. For the prewired catalog
+// (one injection per Spec) the conversion reproduces the legacy
+// pipeline bit-identically. A Spec combining several fields becomes a
+// true multi-defect scenario, whose defect sites are the union over
+// all injections — the legacy path reported only the highest-priority
+// field's sites (Bug over Mersenne over FMA).
+func (s Spec) Scenario() Scenario {
+	var injs []Injection
+	if inj, ok := BugInjection(s.Bug); ok {
+		injs = append(injs, inj)
+	}
+	if s.Mersenne {
+		injs = append(injs, MersennePRNG())
+	}
+	if s.FMA {
+		injs = append(injs, EnableFMA())
+	}
+	return NewScenario(s.Name, ScenarioOptions{CAMOnly: s.CAMOnly, SelectK: s.SelectK}, injs...)
 }
 
 // Standard experiment specs (§6 and supplement §8.2).
@@ -105,7 +130,11 @@ func (s Setup) withDefaults() Setup {
 
 // Outcome is everything an experiment produces.
 type Outcome struct {
-	Spec Spec
+	// Name labels the investigation (the scenario's display name).
+	Name string
+	// Scenario is the investigation definition that produced this
+	// outcome (a converted Spec for the deprecated one-shot path).
+	Scenario Scenario
 	// FailureRate is the UF-ECT failure rate of the experimental set.
 	FailureRate float64
 	// SelectedOutputs are the output labels picked by the lasso (or
@@ -145,18 +174,29 @@ type Outcome struct {
 	Slice *slicing.Slice
 }
 
-// Run executes the full pipeline for one experiment.
+// Run executes the full pipeline for one legacy experiment spec.
 //
 // Deprecated: Run builds a single-use Session per call, regenerating
-// the corpus, the ensemble and the metagraph every time. Use
-// NewSession and Session.Run (or Session.RunAll) to amortize that work
-// across experiments.
+// the corpus, the ensemble and the metagraph every time, and cannot
+// express scenarios beyond the closed Spec fields. Use NewSession and
+// Session.Run (or Session.RunAll) with a Scenario to amortize that
+// work across investigations.
 func Run(spec Spec, setup Setup) (*Outcome, error) {
+	return RunScenario(spec.Scenario(), setup)
+}
+
+// RunScenario executes the full pipeline for one scenario on a
+// single-use Session.
+//
+// Deprecated: RunScenario regenerates the corpus, the ensemble and the
+// metagraph every call. Use NewSession and Session.Run to amortize
+// that work across investigations.
+func RunScenario(sc Scenario, setup Setup) (*Outcome, error) {
 	s, err := sessionForSetup(setup)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(spec)
+	return s.Run(context.Background(), sc)
 }
 
 // sessionForSetup translates the legacy Setup into a Session.
@@ -184,12 +224,11 @@ func group(runs []ect.RunOutput) map[string][]float64 {
 	return out
 }
 
-// selectOutputs applies §3: try the lasso with the spec's target K;
-// when the problem is degenerate (e.g. a single wildly affected
+// selectOutputs applies §3: try the lasso with the scenario's target
+// K; when the problem is degenerate (e.g. a single wildly affected
 // variable) fall back to the median-distance ranking.
-func selectOutputs(spec Spec, vars []string, ens, exp []ect.RunOutput,
+func selectOutputs(k int, vars []string, ens, exp []ect.RunOutput,
 	ranking []stats.VariableDistance) ([]string, error) {
-	k := spec.SelectK
 	if k <= 0 {
 		k = 5
 	}
@@ -250,82 +289,11 @@ func contains(xs []string, want string) bool {
 	return false
 }
 
-// bugNodes locates the known defect nodes in the metagraph for each
-// experiment (used by the simulated sampler and the success check).
-func bugNodes(spec Spec, mg *metagraph.Metagraph, control, exper *model.Runner,
-	expRunCfg model.RunConfig) ([]int, []string, error) {
-	switch {
-	case spec.Bug == corpus.BugWsub:
-		return mg.ByCanonical("wsub"), nil, nil
-	case spec.Bug == corpus.BugGoffGratch:
-		id, ok := mg.NodeID("wv_saturation::goffgratch_svp::es")
-		if !ok {
-			return nil, nil, fmt.Errorf("experiments: goffgratch es node missing")
-		}
-		return []int{id}, nil, nil
-	case spec.Bug == corpus.BugDyn3:
-		id, ok := mg.NodeID("dyn3::::pint")
-		if !ok {
-			return nil, nil, fmt.Errorf("experiments: dyn3 pint node missing")
-		}
-		return []int{id}, nil, nil
-	case spec.Bug == corpus.BugRandomIdx:
-		id, ok := mg.NodeID("dyn3::::omg_tmp")
-		if !ok {
-			return nil, nil, fmt.Errorf("experiments: omg_tmp node missing")
-		}
-		return []int{id}, nil, nil
-	case spec.Bug == corpus.BugLand:
-		id, ok := mg.NodeID("lnd_snow::::snowhland")
-		if !ok {
-			return nil, nil, fmt.Errorf("experiments: snowhland node missing")
-		}
-		return []int{id}, nil, nil
-	case spec.Mersenne:
-		// Variables immediately defined by PRNG output (§6.2).
-		var out []int
-		for i := range mg.Nodes {
-			n := mg.Nodes[i]
-			if n.Intrinsic && strings.HasPrefix(n.Canonical, "random_number_") {
-				for _, v := range mg.G.Out(i) {
-					out = append(out, int(v))
-				}
-			}
-		}
-		sort.Ints(out)
-		return out, nil, nil
-	case spec.FMA:
-		// KGen workflow (§6.4): extract the MG kernel under both
-		// configurations, flag RMS-divergent variables.
-		watch := "micro_mg::micro_mg_tend"
-		off, err := control.Run(model.RunConfig{KernelWatch: watch})
-		if err != nil {
-			return nil, nil, err
-		}
-		on, err := exper.Run(model.RunConfig{KernelWatch: watch, FMA: expRunCfg.FMA})
-		if err != nil {
-			return nil, nil, err
-		}
-		flagged := kgen.CompareKernels(off.Machine.Kernel, on.Machine.Kernel, kgen.RMSThreshold)
-		var ids []int
-		var names []string
-		for _, f := range flagged {
-			names = append(names, f.Variable)
-			if id, ok := mg.NodeID("micro_mg::micro_mg_tend::" + f.Variable); ok {
-				ids = append(ids, id)
-			}
-		}
-		sort.Ints(ids)
-		return ids, names, nil
-	}
-	return nil, nil, nil
-}
-
 // WriteSliceDot renders the induced subgraph with the first
 // iteration's communities, the bug locations highlighted in red, and
 // the sampled central nodes in orange — the styling of Figures 5-8.
 func (o *Outcome) WriteSliceDot(w io.Writer) error {
-	opt := metagraph.DotOptions{Name: o.Spec.Name, Highlight: o.BugNodes}
+	opt := metagraph.DotOptions{Name: o.Name, Highlight: o.BugNodes}
 	if len(o.Refine.Iterations) > 0 {
 		opt.Communities = o.Refine.Iterations[0].Communities
 		opt.Secondary = o.Refine.Iterations[0].Sampled

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInjection parses the compact injection syntax the rca and
+// corpusgen CLIs accept (-inject) and JSON scenario files embed:
+//
+//	sub.var*=FACTOR           scale an assignment's RHS
+//	                          (micro_mg_tend.ratio*=1.0001)
+//	sub.var:OLD=>NEW          replace text inside an assignment
+//	                          (aero_run.wsub:0.20=>2.00)
+//	prng=mt                   swap the PRNG to Mersenne Twister
+//	fma=all | fma=m1,m2       enable FMA everywhere / per module
+//	param:NAME=VALUE          perturb an ensemble parameter
+//	                          (param:turbcoef=0.02)
+//
+// Patch targets accept two optional refinements: a module qualifier
+// (module/sub.var) and an assignment occurrence (sub.var#2 targets the
+// third assignment to var).
+func ParseInjection(s string) (Injection, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("experiments: empty injection")
+	case strings.HasPrefix(s, "prng="):
+		switch v := strings.TrimPrefix(s, "prng="); v {
+		case "mt", "mt19937", "mersenne":
+			return MersennePRNG(), nil
+		default:
+			return nil, fmt.Errorf("experiments: unknown PRNG %q (want mt)", v)
+		}
+	case strings.HasPrefix(s, "fma="):
+		v := strings.TrimPrefix(s, "fma=")
+		if v == "all" || v == "*" {
+			return EnableFMA(), nil
+		}
+		mods := strings.Split(v, ",")
+		for i := range mods {
+			mods[i] = strings.TrimSpace(mods[i])
+			if mods[i] == "" {
+				return nil, fmt.Errorf("experiments: empty module in %q", s)
+			}
+		}
+		return EnableFMA(mods...), nil
+	case strings.HasPrefix(s, "param:"):
+		body := strings.TrimPrefix(s, "param:")
+		name, val, ok := strings.Cut(body, "=")
+		if !ok {
+			return nil, fmt.Errorf("experiments: want param:NAME=VALUE, got %q", s)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad parameter value in %q: %v", s, err)
+		}
+		// Validate the parameter name eagerly: a typo should fail at
+		// flag-parse time, not mid-ensemble.
+		inj := PerturbParameter(strings.TrimSpace(name), f)
+		if err := inj.apply(&plan{params: map[string]bool{}}); err != nil {
+			return nil, fmt.Errorf("experiments: %v", err)
+		}
+		return inj, nil
+	case strings.Contains(s, "*="):
+		tgt, val, _ := strings.Cut(s, "*=")
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad scale factor in %q: %v", s, err)
+		}
+		module, sub, v, occ, err := parseTarget(tgt)
+		if err != nil {
+			return nil, err
+		}
+		return ScaleAssignment{Module: module, Subprogram: sub, Var: v,
+			Occurrence: occ, Factor: f}, nil
+	case strings.Contains(s, ":") && strings.Contains(s, "=>"):
+		tgt, repl, _ := strings.Cut(s, ":")
+		old, newText, _ := strings.Cut(repl, "=>")
+		if old == "" {
+			return nil, fmt.Errorf("experiments: empty old text in %q", s)
+		}
+		module, sub, v, occ, err := parseTarget(tgt)
+		if err != nil {
+			return nil, err
+		}
+		return SourceReplace{Module: module, Subprogram: sub, Var: v,
+			Occurrence: occ, Old: old, New: newText}, nil
+	}
+	return nil, fmt.Errorf("experiments: cannot parse injection %q (see -help for the syntax)", s)
+}
+
+// parseTarget parses [module/]sub.var[#occurrence].
+func parseTarget(s string) (module, sub, varName string, occ int, err error) {
+	s = strings.TrimSpace(s)
+	if m, rest, ok := strings.Cut(s, "/"); ok {
+		module, s = m, rest
+	}
+	if t, n, ok := strings.Cut(s, "#"); ok {
+		occ, err = strconv.Atoi(n)
+		if err != nil || occ < 0 {
+			return "", "", "", 0, fmt.Errorf("experiments: bad occurrence in %q", s)
+		}
+		s = t
+	}
+	sub, varName, ok := strings.Cut(s, ".")
+	if !ok || sub == "" || varName == "" {
+		return "", "", "", 0, fmt.Errorf("experiments: want [module/]sub.var, got %q", s)
+	}
+	return module, sub, varName, occ, nil
+}
+
+// scenarioJSON is the on-disk scenario format of `rca -scenario`.
+type scenarioJSON struct {
+	Name    string   `json:"name"`
+	CAMOnly bool     `json:"camonly"`
+	SelectK int      `json:"selectk"`
+	Inject  []string `json:"inject"`
+}
+
+// ScenarioFromJSON decodes a scenario definition:
+//
+//	{"name": "WSUB+GG", "camonly": true, "selectk": 5,
+//	 "inject": ["aero_run.wsub:0.20=>2.00", "prng=mt"]}
+func ScenarioFromJSON(data []byte) (Scenario, error) {
+	var def scenarioJSON
+	if err := json.Unmarshal(data, &def); err != nil {
+		return nil, fmt.Errorf("experiments: scenario JSON: %w", err)
+	}
+	if def.Name == "" {
+		return nil, fmt.Errorf("experiments: scenario JSON: missing name")
+	}
+	injs := make([]Injection, 0, len(def.Inject))
+	for _, s := range def.Inject {
+		inj, err := ParseInjection(s)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", def.Name, err)
+		}
+		injs = append(injs, inj)
+	}
+	return NewScenario(def.Name, ScenarioOptions{CAMOnly: def.CAMOnly, SelectK: def.SelectK}, injs...), nil
+}

@@ -73,7 +73,7 @@ func (v valueSampler) Refine(in RefineInput) (*core.Result, error) {
 	}
 	keyOf := func(n int) string { return in.Metagraph.Nodes[n].Key }
 	s := core.ValueSampler(keyOf, ens, exp, v.tol)
-	return core.Refine(in.Slice.Sub, in.Slice.NodeMap, s, in.BugNodes, in.Options), nil
+	return core.Refine(in.Slice.Sub, in.Slice.NodeMap, s, in.BugNodes, in.Options)
 }
 
 type reachSampler struct{}
@@ -87,7 +87,7 @@ func (reachSampler) Kind() string { return "reach" }
 
 func (reachSampler) Refine(in RefineInput) (*core.Result, error) {
 	s := core.ReachabilitySampler(in.Metagraph.G, in.BugNodes)
-	return core.Refine(in.Slice.Sub, in.Slice.NodeMap, s, in.BugNodes, in.Options), nil
+	return core.Refine(in.Slice.Sub, in.Slice.NodeMap, s, in.BugNodes, in.Options)
 }
 
 type gradedSampler struct{}
@@ -107,7 +107,7 @@ func (gradedSampler) Refine(in RefineInput) (*core.Result, error) {
 	}
 	keyOf := func(n int) string { return in.Metagraph.Nodes[n].Key }
 	g := core.MagnitudeSampler(keyOf, ens, exp)
-	return core.RefineWithMagnitudes(in.Slice.Sub, in.Slice.NodeMap, g, in.BugNodes, in.Options), nil
+	return core.RefineWithMagnitudes(in.Slice.Sub, in.Slice.NodeMap, g, in.BugNodes, in.Options)
 }
 
 // SamplerForSetup resolves a Setup's sampler: the typed Sampler field

@@ -16,59 +16,103 @@ import (
 
 // Session is the compile-once, run-many entry point to the pipeline.
 // Constructed once per corpus configuration, it lazily generates and
-// caches everything the experiments share — the parsed corpus builds,
-// the control-ensemble ECT fingerprint, the coverage-filtered
-// metagraphs — and exposes the pipeline as typed stages (Verdict,
-// SelectVariables, Compile, Slice, Refine) plus Run/RunAll/Table1
-// composing them. Every cache is built at most once (sync.Once per
-// entry) and all cached state is immutable after construction, so one
-// Session may be shared by concurrent goroutines; RunAll fans out over
-// it with bounded workers.
+// caches everything scenarios share — the parsed corpus builds, the
+// control-ensemble ECT fingerprint, the coverage-filtered metagraphs —
+// and exposes the pipeline as typed stages (Verdict, SelectVariables,
+// Compile, Slice, Refine) plus Run/RunAll/Table1 composing them.
+//
+// Cache keys are scenario fingerprints (the concatenated injection
+// IDs), so user-defined and multi-defect scenarios are cached exactly
+// like the prewired catalog: two scenarios injecting the same source
+// patches share a corpus build; two scenarios with the same build and
+// coverage configuration share a compiled metagraph.
+//
+// Every stage takes a context.Context. Cancellation is honored at
+// stage entry, between ensemble members, and between refinement
+// iterations; it surfaces as an error matching both ErrCanceled and
+// the context's own error. A canceled result is never memoized — the
+// session stays fully reusable afterwards.
 type Session struct {
 	cfg      corpus.Config
 	ensemble int
 	expSize  int
 	sampler  Sampler
 	refine   core.Options
-	ctx      context.Context
+	base     context.Context // deprecated WithContext, checked alongside per-call contexts
 	workers  int
 
 	mu         sync.Mutex
 	fp         cell[*Fingerprint]
 	fullMG     cell[*metagraph.Metagraph]
-	runners    map[corpus.Bug]*cell[*model.Runner]
-	compiled   map[buildKey]*cell[*Compiled]
-	verdicts   map[Spec]*cell[*Verdict]
-	selections map[Spec]*cell[*Selection]
-	slices     map[Spec]*cell[*Sliced]
-	refined    map[Spec]*cell[*core.Result]
-}
-
-// buildKey identifies the stage state two specs may share: the
-// compiled metagraph depends only on the injected bug and the
-// configuration changes that alter the coverage trace.
-type buildKey struct {
-	bug      corpus.Bug
-	mersenne bool
-	fma      bool
+	runners    map[string]*cell[*model.Runner] // per source fingerprint
+	compiled   map[string]*cell[*Compiled]     // per build fingerprint
+	verdicts   map[string]*cell[*Verdict]      // per build fingerprint
+	selections map[string]*cell[*Selection]    // per scenario fingerprint
+	slices     map[string]*cell[*Sliced]
+	refined    map[string]*cell[*core.Result]
 }
 
 // cell is a build-at-most-once slot; concurrent getters block on the
-// first builder and then share its result.
+// first builder and then share its result. A canceled build is not
+// memoized: the next getter retries with its own context, so one
+// canceled investigation never poisons the session's caches. Waiters
+// watch their own context too — a caller whose context is canceled
+// while somebody else's build is in flight returns ErrCanceled
+// immediately instead of riding out the foreign build.
 type cell[T any] struct {
-	once sync.Once
-	val  T
-	err  error
+	mu       sync.Mutex
+	done     bool
+	building bool
+	waitCh   chan struct{} // closed when the in-flight build finishes
+	val      T
+	err      error
 }
 
-func (c *cell[T]) get(build func() (T, error)) (T, error) {
-	c.once.Do(func() { c.val, c.err = build() })
-	return c.val, c.err
+func (c *cell[T]) get(ctx context.Context, build func() (T, error)) (T, error) {
+	for {
+		c.mu.Lock()
+		if c.done {
+			v, err := c.val, c.err
+			c.mu.Unlock()
+			return v, err
+		}
+		if !c.building {
+			c.building = true
+			c.waitCh = make(chan struct{})
+			ch := c.waitCh
+			c.mu.Unlock()
+
+			v, err := build()
+
+			c.mu.Lock()
+			c.building = false
+			if !isCanceled(err) {
+				c.done, c.val, c.err = true, v, err
+			}
+			close(ch)
+			c.mu.Unlock()
+			return v, err
+		}
+		ch := c.waitCh
+		c.mu.Unlock()
+		if ctx == nil {
+			<-ch
+			continue
+		}
+		select {
+		case <-ch:
+			// Re-check: the build either memoized or was canceled
+			// (in which case this waiter becomes the next builder).
+		case <-ctx.Done():
+			var zero T
+			return zero, ctxErr(ctx)
+		}
+	}
 }
 
 // keyedCell returns (creating if needed) the cell for key k. Only the
 // map access is serialized; building happens outside the lock.
-func keyedCell[K comparable, T any](mu *sync.Mutex, m map[K]*cell[T], k K) *cell[T] {
+func keyedCell[T any](mu *sync.Mutex, m map[string]*cell[T], k string) *cell[T] {
 	mu.Lock()
 	defer mu.Unlock()
 	c, ok := m[k]
@@ -115,14 +159,16 @@ func WithRefineOptions(o core.Options) Option {
 	return func(s *Session) { s.refine = o }
 }
 
-// WithContext attaches a cancellation context. Each stage checks it
-// on entry, so cancellation aborts between stages; a stage already
-// integrating the model (e.g. an in-flight ensemble) runs to
-// completion first.
+// WithContext attaches a constructor-scoped cancellation context,
+// checked alongside the per-call contexts.
+//
+// Deprecated: pass a context to each call instead (Run, RunAll,
+// Table1, and every stage take one); constructor-scoped cancellation
+// cannot distinguish between investigations.
 func WithContext(ctx context.Context) Option {
 	return func(s *Session) {
 		if ctx != nil {
-			s.ctx = ctx
+			s.base = ctx
 		}
 	}
 }
@@ -138,21 +184,21 @@ func WithWorkers(n int) Option {
 
 // NewSession builds a Session for one corpus configuration. Nothing is
 // generated until a stage needs it. The configuration's Bug field is
-// ignored: the control build always uses BugNone and each Spec selects
-// its own defect.
+// ignored: the control build is always clean and each scenario's
+// injections define its own defects.
 func NewSession(cfg corpus.Config, opts ...Option) *Session {
 	s := &Session{
 		cfg:        cfg,
 		ensemble:   40,
 		expSize:    10,
 		sampler:    ValueSampling(0),
-		ctx:        context.Background(),
-		runners:    make(map[corpus.Bug]*cell[*model.Runner]),
-		compiled:   make(map[buildKey]*cell[*Compiled]),
-		verdicts:   make(map[Spec]*cell[*Verdict]),
-		selections: make(map[Spec]*cell[*Selection]),
-		slices:     make(map[Spec]*cell[*Sliced]),
-		refined:    make(map[Spec]*cell[*core.Result]),
+		base:       context.Background(),
+		runners:    make(map[string]*cell[*model.Runner]),
+		compiled:   make(map[string]*cell[*Compiled]),
+		verdicts:   make(map[string]*cell[*Verdict]),
+		selections: make(map[string]*cell[*Selection]),
+		slices:     make(map[string]*cell[*Sliced]),
+		refined:    make(map[string]*cell[*core.Result]),
 	}
 	for _, o := range opts {
 		if o != nil {
@@ -165,48 +211,129 @@ func NewSession(cfg corpus.Config, opts ...Option) *Session {
 	return s
 }
 
-// runner returns the cached model build for one injected bug,
-// generating and parsing the corpus on first use.
-func (s *Session) runner(bug corpus.Bug) (*model.Runner, error) {
-	c := keyedCell(&s.mu, s.runners, bug)
-	return c.get(func() (*model.Runner, error) {
-		cfg := s.cfg
-		cfg.Bug = bug
-		return model.NewRunner(corpus.Generate(cfg))
+// check enforces both the per-call context and the deprecated
+// constructor-scoped one.
+func (s *Session) check(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return ctxErr(s.base)
+}
+
+// plan lowers a scenario over the session's corpus configuration.
+func (s *Session) plan(sc Scenario) (*plan, error) {
+	return buildPlan(s.cfg, sc)
+}
+
+// cleanPlan is the control build's (injection-free) plan.
+func (s *Session) cleanPlan() *plan {
+	cfg := s.cfg
+	cfg.Bug = corpus.BugNone
+	return &plan{cfg: cfg}
+}
+
+// runnerFor returns the cached model build for one source fingerprint,
+// generating, patching and parsing the corpus on first use.
+func (s *Session) runnerFor(ctx context.Context, key string, cfg corpus.Config, patches []corpus.Patch) (*model.Runner, error) {
+	c := keyedCell(&s.mu, s.runners, key)
+	return c.get(ctx, func() (*model.Runner, error) {
+		base := corpus.Generate(cfg)
+		if len(patches) > 0 {
+			patched, err := corpus.Apply(base, patches...)
+			if err != nil {
+				return nil, err
+			}
+			base = patched
+		}
+		return model.NewRunner(base)
 	})
 }
 
-// Builds returns the control and experimental model builds for a spec.
-// Runners are cached per injected bug (RAND-MT and AVX2 share the
-// clean build with the control).
-func (s *Session) Builds(spec Spec) (*Builds, error) {
-	control, err := s.runner(corpus.BugNone)
+// control returns the clean control build.
+func (s *Session) control(ctx context.Context) (*model.Runner, error) {
+	p := s.cleanPlan()
+	return s.runnerFor(ctx, p.sourceKey(), p.cfg, nil)
+}
+
+// buildsFor assembles the control and experimental builds for a plan.
+// Runners are cached per source fingerprint, so scenarios without
+// source injections (PRNG swap, FMA) share the clean build with the
+// control.
+func (s *Session) buildsFor(ctx context.Context, p *plan) (*Builds, error) {
+	control, err := s.control(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: control: %w", err)
 	}
-	exper, err := s.runner(spec.Bug)
+	exper, err := s.runnerFor(ctx, p.sourceKey(), p.cfg, p.patches)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: experiment: %w", err)
 	}
-	b := &Builds{Control: control, Exper: exper}
-	if spec.Mersenne {
-		b.ExpRunCfg.RNG = model.RNGMersenne
+	return &Builds{Control: control, Exper: exper, ExpRunCfg: p.expRun}, nil
+}
+
+// Builds returns the control and experimental model builds for a
+// scenario.
+func (s *Session) Builds(ctx context.Context, sc Scenario) (*Builds, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
 	}
-	if spec.FMA {
-		b.ExpRunCfg.FMA = func(string) bool { return true }
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
 	}
-	return b, nil
+	return s.buildsFor(ctx, p)
+}
+
+// Sources returns the scenario's (patched) experimental source tree —
+// the corpus the interpreter runs and the metagraph compiles. The
+// build is cached like any other stage.
+func (s *Session) Sources(ctx context.Context, sc Scenario) ([]corpus.File, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.runnerFor(ctx, p.sourceKey(), p.cfg, p.patches)
+	if err != nil {
+		return nil, err
+	}
+	return r.Corpus.Files, nil
+}
+
+// runSet integrates members offset..offset+n-1, checking the context
+// between members so a canceled investigation stops promptly instead
+// of finishing the whole set.
+func runSet(ctx context.Context, r *model.Runner, n, offset int, base model.RunConfig) ([]ect.RunOutput, error) {
+	out := make([]ect.RunOutput, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Member = offset + i
+		res, err := r.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Means)
+	}
+	return out, nil
 }
 
 // Fingerprint returns the cached control ensemble and its ECT PCA
-// fingerprint — the spec-independent state every Verdict shares.
-func (s *Session) Fingerprint() (*Fingerprint, error) {
-	return s.fp.get(func() (*Fingerprint, error) {
-		control, err := s.runner(corpus.BugNone)
+// fingerprint — the scenario-independent state every Verdict shares.
+func (s *Session) Fingerprint(ctx context.Context) (*Fingerprint, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	return s.fp.get(ctx, func() (*Fingerprint, error) {
+		control, err := s.control(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: control: %w", err)
 		}
-		ens, err := control.Ensemble(s.ensemble, model.RunConfig{})
+		ens, err := runSet(ctx, control, s.ensemble, 0, model.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -218,61 +345,76 @@ func (s *Session) Fingerprint() (*Fingerprint, error) {
 	})
 }
 
-// Verdict runs the spec's experimental set against the cached ensemble
-// fingerprint and returns the UF-ECT failure rate (pipeline step 0).
-func (s *Session) Verdict(spec Spec) (*Verdict, error) {
-	if err := s.ctx.Err(); err != nil {
+// Verdict runs the scenario's experimental set against the cached
+// ensemble fingerprint and returns the UF-ECT failure rate (step 0).
+// Verdicts are cached per build fingerprint — slicing options play no
+// part in the experimental runs, so AVX2 and AVX2-FULL share one
+// experimental set.
+func (s *Session) Verdict(ctx context.Context, sc Scenario) (*Verdict, error) {
+	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
-	c := keyedCell(&s.mu, s.verdicts, spec)
-	return c.get(func() (*Verdict, error) {
-		fp, err := s.Fingerprint()
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.verdicts, p.buildKey())
+	return c.get(ctx, func() (*Verdict, error) {
+		fp, err := s.Fingerprint(ctx)
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.Builds(spec)
+		b, err := s.buildsFor(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		return verdictStage(spec, fp, b, s.expSize)
+		return verdictStage(ctx, fp, b, s.expSize)
 	})
 }
 
-// SelectVariables applies the §3 variable selection to the spec's
+// SelectVariables applies the §3 variable selection to the scenario's
 // verdict (first-step comparison, then lasso/median distances).
-func (s *Session) SelectVariables(spec Spec) (*Selection, error) {
-	if err := s.ctx.Err(); err != nil {
+func (s *Session) SelectVariables(ctx context.Context, sc Scenario) (*Selection, error) {
+	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
-	c := keyedCell(&s.mu, s.selections, spec)
-	return c.get(func() (*Selection, error) {
-		v, err := s.Verdict(spec)
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.selections, p.scenarioKey())
+	return c.get(ctx, func() (*Selection, error) {
+		v, err := s.Verdict(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
-		fp, err := s.Fingerprint()
+		fp, err := s.Fingerprint(ctx)
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.Builds(spec)
+		b, err := s.buildsFor(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		return selectStage(spec, fp, b, v)
+		return selectStage(sc, fp, b, v)
 	})
 }
 
-// Compile returns the coverage-filtered metagraph for the spec's
-// source configuration. The result is cached per (bug, PRNG, FMA)
-// tuple, so specs sharing a source tree (e.g. AVX2 and AVX2-FULL)
-// compile once.
-func (s *Session) Compile(spec Spec) (*Compiled, error) {
-	if err := s.ctx.Err(); err != nil {
+// Compile returns the coverage-filtered metagraph for the scenario's
+// build configuration. The result is cached per build fingerprint
+// (source injections plus coverage-affecting configuration), so
+// scenarios sharing a source tree compile once.
+func (s *Session) Compile(ctx context.Context, sc Scenario) (*Compiled, error) {
+	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
-	c := keyedCell(&s.mu, s.compiled, buildKey{spec.Bug, spec.Mersenne, spec.FMA})
-	return c.get(func() (*Compiled, error) {
-		b, err := s.Builds(spec)
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.compiled, p.buildKey())
+	return c.get(ctx, func() (*Compiled, error) {
+		b, err := s.buildsFor(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -280,97 +422,107 @@ func (s *Session) Compile(spec Spec) (*Compiled, error) {
 	})
 }
 
-// Slice induces the hybrid slice for the spec from its compiled
+// Slice induces the hybrid slice for the scenario from its compiled
 // metagraph and selected variables (§5.1-5.3).
-func (s *Session) Slice(spec Spec) (*Sliced, error) {
-	if err := s.ctx.Err(); err != nil {
+func (s *Session) Slice(ctx context.Context, sc Scenario) (*Sliced, error) {
+	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
-	c := keyedCell(&s.mu, s.slices, spec)
-	return c.get(func() (*Sliced, error) {
-		sel, err := s.SelectVariables(spec)
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.slices, p.scenarioKey())
+	return c.get(ctx, func() (*Sliced, error) {
+		sel, err := s.SelectVariables(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
-		comp, err := s.Compile(spec)
+		comp, err := s.Compile(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.Builds(spec)
+		b, err := s.buildsFor(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		return sliceStage(spec, b, comp, sel)
+		return sliceStage(sc, b, comp, sel)
 	})
 }
 
-// Refine runs the Algorithm 5.4 iterative refinement over the spec's
-// slice with the session's sampler strategy.
-func (s *Session) Refine(spec Spec) (*core.Result, error) {
-	if err := s.ctx.Err(); err != nil {
+// Refine runs the Algorithm 5.4 iterative refinement over the
+// scenario's slice with the session's sampler strategy, checking the
+// context between refinement iterations.
+func (s *Session) Refine(ctx context.Context, sc Scenario) (*core.Result, error) {
+	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
-	c := keyedCell(&s.mu, s.refined, spec)
-	return c.get(func() (*core.Result, error) {
-		sl, err := s.Slice(spec)
+	p, err := s.plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	c := keyedCell(&s.mu, s.refined, p.scenarioKey())
+	return c.get(ctx, func() (*core.Result, error) {
+		sl, err := s.Slice(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
-		comp, err := s.Compile(spec)
+		comp, err := s.Compile(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.Builds(spec)
+		b, err := s.buildsFor(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		return refineStage(b, comp, sl, s.sampler, s.refine)
+		return refineStage(ctx, b, comp, sl, s.sampler, s.refine)
 	})
 }
 
-// Run composes the stages end to end for one experiment. Stage results
+// Run composes the stages end to end for one scenario. Stage results
 // are cached, so repeated runs (and stage calls before or after) reuse
 // all shared work.
-func (s *Session) Run(spec Spec) (*Outcome, error) {
-	v, err := s.Verdict(spec)
+func (s *Session) Run(ctx context.Context, sc Scenario) (*Outcome, error) {
+	v, err := s.Verdict(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := s.SelectVariables(spec)
+	sel, err := s.SelectVariables(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	comp, err := s.Compile(spec)
+	comp, err := s.Compile(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	sl, err := s.Slice(spec)
+	sl, err := s.Slice(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	ref, err := s.Refine(spec)
+	ref, err := s.Refine(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	return assembleOutcome(spec, v, sel, comp, sl, ref), nil
+	return assembleOutcome(sc, v, sel, comp, sl, ref), nil
 }
 
-// RunAll runs every spec concurrently over the shared cached state
-// with bounded worker goroutines, returning outcomes in spec order.
+// RunAll runs every scenario concurrently over the shared cached state
+// with bounded worker goroutines, returning outcomes in input order.
 // The ensemble fingerprint is built once up front so workers start
-// from warm shared state.
-func (s *Session) RunAll(specs []Spec) ([]*Outcome, error) {
-	if len(specs) == 0 {
+// from warm shared state. Cancellation aborts the fan-out promptly and
+// leaves the session reusable.
+func (s *Session) RunAll(ctx context.Context, scs []Scenario) ([]*Outcome, error) {
+	if len(scs) == 0 {
 		return nil, nil
 	}
-	if _, err := s.Fingerprint(); err != nil {
+	if _, err := s.Fingerprint(ctx); err != nil {
 		return nil, err
 	}
-	outs := make([]*Outcome, len(specs))
-	errs := make([]error, len(specs))
+	outs := make([]*Outcome, len(scs))
+	errs := make([]error, len(scs))
 	workers := s.workers
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > len(scs) {
+		workers = len(scs)
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -383,21 +535,24 @@ func (s *Session) RunAll(specs []Spec) ([]*Outcome, error) {
 				if failed.Load() {
 					continue
 				}
-				outs[i], errs[i] = s.Run(specs[i])
+				outs[i], errs[i] = s.Run(ctx, scs[i])
 				if errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := range specs {
+	for i := range scs {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", specs[i].Name, err)
+			if isCanceled(err) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%s: %w", scs[i].Name(), err)
 		}
 	}
 	return outs, nil
@@ -406,9 +561,12 @@ func (s *Session) RunAll(specs []Spec) ([]*Outcome, error) {
 // FullMetagraph compiles (once) the unfiltered metagraph of the clean
 // corpus — the full variable digraph behind Figure 4 and the §6.5
 // module quotient graph.
-func (s *Session) FullMetagraph() (*metagraph.Metagraph, error) {
-	return s.fullMG.get(func() (*metagraph.Metagraph, error) {
-		control, err := s.runner(corpus.BugNone)
+func (s *Session) FullMetagraph(ctx context.Context) (*metagraph.Metagraph, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	return s.fullMG.get(ctx, func() (*metagraph.Metagraph, error) {
+		control, err := s.control(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: control: %w", err)
 		}
@@ -417,8 +575,8 @@ func (s *Session) FullMetagraph() (*metagraph.Metagraph, error) {
 }
 
 // EnsembleOutputs returns the cached control-ensemble outputs.
-func (s *Session) EnsembleOutputs() ([]ect.RunOutput, error) {
-	fp, err := s.Fingerprint()
+func (s *Session) EnsembleOutputs(ctx context.Context) ([]ect.RunOutput, error) {
+	fp, err := s.Fingerprint(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -426,17 +584,14 @@ func (s *Session) EnsembleOutputs() ([]ect.RunOutput, error) {
 }
 
 // ExperimentalOutputs integrates n experimental members (perturbation
-// seeds offset..offset+n-1) under the spec's configuration, reusing
-// the cached corpus builds.
-func (s *Session) ExperimentalOutputs(spec Spec, n, offset int) ([]ect.RunOutput, error) {
-	if err := s.ctx.Err(); err != nil {
-		return nil, err
-	}
-	b, err := s.Builds(spec)
+// seeds offset..offset+n-1) under the scenario's configuration,
+// reusing the cached corpus builds.
+func (s *Session) ExperimentalOutputs(ctx context.Context, sc Scenario, n, offset int) ([]ect.RunOutput, error) {
+	b, err := s.Builds(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	return b.Exper.ExperimentalSet(n, offset, b.ExpRunCfg)
+	return runSet(ctx, b.Exper, n, offset, b.ExpRunCfg)
 }
 
 // Table1 reproduces the paper's Table 1 selective-FMA study over the
@@ -444,8 +599,8 @@ func (s *Session) ExperimentalOutputs(spec Spec, n, offset int) ([]ect.RunOutput
 // (when the sizes agree) and the full metagraph are all reused.
 // setup.Corpus is ignored — the session's corpus configuration
 // applies; a zero EnsembleSize inherits the session's.
-func (s *Session) Table1(setup Table1Setup) ([]Table1Row, error) {
-	if err := s.ctx.Err(); err != nil {
+func (s *Session) Table1(ctx context.Context, setup Table1Setup) ([]Table1Row, error) {
+	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
 	if setup.EnsembleSize == 0 {
@@ -453,19 +608,19 @@ func (s *Session) Table1(setup Table1Setup) ([]Table1Row, error) {
 	}
 	setup = setup.withDefaults()
 
-	runner, err := s.runner(corpus.BugNone)
+	runner, err := s.control(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var test *ect.Test
 	if setup.EnsembleSize == s.ensemble {
-		fp, err := s.Fingerprint()
+		fp, err := s.Fingerprint(ctx)
 		if err != nil {
 			return nil, err
 		}
 		test = fp.Test
 	} else {
-		ens, err := runner.Ensemble(setup.EnsembleSize, model.RunConfig{})
+		ens, err := runSet(ctx, runner, setup.EnsembleSize, 0, model.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -474,9 +629,9 @@ func (s *Session) Table1(setup Table1Setup) ([]Table1Row, error) {
 			return nil, err
 		}
 	}
-	mg, err := s.FullMetagraph()
+	mg, err := s.FullMetagraph(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return table1Rows(runner, test, mg, setup)
+	return table1Rows(ctx, runner, test, mg, setup)
 }

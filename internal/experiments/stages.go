@@ -12,7 +12,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"github.com/climate-rca/rca/internal/core"
 	"github.com/climate-rca/rca/internal/coverage"
@@ -23,9 +25,10 @@ import (
 	"github.com/climate-rca/rca/internal/stats"
 )
 
-// Builds pairs the control and experimental model builds for one spec.
-// The runners cache the parsed corpus; RunCfg/ExpRunCfg carry the
-// spec's configuration changes (Mersenne PRNG swap, FMA enablement).
+// Builds pairs the control and experimental model builds for one
+// scenario. The runners cache the parsed corpus; RunCfg/ExpRunCfg
+// carry the scenario's configuration injections (PRNG swap, FMA
+// policy).
 type Builds struct {
 	Control, Exper    *model.Runner
 	RunCfg, ExpRunCfg model.RunConfig
@@ -41,8 +44,9 @@ type Fingerprint struct {
 
 // Verdict is the stage-0 result: the experimental set and its UF-ECT
 // failure rate — the Pass/Fail verdict that starts an investigation.
+// It carries no scenario identity on purpose: verdicts are cached per
+// build fingerprint and shared by every scenario with that build.
 type Verdict struct {
-	Spec        Spec
 	FailureRate float64
 	ExpRuns     []ect.RunOutput
 }
@@ -74,32 +78,32 @@ type Sliced struct {
 }
 
 // verdictStage runs the experimental set and scores it against the
-// ensemble fingerprint.
-func verdictStage(spec Spec, fp *Fingerprint, b *Builds, expSize int) (*Verdict, error) {
-	runs, err := b.Exper.ExperimentalSet(expSize, 1000, b.ExpRunCfg)
+// ensemble fingerprint, honoring the context between members.
+func verdictStage(ctx context.Context, fp *Fingerprint, b *Builds, expSize int) (*Verdict, error) {
+	runs, err := runSet(ctx, b.Exper, expSize, 1000, b.ExpRunCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Verdict{Spec: spec, FailureRate: fp.Test.FailureRate(runs), ExpRuns: runs}, nil
+	return &Verdict{FailureRate: fp.Test.FailureRate(runs), ExpRuns: runs}, nil
 }
 
 // selectStage applies §3: the direct first-step comparison is tried
 // first (the paper's recommendation); when it is inconclusive — the
 // common case, since changes propagate to most variables — the
 // distribution methods (lasso, median distances) take over.
-func selectStage(spec Spec, fp *Fingerprint, b *Builds, v *Verdict) (*Selection, error) {
+func selectStage(sc Scenario, fp *Fingerprint, b *Builds, v *Verdict) (*Selection, error) {
 	sel := &Selection{}
 	sel.MedianRanking = stats.MedianDistanceRanking(group(fp.Ensemble), group(v.ExpRuns))
 	sel.FirstStep, _ = FirstStepDiff(b.Control, b.Exper, b.ExpRunCfg, 1e-12)
 	if sel.FirstStep != nil && sel.FirstStep.Conclusive() {
 		sel.Outputs = sel.FirstStep.Differing
-		if max := spec.SelectK; max > 0 && len(sel.Outputs) > max {
+		if max := sc.Options().SelectK; max > 0 && len(sel.Outputs) > max {
 			sel.Outputs = sel.Outputs[:max]
 		}
 		return sel, nil
 	}
 	var err error
-	sel.Outputs, err = selectOutputs(spec, fp.Test.Vars(), fp.Ensemble, v.ExpRuns, sel.MedianRanking)
+	sel.Outputs, err = selectOutputs(sc.Options().SelectK, fp.Test.Vars(), fp.Ensemble, v.ExpRuns, sel.MedianRanking)
 	if err != nil {
 		return nil, err
 	}
@@ -124,9 +128,10 @@ func compileStage(b *Builds) (*Compiled, error) {
 }
 
 // sliceStage maps selected outputs to internal canonical names (§5.1),
-// induces the hybrid slice (step 4), and locates the known defect
-// nodes for the success check.
-func sliceStage(spec Spec, b *Builds, comp *Compiled, sel *Selection) (*Sliced, error) {
+// induces the hybrid slice (step 4), and locates the scenario's known
+// defect nodes (the union over its injections' sites) for the success
+// check.
+func sliceStage(sc Scenario, b *Builds, comp *Compiled, sel *Selection) (*Sliced, error) {
 	mg := comp.Metagraph
 	out := &Sliced{}
 	for _, lbl := range sel.Outputs {
@@ -139,7 +144,7 @@ func sliceStage(spec Spec, b *Builds, comp *Compiled, sel *Selection) (*Sliced, 
 	}
 
 	opt := slicing.Options{MinClusterSize: 4}
-	if spec.CAMOnly {
+	if sc.Options().CAMOnly {
 		c := b.Exper.Corpus
 		opt.ModuleFilter = func(m string) bool { return c.IsCAM(m) }
 	}
@@ -149,7 +154,8 @@ func sliceStage(spec Spec, b *Builds, comp *Compiled, sel *Selection) (*Sliced, 
 	}
 	out.Slice = sl
 
-	out.BugNodes, out.KGenFlagged, err = bugNodes(spec, mg, b.Control, b.Exper, b.ExpRunCfg)
+	out.BugNodes, out.KGenFlagged, err = defectSites(sc, siteInput{
+		mg: mg, control: b.Control, exper: b.Exper, expRun: b.ExpRunCfg})
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +166,38 @@ func sliceStage(spec Spec, b *Builds, comp *Compiled, sel *Selection) (*Sliced, 
 	return out, nil
 }
 
-// refineStage runs Algorithm 5.4 with the chosen sampler strategy.
-func refineStage(b *Builds, comp *Compiled, sl *Sliced, sampler Sampler, opts core.Options) (*core.Result, error) {
+// defectSites unions the defect locations of every injection in the
+// scenario, deduplicated and sorted, so multi-defect scenarios check
+// success against all their sites.
+func defectSites(sc Scenario, in siteInput) ([]int, []string, error) {
+	seen := map[int]bool{}
+	var ids []int
+	var names []string
+	for _, inj := range sc.Injections() {
+		if inj == nil {
+			continue
+		}
+		is, ns, err := inj.sites(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("injection %s: %w", inj.ID(), err)
+		}
+		for _, id := range is {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		names = append(names, ns...)
+	}
+	sort.Ints(ids)
+	return ids, names, nil
+}
+
+// refineStage runs Algorithm 5.4 with the chosen sampler strategy,
+// wiring the per-call context into the refinement loop's checkpoint so
+// cancellation lands between iterations.
+func refineStage(ctx context.Context, b *Builds, comp *Compiled, sl *Sliced, sampler Sampler, opts core.Options) (*core.Result, error) {
+	opts.Checkpoint = func() error { return ctxErr(ctx) }
 	return sampler.Refine(RefineInput{
 		Metagraph: comp.Metagraph,
 		Slice:     sl.Slice,
@@ -176,9 +212,10 @@ func refineStage(b *Builds, comp *Compiled, sl *Sliced, sampler Sampler, opts co
 
 // assembleOutcome flattens the stage results into the monolithic
 // Outcome the one-shot API has always returned.
-func assembleOutcome(spec Spec, v *Verdict, sel *Selection, comp *Compiled, sl *Sliced, ref *core.Result) *Outcome {
+func assembleOutcome(sc Scenario, v *Verdict, sel *Selection, comp *Compiled, sl *Sliced, ref *core.Result) *Outcome {
 	out := &Outcome{
-		Spec:            spec,
+		Name:            sc.Name(),
+		Scenario:        sc,
 		FailureRate:     v.FailureRate,
 		SelectedOutputs: sel.Outputs,
 		Internals:       sl.Internals,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -106,18 +107,20 @@ func Table1(setup Table1Setup) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return table1Rows(runner, test, mg, setup)
+	return table1Rows(context.Background(), runner, test, mg, setup)
 }
 
 // table1Rows runs the five disablement strategies against
 // already-built state (a clean runner, a fitted ECT test and the full
-// metagraph) — shared by the one-shot Table1 and Session.Table1.
-func table1Rows(runner *model.Runner, test *ect.Test, mg *metagraph.Metagraph,
+// metagraph) — shared by the one-shot Table1 and Session.Table1. The
+// context is honored between ensemble members, so a canceled study
+// stops mid-strategy rather than running all five sweeps.
+func table1Rows(ctx context.Context, runner *model.Runner, test *ect.Test, mg *metagraph.Metagraph,
 	setup Table1Setup) ([]Table1Row, error) {
 	c := runner.Corpus
 	rate := func(disabled map[string]bool) (float64, error) {
 		fma := func(module string) bool { return !disabled[module] }
-		runs, err := runner.ExperimentalSet(setup.ExpSize, 1000, model.RunConfig{FMA: fma})
+		runs, err := runSet(ctx, runner, setup.ExpSize, 1000, model.RunConfig{FMA: fma})
 		if err != nil {
 			return 0, err
 		}

@@ -22,20 +22,37 @@
 // Because CESM itself is 1.5M lines of unavailable Fortran, the
 // repository ships a synthetic CESM-like corpus (internal/corpus) and
 // an interpreter (internal/interp) that executes it; see DESIGN.md for
-// the substitution map. Six experiments from the paper are prewired:
-// WSUBBUG, RAND-MT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG.
+// the substitution map.
 //
-// Quick start (one experiment):
+// # Scenarios
 //
-//	out, err := rca.RunExperiment(rca.GOFFGRATCH, rca.Setup{})
-//	fmt.Print(rca.FormatOutcome(out))
+// An experiment is a Scenario: a named, ordered set of composable
+// Injections — source patches over corpus subprograms, a PRNG swap,
+// per-module FMA toggles, ensemble-parameter perturbations — plus
+// slicing options. The paper's §6/§8 catalog is prewired (WSUBBUG,
+// RANDMT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG, and the supplement),
+// but any defect the patch engine can express runs through the same
+// pipeline and the same caches:
 //
-// Running several investigations against the same corpus? Build a
-// Session once — it caches the corpus, the 40-member ensemble's ECT
-// fingerprint and the compiled metagraphs — and fan out over it:
+//	twoBugs := rca.NewScenario("WSUB+GG",
+//		rca.ScenarioOptions{CAMOnly: true, SelectK: 5},
+//		rca.WsubDefect(),
+//		rca.GoffGratchDefect())
 //
 //	session := rca.NewSession(rca.DefaultCorpus())
-//	outs, err := session.RunAll(rca.Experiments())
+//	out, err := session.Run(ctx, twoBugs)
+//
+// Running several investigations against the same corpus? One Session
+// caches the corpus builds, the 40-member ensemble's ECT fingerprint
+// and the compiled metagraphs — keyed by injection fingerprints, so
+// user-defined and multi-defect scenarios are cached exactly like the
+// prewired catalog:
+//
+//	outs, err := session.RunAll(ctx, rca.Experiments())
+//
+// Every pipeline call takes a context.Context; cancellation lands
+// between ensemble members and refinement iterations, surfaces as
+// ErrCanceled, and leaves the Session reusable.
 package rca
 
 import (
@@ -47,8 +64,34 @@ import (
 	"github.com/climate-rca/rca/internal/experiments"
 )
 
-// Spec names one experiment configuration (which defect is injected
-// and how the slice is restricted).
+// Scenario is one root-cause investigation: a name, an ordered set of
+// composable injections, and slicing options. Build one with
+// NewScenario, ParseInjection or ScenarioFromJSON.
+type Scenario = experiments.Scenario
+
+// Injection is one composable element of a scenario: a source patch,
+// a PRNG swap, an FMA policy, or an ensemble-parameter perturbation.
+// Its ID() fingerprint drives the Session's caches.
+type Injection = experiments.Injection
+
+// ScenarioOptions control how an investigation slices (CAM-module
+// restriction, lasso target support), independent of what it injects.
+type ScenarioOptions = experiments.ScenarioOptions
+
+// SourceReplace injects a defect by replacing text inside one
+// assignment of a named corpus subprogram — the §6 defect family.
+type SourceReplace = experiments.SourceReplace
+
+// ScaleAssignment injects a defect by multiplying an assignment's
+// right-hand side by a factor (e.g. micro_mg_tend.ratio *= 1.0001).
+type ScaleAssignment = experiments.ScaleAssignment
+
+// Spec names one experiment configuration over the closed defect
+// catalog.
+//
+// Deprecated: Spec predates the Scenario interface and can only
+// express the prewired defects. Compose a Scenario from Injections
+// instead; legacy Specs convert losslessly with Scenario().
 type Spec = experiments.Spec
 
 // Setup sizes an experiment run: corpus scale, ensemble and
@@ -63,8 +106,16 @@ type Outcome = experiments.Outcome
 // CorpusConfig sizes the synthetic CESM-like corpus.
 type CorpusConfig = corpus.Config
 
-// Bug selects an injectable source defect.
+// Bug selects a prewired injectable source defect.
+//
+// Deprecated: the Bug enum is the closed world the Scenario API
+// opens. Use the catalog injections (WsubDefect, GoffGratchDefect, …)
+// or a custom SourceReplace/ScaleAssignment.
 type Bug = corpus.Bug
+
+// Patch is one source-level edit over a named corpus subprogram — the
+// corpus-layer mechanism behind SourceReplace/ScaleAssignment.
+type Patch = corpus.Patch
 
 // Table1Row is one row of the selective-FMA-disablement study.
 type Table1Row = experiments.Table1Row
@@ -72,26 +123,93 @@ type Table1Row = experiments.Table1Row
 // Table1Setup sizes the selective-FMA-disablement study.
 type Table1Setup = experiments.Table1Setup
 
-// The paper's experiments (§6 and supplement §8.2).
+// Typed errors of the pipeline; classify failures with errors.Is:
+//
+//	ErrCanceled              — a per-call context was canceled or
+//	                           timed out (also matches ctx.Err())
+//	ErrConflictingInjections — a scenario composes contradictory
+//	                           injections
+//	ErrUnknownSubprogram     — an injection targets a subprogram,
+//	                           assignment or metagraph node the corpus
+//	                           does not contain
+//	ErrBadPatch              — a patch edit could not be applied
 var (
-	WSUBBUG    = experiments.WSUBBUG
-	RANDMT     = experiments.RANDMT
-	GOFFGRATCH = experiments.GOFFGRATCH
-	AVX2       = experiments.AVX2
-	RANDOMBUG  = experiments.RANDOMBUG
-	DYN3BUG    = experiments.DYN3BUG
-	AVX2Full   = experiments.AVX2Full
-	LANDBUG    = experiments.LANDBUG
+	ErrCanceled              = experiments.ErrCanceled
+	ErrConflictingInjections = experiments.ErrConflictingInjections
+	ErrUnknownSubprogram     = corpus.ErrUnknownSubprogram
+	ErrBadPatch              = corpus.ErrBadPatch
 )
 
-// Injectable bugs (for custom Specs).
+// The paper's prewired experiments (§6 and supplement §8.2), as
+// scenario values over the open Injection catalog.
+var (
+	WSUBBUG    = experiments.WSUBBUG.Scenario()
+	RANDMT     = experiments.RANDMT.Scenario()
+	GOFFGRATCH = experiments.GOFFGRATCH.Scenario()
+	AVX2       = experiments.AVX2.Scenario()
+	RANDOMBUG  = experiments.RANDOMBUG.Scenario()
+	DYN3BUG    = experiments.DYN3BUG.Scenario()
+	AVX2Full   = experiments.AVX2Full.Scenario()
+	LANDBUG    = experiments.LANDBUG.Scenario()
+)
+
+// Injectable bugs (for legacy custom Specs).
+//
+// Deprecated: compose injections instead of enum values.
 const (
 	BugNone       = corpus.BugNone
 	BugWsub       = corpus.BugWsub
 	BugGoffGratch = corpus.BugGoffGratch
 	BugDyn3       = corpus.BugDyn3
 	BugRandomIdx  = corpus.BugRandomIdx
+	BugLand       = corpus.BugLand
 )
+
+// NewScenario composes injections into a runnable scenario.
+func NewScenario(name string, opts ScenarioOptions, injs ...Injection) Scenario {
+	return experiments.NewScenario(name, opts, injs...)
+}
+
+// ParseInjection parses the compact injection syntax the CLIs accept:
+// "sub.var*=1.0001", "sub.var:OLD=>NEW", "prng=mt", "fma=all",
+// "param:turbcoef=0.02". See the experiments package for the grammar.
+func ParseInjection(s string) (Injection, error) { return experiments.ParseInjection(s) }
+
+// ScenarioFromJSON decodes a JSON scenario definition:
+//
+//	{"name": "WSUB+GG", "camonly": true, "selectk": 5,
+//	 "inject": ["aero_run.wsub:0.20=>2.00", "prng=mt"]}
+func ScenarioFromJSON(data []byte) (Scenario, error) { return experiments.ScenarioFromJSON(data) }
+
+// ScenarioFingerprint returns a scenario's stable cache identity over
+// a corpus configuration — the value that replaces the legacy
+// (Bug, Mersenne, FMA) tuple as the Session cache key.
+func ScenarioFingerprint(cfg CorpusConfig, sc Scenario) (string, error) {
+	return experiments.ScenarioFingerprint(cfg, sc)
+}
+
+// MersennePRNG swaps the model's random_number generator to Mersenne
+// Twister (§6.2 RAND-MT).
+func MersennePRNG() Injection { return experiments.MersennePRNG() }
+
+// EnableFMA enables fused multiply-add in the named modules, or
+// everywhere with no arguments (the §6.4 AVX2 port).
+func EnableFMA(modules ...string) Injection { return experiments.EnableFMA(modules...) }
+
+// PerturbParameter perturbs one of the ensemble-shaping corpus
+// parameters ("turbcoef", "fmagain", "auxfmagain").
+func PerturbParameter(name string, value float64) Injection {
+	return experiments.PerturbParameter(name, value)
+}
+
+// The prewired defect catalog (§6 and §8.2), exposed as reusable
+// injections so composites like WSUB+GOFFGRATCH are one NewScenario
+// call away.
+func WsubDefect() Injection       { return experiments.WsubDefect() }
+func GoffGratchDefect() Injection { return experiments.GoffGratchDefect() }
+func Dyn3Defect() Injection       { return experiments.Dyn3Defect() }
+func RandomIdxDefect() Injection  { return experiments.RandomIdxDefect() }
+func LandDefect() Injection       { return experiments.LandDefect() }
 
 // DefaultCorpus returns the CI-sized corpus configuration.
 func DefaultCorpus() CorpusConfig { return corpus.Default() }
@@ -101,13 +219,20 @@ func DefaultCorpus() CorpusConfig { return corpus.Default() }
 func PaperScaleCorpus() CorpusConfig { return corpus.PaperScale() }
 
 // RunExperiment executes the full root-cause-analysis pipeline for
-// one experiment.
+// one scenario.
 //
 // Deprecated: RunExperiment builds a single-use Session per call,
 // regenerating the corpus, the ensemble and the metagraph every time.
 // Use NewSession and Session.Run (or Session.RunAll) to amortize that
-// work across experiments.
-func RunExperiment(spec Spec, setup Setup) (*Outcome, error) {
+// work across scenarios.
+func RunExperiment(sc Scenario, setup Setup) (*Outcome, error) {
+	return experiments.RunScenario(sc, setup)
+}
+
+// RunSpec executes the pipeline for one legacy closed-world Spec.
+//
+// Deprecated: convert the Spec with Scenario() and use a Session.
+func RunSpec(spec Spec, setup Setup) (*Outcome, error) {
 	return experiments.Run(spec, setup)
 }
 
@@ -120,20 +245,20 @@ func RunTable1(setup Table1Setup) ([]Table1Row, error) {
 	return experiments.Table1(setup)
 }
 
-// Experiments returns the prewired §6 specs in paper order.
-func Experiments() []Spec {
-	return []Spec{WSUBBUG, RANDMT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG}
+// Experiments returns the prewired §6 scenarios in paper order.
+func Experiments() []Scenario {
+	return []Scenario{WSUBBUG, RANDMT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG}
 }
 
-// SupplementExperiments returns the supplement specs (Figure 15's
+// SupplementExperiments returns the supplement scenarios (Figure 15's
 // unrestricted AVX2 slice and the land-module defect).
-func SupplementExperiments() []Spec {
-	return []Spec{AVX2Full, LANDBUG}
+func SupplementExperiments() []Scenario {
+	return []Scenario{AVX2Full, LANDBUG}
 }
 
-// AllExperiments returns every prewired spec: the six §6 experiments
-// followed by the supplement.
-func AllExperiments() []Spec {
+// AllExperiments returns every prewired scenario: the six §6
+// experiments followed by the supplement.
+func AllExperiments() []Scenario {
 	return append(Experiments(), SupplementExperiments()...)
 }
 
@@ -141,7 +266,7 @@ func AllExperiments() []Spec {
 // report mirroring the quantities the paper states per experiment.
 func FormatOutcome(o *Outcome) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "experiment       %s\n", o.Spec.Name)
+	fmt.Fprintf(&b, "experiment       %s\n", o.Name)
 	fmt.Fprintf(&b, "UF-ECT failure   %.0f%%\n", 100*o.FailureRate)
 	if o.FirstStep != nil {
 		verdict := "inconclusive"

@@ -34,7 +34,7 @@ func TestExperimentsList(t *testing.T) {
 	}
 	names := map[string]bool{}
 	for _, s := range specs {
-		names[s.Name] = true
+		names[s.Name()] = true
 	}
 	for _, want := range []string{"WSUBBUG", "RAND-MT", "GOFFGRATCH", "AVX2",
 		"RANDOMBUG", "DYN3BUG"} {

@@ -9,15 +9,24 @@ import (
 )
 
 // Session is the compile-once, run-many entry point: constructed once
-// per corpus configuration, it caches the generated corpus, the
+// per corpus configuration, it caches the generated corpus builds, the
 // control-ensemble ECT fingerprint and the compiled metagraphs, and
 // exposes the pipeline as typed stages plus Run/RunAll/Table1
-// composing them. A Session is safe for concurrent use.
+// composing them. Cache keys are scenario fingerprints (concatenated
+// injection IDs), so user-defined and multi-defect scenarios share
+// work exactly like the prewired catalog. A Session is safe for
+// concurrent use.
+//
+// Every call takes a context.Context; cancellation is honored at
+// stage entry, between ensemble members, and between refinement
+// iterations, surfaces as ErrCanceled (also matching the context's
+// own error), and is never memoized — the Session stays reusable
+// after a canceled investigation.
 //
 //	session := rca.NewSession(rca.DefaultCorpus(),
 //		rca.WithEnsembleSize(40),
 //		rca.WithSampler(rca.ValueSampling(0)))
-//	outs, err := session.RunAll(rca.Experiments())
+//	outs, err := session.RunAll(ctx, rca.Experiments())
 type Session = experiments.Session
 
 // Option configures a Session (functional options for NewSession).
@@ -44,8 +53,9 @@ type (
 )
 
 // NewSession builds a Session for one corpus configuration. Nothing is
-// generated until a stage needs it; every expensive artifact (corpus,
-// ensemble, metagraph) is then cached for the session's lifetime.
+// generated until a stage needs it; every expensive artifact (corpus
+// build, ensemble, metagraph) is then cached for the session's
+// lifetime under the requesting scenario's injection fingerprints.
 func NewSession(cfg CorpusConfig, opts ...Option) *Session {
 	return experiments.NewSession(cfg, opts...)
 }
@@ -64,8 +74,12 @@ func WithSampler(s Sampler) Option { return experiments.WithSampler(s) }
 // WithRefineOptions sets the Algorithm 5.4 knobs.
 func WithRefineOptions(o RefineOptions) Option { return experiments.WithRefineOptions(o) }
 
-// WithContext attaches a cancellation context; cancellation aborts
-// between stages (an in-flight stage runs to completion first).
+// WithContext attaches a constructor-scoped cancellation context,
+// checked alongside the per-call contexts.
+//
+// Deprecated: pass a context to each call instead — Run, RunAll,
+// Table1 and every stage take one. Constructor-scoped cancellation
+// cannot distinguish between investigations sharing the session.
 func WithContext(ctx context.Context) Option { return experiments.WithContext(ctx) }
 
 // WithWorkers bounds RunAll's concurrent fan-out (default GOMAXPROCS).
