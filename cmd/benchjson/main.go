@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// JSON benchmark snapshot format the CI bench job uploads (and
+// BENCH_*.json files in the repo root record): benchmark name mapped
+// to ns/op, B/op and allocs/op, averaged over -count repetitions.
+//
+// Usage:
+//
+//	go test -bench 'PipelineSixSpecs|GirvanNewman|EdgeBetweenness' \
+//	    -benchmem -count 3 -run '^$' ./... | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches one -benchmem result row. The -N GOMAXPROCS suffix
+// is stripped so snapshots compare across machines.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// Result is one benchmark's averaged numbers.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Runs     int     `json:"runs"`
+}
+
+func main() {
+	acc := map[string]*Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := acc[m[1]]
+		if r == nil {
+			r = &Result{}
+			acc[m[1]] = r
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		r.NsOp += ns
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			a, _ := strconv.ParseFloat(m[4], 64)
+			r.BOp += b
+			r.AllocsOp += a
+		}
+		r.Runs++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, r := range acc {
+		n := float64(r.Runs)
+		r.NsOp /= n
+		r.BOp /= n
+		r.AllocsOp /= n
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(acc); err != nil { // json sorts map keys
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

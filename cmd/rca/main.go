@@ -53,6 +53,7 @@ func main() {
 		topk     = flag.Int("topk", 50, "modules to disable per Table 1 strategy")
 		dot      = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
 		graded   = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
+		parallel = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
 	)
 	flag.Var(&injects, "inject",
 		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | prng=mt | fma=all|m1,m2 | param:NAME=V")
@@ -100,10 +101,15 @@ func main() {
 	ccfg.AuxModules = *aux
 	ccfg.Seed = *seed
 
-	session := rca.NewSession(ccfg,
+	opts := []rca.Option{
 		rca.WithEnsembleSize(*ensemble),
 		rca.WithExpSize(*runs),
-		rca.WithSampler(strategy))
+		rca.WithSampler(strategy),
+	}
+	if *parallel > 0 {
+		opts = append(opts, rca.WithParallelism(*parallel))
+	}
+	session := rca.NewSession(ccfg, opts...)
 
 	switch {
 	case *table1:

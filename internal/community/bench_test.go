@@ -2,6 +2,7 @@ package community
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/climate-rca/rca/internal/graph"
@@ -39,11 +40,34 @@ func BenchmarkEdgeBetweenness(b *testing.B) {
 	}
 }
 
+// BenchmarkEdgeBetweennessFlat measures the CSR kernel alone (frozen
+// once, no map materialization) at full parallelism.
+func BenchmarkEdgeBetweennessFlat(b *testing.B) {
+	g := clusteredGraph(4, 60, 1)
+	csr := graph.Freeze(g)
+	par := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBetweennessFlat(csr, par)
+	}
+}
+
 func BenchmarkGirvanNewmanOneRound(b *testing.B) {
 	g := clusteredGraph(3, 50, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		GirvanNewman(g, 1, 3)
+	}
+}
+
+// BenchmarkGirvanNewmanOneRoundPar is the same round with the worker
+// pool at GOMAXPROCS; output is bit-identical to the sequential bench.
+func BenchmarkGirvanNewmanOneRoundPar(b *testing.B) {
+	g := clusteredGraph(3, 50, 2)
+	par := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GirvanNewmanPar(g, 1, 3, par)
 	}
 }
 

@@ -18,61 +18,40 @@ import (
 // undirected edge of g. g must be symmetric (u->v implies v->u); the
 // result maps the canonical orientation (min(u,v), max(u,v)) to its
 // score. BFS shortest paths are used, matching Girvan-Newman step 1.
+//
+// This is the map-shaped convenience wrapper; the kernel itself is
+// EdgeBetweennessFlat, which works on a frozen graph.CSR snapshot and
+// returns flat scores indexed by undirected edge id.
 func EdgeBetweenness(g *graph.Digraph) map[[2]int32]float64 {
-	n := g.NumNodes()
-	scores := make(map[[2]int32]float64, g.NumEdges()/2)
+	return EdgeBetweennessPar(g, 1)
+}
 
-	dist := make([]int, n)
-	sigma := make([]float64, n)
-	delta := make([]float64, n)
-	preds := make([][]int32, n)
-	stack := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
-
-	for s := 0; s < n; s++ {
-		stack = stack[:0]
-		queue = queue[:0]
-		for i := 0; i < n; i++ {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
-			preds[i] = preds[i][:0]
+// EdgeBetweennessPar is EdgeBetweenness with a bounded worker pool.
+// Results are bit-identical for every par, including 1.
+func EdgeBetweennessPar(g *graph.Digraph, par int) map[[2]int32]float64 {
+	csr := graph.Freeze(g)
+	flat := EdgeBetweennessFlat(csr, par)
+	scores := make(map[[2]int32]float64, len(flat))
+	for id, s := range flat {
+		u, v := csr.UndirEndpoints(int32(id))
+		if u == v {
+			continue // self-loops carry no shortest paths
 		}
-		dist[s] = 0
-		sigma[s] = 1
-		queue = append(queue, int32(s))
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			stack = append(stack, v)
-			for _, w := range g.Out(int(v)) {
-				if dist[w] < 0 {
-					dist[w] = dist[v] + 1
-					queue = append(queue, w)
-				}
-				if dist[w] == dist[v]+1 {
-					sigma[w] += sigma[v]
-					preds[w] = append(preds[w], v)
-				}
-			}
-		}
-		for i := len(stack) - 1; i >= 0; i-- {
-			w := stack[i]
-			for _, v := range preds[w] {
-				c := sigma[v] / sigma[w] * (1 + delta[w])
-				delta[v] += c
-				key := canonEdge(v, w)
-				scores[key] += c
-			}
-		}
-	}
-	// Each undirected edge was counted from both BFS "directions"
-	// (source s reaching it as (v,w)); halve to get the undirected
-	// betweenness convention.
-	for k := range scores {
-		scores[k] /= 2
+		scores[[2]int32{u, v}] = s
 	}
 	return scores
+}
+
+// EdgeBetweennessFlat computes Brandes edge betweenness on a frozen
+// CSR snapshot of a symmetric graph, sharding BFS sources across a
+// bounded worker pool. The result is indexed by undirected edge id.
+// Accumulation uses per-shard flat []float64 accumulators merged in
+// fixed shard order, so the result is bit-identical at every
+// parallelism level.
+func EdgeBetweennessFlat(c *graph.CSR, par int) []float64 {
+	e := newEngine(c)
+	e.compute(e.allNodes, e.aliveEdgesAll(), par)
+	return e.score
 }
 
 func canonEdge(u, v int32) [2]int32 {
@@ -91,114 +70,86 @@ func canonEdge(u, v int32) [2]int32 {
 // (the paper omits communities smaller than 3-4 nodes); pass 0 to keep
 // everything.
 //
-// The graph g is not modified; work happens on a clone.
+// The graph g is not modified: the procedure freezes a CSR snapshot
+// once and tracks removals in a flat alive mask.
 func GirvanNewman(g *graph.Digraph, iterations, minSize int) [][]int {
-	work := g.Clone()
+	return GirvanNewmanPar(g, iterations, minSize, 1)
+}
+
+// GirvanNewmanPar is GirvanNewman with a bounded worker pool sharding
+// the betweenness recomputations. Results are bit-identical for every
+// par, including 1.
+func GirvanNewmanPar(g *graph.Digraph, iterations, minSize, par int) [][]int {
+	if g.NumNodes() == 0 {
+		return nil
+	}
+	e := newEngine(graph.Freeze(g))
+	e.alive = make([]bool, e.csr.NumUndirEdges())
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	e.live = len(e.alive)
 	for it := 0; it < iterations; it++ {
-		if !splitOnce(work) {
+		if !splitOnce(e, par) {
 			break // no edges left to remove
 		}
 	}
-	comps := work.WeaklyConnectedComponents()
-	var out [][]int
-	for _, c := range comps {
-		if len(c) >= minSize {
-			out = append(out, c)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i]) != len(out[j]) {
-			return len(out[i]) > len(out[j])
-		}
-		return out[i][0] < out[j][0]
-	})
-	return out
+	return e.communities(minSize)
 }
 
-// splitOnce removes maximum-betweenness edges until the component count
-// increases. It reports false when the graph has no edges left.
-// Betweenness is recomputed after each removal, restricted to the
-// component containing the removed edge (the other components'
-// betweenness cannot change — the paper's step 3 note).
-func splitOnce(g *graph.Digraph) bool {
-	if g.NumEdges() == 0 {
+// splitOnce removes maximum-betweenness edges until a component splits.
+// It reports false when the graph has no edges left to remove.
+//
+// Instead of re-scanning a score map and re-deriving the global
+// component count per removal, the engine keeps a lazy max-heap over
+// edge scores (score desc, canonical endpoints asc — the same ordered
+// tie-break the map scan applied) and answers "did this removal split
+// a component?" with a single incremental u→v reachability check over
+// the alive mask. Betweenness is then recomputed only on the touched
+// component (the other components' scores cannot change — the paper's
+// step 3 note), with BFS sources restricted to the component's nodes.
+func splitOnce(e *engine, par int) bool {
+	if e.live == 0 {
 		return false
 	}
-	before := len(g.WeaklyConnectedComponents())
-	scores := EdgeBetweenness(g)
-	for g.NumEdges() > 0 {
-		// Pick the max-betweenness edge, deterministic tie-break.
-		var best [2]int32
-		bestScore := -1.0
-		for e, s := range scores {
-			if s > bestScore || (s == bestScore && less(e, best)) {
-				best, bestScore = e, s
-			}
+	edges := e.aliveEdgesAll()
+	e.compute(e.allNodes, edges, par)
+	var h gnHeap
+	for _, id := range edges {
+		u, v := e.csr.UndirEndpoints(id)
+		h.push(gnEntry{score: e.score[id], u: u, v: v, id: id, gen: e.edgeGen[id]})
+	}
+	for len(h) > 0 {
+		top := h.pop()
+		if !e.alive[top.id] || top.gen != e.edgeGen[top.id] {
+			continue // removed or rescored since it was pushed
 		}
-		if bestScore < 0 {
-			return false
+		e.alive[top.id] = false
+		e.live--
+		if top.u == top.v {
+			continue // self-loop: removal cannot split anything
 		}
-		u, v := int(best[0]), int(best[1])
-		g.RemoveEdge(u, v)
-		g.RemoveEdge(v, u)
-		if len(g.WeaklyConnectedComponents()) > before {
+		// Incremental connectivity: the removal splits a component iff
+		// the removed edge's endpoints are no longer connected.
+		comp := e.componentOf(top.u)
+		if !e.marked(top.v) {
 			return true
 		}
-		// Recompute betweenness on the component containing u; merge
-		// back into the global map for edges of that component.
-		comp := componentOf(g, u)
-		sub, mapping := g.Subgraph(comp)
-		delete(scores, best)
-		// Remove stale entries belonging to this component.
-		inComp := make(map[int32]bool, len(comp))
-		for _, c := range comp {
-			inComp[int32(c)] = true
-		}
-		for e := range scores {
-			if inComp[e[0]] && inComp[e[1]] {
-				delete(scores, e)
-			}
-		}
-		for e, s := range EdgeBetweenness(sub) {
-			scores[canonEdge(int32(mapping[e[0]]), int32(mapping[e[1]]))] = s
+		// Recompute betweenness restricted to the touched component:
+		// sources are its nodes (ascending, matching the old subgraph
+		// extraction order), scores overwrite its surviving edges, and
+		// fresh heap entries supersede the stale generation.
+		sorted := append([]int32(nil), comp...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		compEdges := e.aliveEdgesIn(sorted)
+		e.compute(sorted, compEdges, par)
+		for _, id := range compEdges {
+			e.edgeGen[id]++
+			u, v := e.csr.UndirEndpoints(id)
+			h.push(gnEntry{score: e.score[id], u: u, v: v, id: id, gen: e.edgeGen[id]})
 		}
 	}
 	return false
-}
-
-func less(a, b [2]int32) bool {
-	if a[0] != b[0] {
-		return a[0] < b[0]
-	}
-	return a[1] < b[1]
-}
-
-func componentOf(g *graph.Digraph, s int) []int {
-	seen := make(map[int]bool)
-	seen[s] = true
-	queue := []int{s}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.Out(u) {
-			if !seen[int(v)] {
-				seen[int(v)] = true
-				queue = append(queue, int(v))
-			}
-		}
-		for _, v := range g.In(u) {
-			if !seen[int(v)] {
-				seen[int(v)] = true
-				queue = append(queue, int(v))
-			}
-		}
-	}
-	out := make([]int, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // Modularity computes Newman's modularity Q of the given partition of

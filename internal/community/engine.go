@@ -1,0 +1,374 @@
+package community
+
+import (
+	"sort"
+
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// This file is the parallel graph-kernel engine behind EdgeBetweenness
+// and GirvanNewman. The kernels operate on a frozen graph.CSR snapshot
+// — flat offsets/targets and stable edge ids — instead of the mutable
+// adjacency-list Digraph, so the hot loops touch no maps and allocate
+// nothing per BFS.
+//
+// Determinism is a hard invariant: for a given graph the engine
+// produces bit-identical results at every parallelism level. Brandes
+// accumulation is sharded by BFS source into a FIXED number of shards
+// (a function of the source count only — graph.NumShards), each shard
+// sums its sources in order into its own flat accumulator, and shard
+// accumulators merge into the global score array in shard-index order.
+// The floating-point reduction tree therefore never depends on the
+// worker count; workers only decide which goroutine executes a shard.
+// Tie-breaks when selecting removal edges are ordered by (score desc,
+// canonical endpoints asc), a total order.
+
+// brandesWS is one worker's scratch state for Brandes BFS passes. All
+// slices are reused across sources and across recomputations.
+type brandesWS struct {
+	dist    []int32   // BFS level per node (-1 unvisited)
+	sigma   []float64 // shortest-path counts
+	delta   []float64 // dependency accumulation
+	predCnt []int32   // predecessor count per node
+	predBuf []int32   // flat predecessor storage: out-slot (edge id) per entry,
+	// region of node w is [inOff[w], inOff[w]+predCnt[w])
+	stack []int32 // nodes in BFS dequeue order
+	queue []int32 // ring-cursor BFS queue
+}
+
+func newBrandesWS(n, m int) *brandesWS {
+	return &brandesWS{
+		dist:    make([]int32, n),
+		sigma:   make([]float64, n),
+		delta:   make([]float64, n),
+		predCnt: make([]int32, n),
+		predBuf: make([]int32, m),
+		stack:   make([]int32, 0, n),
+		queue:   make([]int32, 0, n),
+	}
+}
+
+// source runs one Brandes BFS from s and accumulates undirected-edge
+// dependencies into acc, which is indexed by the engine's current
+// compact edge position (pos). Dead edges (alive[undirID] == false)
+// are skipped.
+func (w *brandesWS) source(c *graph.CSR, alive []bool, pos []int32, s int32, acc []float64) {
+	n := c.NumNodes()
+	w.stack = w.stack[:0]
+	w.queue = w.queue[:0]
+	for i := 0; i < n; i++ {
+		w.dist[i] = -1
+		w.sigma[i] = 0
+		w.delta[i] = 0
+		w.predCnt[i] = 0
+	}
+	w.dist[s] = 0
+	w.sigma[s] = 1
+	w.queue = append(w.queue, s)
+	for head := 0; head < len(w.queue); head++ {
+		v := w.queue[head]
+		w.stack = append(w.stack, v)
+		slot := c.OutStart(int(v))
+		for _, t := range c.Out(int(v)) {
+			k := slot
+			slot++
+			if alive != nil && !alive[c.UndirID(k)] {
+				continue
+			}
+			if w.dist[t] < 0 {
+				w.dist[t] = w.dist[v] + 1
+				w.queue = append(w.queue, t)
+			}
+			if w.dist[t] == w.dist[v]+1 {
+				w.sigma[t] += w.sigma[v]
+				w.predBuf[c.InStart(int(t))+w.predCnt[t]] = k
+				w.predCnt[t]++
+			}
+		}
+	}
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		t := w.stack[i]
+		base := c.InStart(int(t))
+		for j := int32(0); j < w.predCnt[t]; j++ {
+			k := w.predBuf[base+j]
+			v, _ := c.Endpoints(k)
+			cc := w.sigma[v] / w.sigma[t] * (1 + w.delta[t])
+			w.delta[v] += cc
+			acc[pos[c.UndirID(k)]] += cc
+		}
+	}
+}
+
+// engine carries the frozen snapshot plus all reusable scratch for one
+// betweenness/Girvan-Newman computation. It is not safe for concurrent
+// use; the parallelism lives inside compute.
+type engine struct {
+	csr     *graph.CSR
+	alive   []bool    // by undirected edge id; nil = all alive
+	live    int       // alive edge count
+	score   []float64 // by undirected edge id
+	edgeGen []int32   // heap-entry generation per undirected edge id
+
+	pos      []int32 // undirected edge id -> compact index in the current edge list
+	posStamp []int32 // stamp per undirected edge id
+	posGen   int32
+	acc      []float64
+	workers  []*brandesWS
+
+	// Component scratch (stamp-marked so no per-query clearing).
+	mark    []int32
+	markGen int32
+	queue   []int32
+
+	allNodes []int32
+	edges    []int32 // reusable edge-list buffer
+}
+
+func newEngine(c *graph.CSR) *engine {
+	n := c.NumNodes()
+	e := &engine{
+		csr:      c,
+		score:    make([]float64, c.NumUndirEdges()),
+		edgeGen:  make([]int32, c.NumUndirEdges()),
+		pos:      make([]int32, c.NumUndirEdges()),
+		posStamp: make([]int32, c.NumUndirEdges()),
+		mark:     make([]int32, n),
+		queue:    make([]int32, 0, n),
+		allNodes: make([]int32, n),
+	}
+	for i := range e.allNodes {
+		e.allNodes[i] = int32(i)
+	}
+	return e
+}
+
+// compute runs Brandes over the given BFS sources and overwrites the
+// scores of the given undirected edges (every other edge's score is
+// untouched). sources and edges must be deterministic inputs (callers
+// pass them in ascending/first-seen order); par only bounds the worker
+// pool and never changes the result.
+func (e *engine) compute(sources, edges []int32, par int) {
+	if len(edges) == 0 {
+		return
+	}
+	e.posGen++
+	for j, id := range edges {
+		e.pos[id] = int32(j)
+		e.posStamp[id] = e.posGen
+		e.score[id] = 0
+	}
+	shards := graph.NumShards(len(sources))
+	L := len(edges)
+	need := shards * L
+	if cap(e.acc) < need {
+		e.acc = make([]float64, need)
+	}
+	e.acc = e.acc[:need]
+	for i := range e.acc {
+		e.acc[i] = 0
+	}
+	nw := par
+	if nw > shards {
+		nw = shards
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	for len(e.workers) < nw {
+		e.workers = append(e.workers, newBrandesWS(e.csr.NumNodes(), e.csr.NumEdges()))
+	}
+	graph.ParallelShards(par, shards, func(shard, worker int) {
+		acc := e.acc[shard*L : (shard+1)*L]
+		lo, hi := graph.ShardRange(len(sources), shards, shard)
+		ws := e.workers[worker]
+		for i := lo; i < hi; i++ {
+			ws.source(e.csr, e.alive, e.pos, sources[i], acc)
+		}
+	})
+	// Deterministic merge: shard-index order, then halve (each
+	// undirected edge was reached from both BFS orientations).
+	for s := 0; s < shards; s++ {
+		acc := e.acc[s*L : (s+1)*L]
+		for j, id := range edges {
+			e.score[id] += acc[j]
+		}
+	}
+	for _, id := range edges {
+		e.score[id] /= 2
+	}
+}
+
+// componentOf collects the component of s over alive edges, in BFS
+// discovery order, marking nodes with the current stamp. The caller
+// reads membership via marked and must not run two traversals at once.
+func (e *engine) componentOf(s int32) []int32 {
+	e.markGen++
+	e.queue = e.queue[:0]
+	e.queue = append(e.queue, s)
+	e.mark[s] = e.markGen
+	for head := 0; head < len(e.queue); head++ {
+		u := e.queue[head]
+		slot := e.csr.OutStart(int(u))
+		for _, v := range e.csr.Out(int(u)) {
+			k := slot
+			slot++
+			if e.alive != nil && !e.alive[e.csr.UndirID(k)] {
+				continue
+			}
+			if e.mark[v] != e.markGen {
+				e.mark[v] = e.markGen
+				e.queue = append(e.queue, v)
+			}
+		}
+	}
+	return e.queue
+}
+
+// marked reports whether v was reached by the latest componentOf.
+func (e *engine) marked(v int32) bool { return e.mark[v] == e.markGen }
+
+// aliveEdgesAll returns every alive undirected edge id in ascending
+// order, reusing the engine's edge buffer.
+func (e *engine) aliveEdgesAll() []int32 {
+	e.edges = e.edges[:0]
+	for id := 0; id < e.csr.NumUndirEdges(); id++ {
+		if e.alive == nil || e.alive[id] {
+			e.edges = append(e.edges, int32(id))
+		}
+	}
+	return e.edges
+}
+
+// aliveEdgesIn returns the alive undirected edges with both endpoints
+// inside comp (which must be closed under alive edges), in first-seen
+// order walking comp's nodes ascending. comp must be sorted.
+func (e *engine) aliveEdgesIn(comp []int32) []int32 {
+	e.posGen++
+	e.edges = e.edges[:0]
+	for _, u := range comp {
+		slot := e.csr.OutStart(int(u))
+		for range e.csr.Out(int(u)) {
+			k := slot
+			slot++
+			id := e.csr.UndirID(k)
+			if e.alive != nil && !e.alive[id] {
+				continue
+			}
+			if e.posStamp[id] != e.posGen {
+				e.posStamp[id] = e.posGen
+				e.edges = append(e.edges, id)
+			}
+		}
+	}
+	return e.edges
+}
+
+// communities returns the connected components of the alive graph as
+// sorted node-id slices, largest first (ties by first node), dropping
+// components smaller than minSize.
+func (e *engine) communities(minSize int) [][]int {
+	n := e.csr.NumNodes()
+	seen := make([]bool, n)
+	var out [][]int
+	stack := e.queue[:0]
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], int32(s))
+		members := []int{s}
+		for head := 0; head < len(stack); head++ {
+			u := stack[head]
+			slot := e.csr.OutStart(int(u))
+			for _, v := range e.csr.Out(int(u)) {
+				k := slot
+				slot++
+				if e.alive != nil && !e.alive[e.csr.UndirID(k)] {
+					continue
+				}
+				if !seen[v] {
+					seen[v] = true
+					members = append(members, int(v))
+					stack = append(stack, v)
+				}
+			}
+		}
+		if len(members) >= minSize {
+			sort.Ints(members)
+			out = append(out, members)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// --- removal heap -----------------------------------------------------
+
+// gnEntry is a lazy max-heap entry: edges are never deleted in place;
+// rescored edges get a new generation and stale entries are skipped at
+// pop time.
+type gnEntry struct {
+	score float64
+	u, v  int32 // canonical endpoints (tie-break)
+	id    int32 // undirected edge id
+	gen   int32
+}
+
+// beats is the total order the removal loop pops by: higher score
+// first, then lexicographically smaller canonical endpoints — the same
+// tie-break the map-based scan used.
+func (a gnEntry) beats(b gnEntry) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	return a.v < b.v
+}
+
+type gnHeap []gnEntry
+
+func (h *gnHeap) push(x gnEntry) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h)[i].beats((*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *gnHeap) pop() gnEntry {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && old[l].beats(old[best]) {
+			best = l
+		}
+		if r < last && old[r].beats(old[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		old[i], old[best] = old[best], old[i]
+		i = best
+	}
+	return top
+}

@@ -43,7 +43,7 @@ func TestRefineReportsLargestSCC(t *testing.T) {
 func TestRankByDispatch(t *testing.T) {
 	g, _ := twoCommunityGraph(6)
 	for _, kind := range []string{"", "eigen-in", "degree", "pagerank", "nonbacktracking", "unknown"} {
-		scores := rankBy(kind, g)
+		scores := rankBy(kind, g, 2)
 		if len(scores) != g.NumNodes() {
 			t.Fatalf("%s: scores = %d", kind, len(scores))
 		}

@@ -51,6 +51,12 @@ type Options struct {
 	// through it, so a canceled investigation stops between iterations
 	// instead of running the loop to convergence.
 	Checkpoint func() error
+	// Parallelism bounds the worker pool the graph kernels (edge
+	// betweenness, Girvan-Newman recomputation, eigenvector matvecs)
+	// shard work across (default 1). Kernel results are bit-identical
+	// at every parallelism level, so this is purely a wall-clock knob;
+	// the Session defaults it to GOMAXPROCS via WithParallelism.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +74,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SmallEnough <= 0 {
 		o.SmallEnough = 25
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -162,7 +171,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 			if opt.CommunityMethod == "louvain" {
 				comms = community.Louvain(und, 0, opt.MinCommunity)
 			} else {
-				comms = community.GirvanNewman(und, opt.GNIterations, opt.MinCommunity)
+				comms = community.GirvanNewmanPar(und, opt.GNIterations, opt.MinCommunity, opt.Parallelism)
 			}
 		}
 		if len(comms) == 0 {
@@ -180,7 +189,7 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 		var sampledLocal []int
 		for _, comm := range comms {
 			cg, cmap := cur.Subgraph(comm)
-			scores := rankBy(opt.Centrality, cg)
+			scores := rankBy(opt.Centrality, cg, opt.Parallelism)
 			for _, r := range centrality.TopK(scores, opt.TopM) {
 				sampledLocal = append(sampledLocal, cmap[r.Node])
 			}
@@ -246,19 +255,21 @@ func Refine(sub *graph.Digraph, nodeMap []int, sampler Sampler, bugNodes []int, 
 	return res, nil
 }
 
-// rankBy dispatches the centrality measure named by kind.
-func rankBy(kind string, g *graph.Digraph) []float64 {
+// rankBy dispatches the centrality measure named by kind. par bounds
+// the eigensolver's matvec worker pool.
+func rankBy(kind string, g *graph.Digraph, par int) []float64 {
+	opt := centrality.Options{Parallelism: par}
 	switch kind {
 	case "", "eigen-in":
-		return centrality.EigenvectorIn(g, centrality.Options{})
+		return centrality.EigenvectorIn(g, opt)
 	case "degree":
 		return centrality.InDegree(g)
 	case "pagerank":
-		return centrality.PageRank(g, 0.85, centrality.Options{})
+		return centrality.PageRank(g, 0.85, opt)
 	case "nonbacktracking":
-		return centrality.NonBacktracking(g.Undirected(), centrality.Options{})
+		return centrality.NonBacktracking(g.Undirected(), opt)
 	}
-	return centrality.EigenvectorIn(g, centrality.Options{})
+	return centrality.EigenvectorIn(g, opt)
 }
 
 func translate(local []int, m []int) []int {

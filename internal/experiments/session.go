@@ -40,6 +40,7 @@ type Session struct {
 	refine   core.Options
 	base     context.Context // deprecated WithContext, checked alongside per-call contexts
 	workers  int
+	parallel int
 
 	mu         sync.Mutex
 	fp         cell[*Fingerprint]
@@ -182,6 +183,24 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithParallelism bounds the worker pool used *inside* one
+// investigation (default GOMAXPROCS): ensemble and experimental-set
+// members integrate concurrently, and the refinement loop's graph
+// kernels — edge betweenness, Girvan-Newman recomputation,
+// eigenvector matvecs — shard their work across it. Kernel results
+// are bit-identical at every parallelism level (fixed shard counts
+// and merge order; see DESIGN.md), so WithParallelism(1) is the
+// sequential reference the determinism tests compare against.
+// Contexts are honored between work units. A Parallelism set
+// explicitly on WithRefineOptions wins for the refinement kernels.
+func WithParallelism(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.parallel = n
+		}
+	}
+}
+
 // NewSession builds a Session for one corpus configuration. Nothing is
 // generated until a stage needs it. The configuration's Bug field is
 // ignored: the control build is always clean and each scenario's
@@ -207,6 +226,12 @@ func NewSession(cfg corpus.Config, opts ...Option) *Session {
 	}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.parallel <= 0 {
+		s.parallel = runtime.GOMAXPROCS(0)
+	}
+	if s.refine.Parallelism <= 0 {
+		s.refine.Parallelism = s.parallel
 	}
 	return s
 }
@@ -302,22 +327,57 @@ func (s *Session) Sources(ctx context.Context, sc Scenario) ([]corpus.File, erro
 	return r.Corpus.Files, nil
 }
 
-// runSet integrates members offset..offset+n-1, checking the context
-// between members so a canceled investigation stops promptly instead
-// of finishing the whole set.
-func runSet(ctx context.Context, r *model.Runner, n, offset int, base model.RunConfig) ([]ect.RunOutput, error) {
-	out := make([]ect.RunOutput, 0, n)
-	for i := 0; i < n; i++ {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		cfg := base
-		cfg.Member = offset + i
-		res, err := r.Run(cfg)
+// runSet integrates members offset..offset+n-1 across a bounded pool
+// of par workers (par 1 degenerates to one worker draining the set in
+// order), checking the context between members so a canceled
+// investigation stops promptly instead of finishing the whole set.
+// Each member is an independent integration (Runner.Run builds a fresh
+// Machine) and outputs are stored by member index, so the result is
+// identical at every parallelism level.
+func runSet(ctx context.Context, r *model.Runner, n, offset, par int, base model.RunConfig) ([]ect.RunOutput, error) {
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	out := make([]ect.RunOutput, n)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				cfg := base
+				cfg.Member = offset + i
+				res, err := r.Run(cfg)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = res.Means
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic error selection: lowest failing member wins.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, res.Means)
 	}
 	return out, nil
 }
@@ -333,7 +393,7 @@ func (s *Session) Fingerprint(ctx context.Context) (*Fingerprint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: control: %w", err)
 		}
-		ens, err := runSet(ctx, control, s.ensemble, 0, model.RunConfig{})
+		ens, err := runSet(ctx, control, s.ensemble, 0, s.parallel, model.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +428,7 @@ func (s *Session) Verdict(ctx context.Context, sc Scenario) (*Verdict, error) {
 		if err != nil {
 			return nil, err
 		}
-		return verdictStage(ctx, fp, b, s.expSize)
+		return verdictStage(ctx, fp, b, s.expSize, s.parallel)
 	})
 }
 
@@ -591,7 +651,7 @@ func (s *Session) ExperimentalOutputs(ctx context.Context, sc Scenario, n, offse
 	if err != nil {
 		return nil, err
 	}
-	return runSet(ctx, b.Exper, n, offset, b.ExpRunCfg)
+	return runSet(ctx, b.Exper, n, offset, s.parallel, b.ExpRunCfg)
 }
 
 // Table1 reproduces the paper's Table 1 selective-FMA study over the
@@ -620,7 +680,7 @@ func (s *Session) Table1(ctx context.Context, setup Table1Setup) ([]Table1Row, e
 		}
 		test = fp.Test
 	} else {
-		ens, err := runSet(ctx, runner, setup.EnsembleSize, 0, model.RunConfig{})
+		ens, err := runSet(ctx, runner, setup.EnsembleSize, 0, s.parallel, model.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -633,5 +693,5 @@ func (s *Session) Table1(ctx context.Context, setup Table1Setup) ([]Table1Row, e
 	if err != nil {
 		return nil, err
 	}
-	return table1Rows(ctx, runner, test, mg, setup)
+	return table1Rows(ctx, runner, test, mg, setup, s.parallel)
 }

@@ -78,9 +78,10 @@ type Sliced struct {
 }
 
 // verdictStage runs the experimental set and scores it against the
-// ensemble fingerprint, honoring the context between members.
-func verdictStage(ctx context.Context, fp *Fingerprint, b *Builds, expSize int) (*Verdict, error) {
-	runs, err := runSet(ctx, b.Exper, expSize, 1000, b.ExpRunCfg)
+// ensemble fingerprint: members fan out across the session's bounded
+// worker pool, honoring the context between members.
+func verdictStage(ctx context.Context, fp *Fingerprint, b *Builds, expSize, par int) (*Verdict, error) {
+	runs, err := runSet(ctx, b.Exper, expSize, 1000, par, b.ExpRunCfg)
 	if err != nil {
 		return nil, err
 	}

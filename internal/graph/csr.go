@@ -1,0 +1,215 @@
+package graph
+
+// This file implements the frozen CSR (compressed sparse row) snapshot
+// the parallel graph kernels consume. A Digraph is a mutable,
+// map-backed builder; a CSR is an immutable flat view of it — offsets
+// and targets in contiguous []int32 slices, a stable edge id per
+// directed edge, an undirected edge id shared by the two orientations
+// of a symmetric pair, and an open-addressed flat hash table for O(1)
+// edge lookup without the builder's map[uint64]struct{} edge set.
+//
+// Kernels (Brandes betweenness, Girvan-Newman, eigenvector power
+// iteration) freeze the graph once per slice/contract and then operate
+// on flat arrays only: no per-BFS map allocations, no pointer chasing,
+// and edge scores live in []float64 indexed by edge id.
+
+// CSR is an immutable compressed-sparse-row snapshot of a Digraph.
+//
+// Directed edge ids are assigned by flattening the out-adjacency in
+// (source id, insertion order) order: the edge stored at out-slot k has
+// id k. The id order is therefore exactly the Digraph.Edges iteration
+// order, which keeps every CSR-based kernel's accumulation order
+// identical to the adjacency-list code it replaced.
+//
+// For symmetric graphs (u->v implies v->u, the undirected view the
+// community kernels take), the two orientations of each undirected edge
+// share an undirected edge id; Brandes accumulators index by it.
+type CSR struct {
+	n int
+
+	outOff []int32 // len n+1; out-slots of u are [outOff[u], outOff[u+1])
+	outTo  []int32 // len m; target of each out-slot (edge id = slot)
+
+	inOff  []int32 // len n+1; in-slots of v are [inOff[v], inOff[v+1])
+	inFrom []int32 // len m; source of each in-slot
+	inEID  []int32 // len m; directed edge id of each in-slot
+
+	edgeU, edgeV []int32 // endpoints by directed edge id
+
+	undirID []int32 // directed edge id -> undirected edge id
+	undirU  []int32 // canonical (min) endpoint by undirected edge id
+	undirV  []int32 // canonical (max) endpoint by undirected edge id
+
+	// Open-addressed edge index: htIDs[i] is the directed edge id whose
+	// packed (u,v) key is htKeys[i], or -1 when the slot is empty.
+	htKeys []uint64
+	htIDs  []int32
+	htMask uint64
+}
+
+// Freeze builds the CSR snapshot of g. The snapshot is immutable and
+// safe for concurrent use; later mutations of g are not reflected.
+func Freeze(g *Digraph) *CSR {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	c := &CSR{
+		n:       n,
+		outOff:  make([]int32, n+1),
+		outTo:   make([]int32, 0, m),
+		inOff:   make([]int32, n+1),
+		inFrom:  make([]int32, m),
+		inEID:   make([]int32, m),
+		edgeU:   make([]int32, 0, m),
+		edgeV:   make([]int32, 0, m),
+		undirID: make([]int32, m),
+	}
+	for u := 0; u < n; u++ {
+		c.outOff[u] = int32(len(c.outTo))
+		for _, v := range g.out[u] {
+			c.outTo = append(c.outTo, v)
+			c.edgeU = append(c.edgeU, int32(u))
+			c.edgeV = append(c.edgeV, v)
+		}
+	}
+	c.outOff[n] = int32(len(c.outTo))
+
+	// In-adjacency, preserving the builder's per-node insertion order.
+	// Fill positions from a running cursor per node.
+	for v := 0; v < n; v++ {
+		c.inOff[v+1] = c.inOff[v] + int32(len(g.in[v]))
+	}
+	cursor := make([]int32, n)
+	copy(cursor, c.inOff[:n])
+	// Walk edges in id order; for edge (u,v) find its in-slot. The
+	// builder appends to in[v] in global insertion order, which is not
+	// id order (ids are grouped by source), so record slots per (v)
+	// using the original in-lists.
+	// First, index each in-list entry's edge id via the edge table.
+	c.buildEdgeIndex()
+	for v := 0; v < n; v++ {
+		for _, u := range g.in[v] {
+			slot := cursor[v]
+			cursor[v]++
+			c.inFrom[slot] = u
+			c.inEID[slot] = c.EdgeID(int(u), v)
+		}
+	}
+
+	// Undirected edge ids: canonical (min,max) pairs numbered in first-
+	// appearance (directed edge id) order. The reverse orientation, when
+	// present, shares the id.
+	next := int32(0)
+	for id := 0; id < m; id++ {
+		u, v := c.edgeU[id], c.edgeV[id]
+		if rev := c.EdgeID(int(v), int(u)); rev >= 0 && rev < int32(id) {
+			c.undirID[id] = c.undirID[rev]
+			continue
+		}
+		c.undirID[id] = next
+		if u <= v {
+			c.undirU = append(c.undirU, u)
+			c.undirV = append(c.undirV, v)
+		} else {
+			c.undirU = append(c.undirU, v)
+			c.undirV = append(c.undirV, u)
+		}
+		next++
+	}
+	return c
+}
+
+// buildEdgeIndex fills the open-addressed (u,v) -> edge id table. The
+// table is sized to a power of two at most half full, so lookups are
+// expected O(1) with short linear probes.
+func (c *CSR) buildEdgeIndex() {
+	size := uint64(4)
+	for size < 2*uint64(len(c.outTo))+1 {
+		size <<= 1
+	}
+	c.htKeys = make([]uint64, size)
+	c.htIDs = make([]int32, size)
+	c.htMask = size - 1
+	for i := range c.htIDs {
+		c.htIDs[i] = -1
+	}
+	for id, v := range c.outTo {
+		key := pack(c.edgeU[id], v)
+		slot := mix64(key) & c.htMask
+		for c.htIDs[slot] >= 0 {
+			slot = (slot + 1) & c.htMask
+		}
+		c.htKeys[slot] = key
+		c.htIDs[slot] = int32(id)
+	}
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed hash
+// for packed edge keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NumNodes returns the node count.
+func (c *CSR) NumNodes() int { return c.n }
+
+// NumEdges returns the directed edge count.
+func (c *CSR) NumEdges() int { return len(c.outTo) }
+
+// NumUndirEdges returns the number of undirected edge ids (symmetric
+// pairs collapsed; one-directional edges and self-loops count once).
+func (c *CSR) NumUndirEdges() int { return len(c.undirU) }
+
+// Out returns the out-neighbor targets of u; the out-slot (and thus
+// directed edge id) of Out(u)[i] is OutStart(u)+i. The slice must not
+// be modified.
+func (c *CSR) Out(u int) []int32 { return c.outTo[c.outOff[u]:c.outOff[u+1]] }
+
+// OutStart returns the first out-slot (= directed edge id) of u.
+func (c *CSR) OutStart(u int) int32 { return c.outOff[u] }
+
+// In returns the in-neighbor sources of v. The slice must not be
+// modified; InEdgeIDs gives the matching directed edge ids.
+func (c *CSR) In(v int) []int32 { return c.inFrom[c.inOff[v]:c.inOff[v+1]] }
+
+// InStart returns the first in-slot of v; in-slots are the natural
+// per-node regions for predecessor storage (a BFS predecessor of v is
+// always one of its in-neighbors).
+func (c *CSR) InStart(v int) int32 { return c.inOff[v] }
+
+// InEdgeIDs returns the directed edge ids matching In(v).
+func (c *CSR) InEdgeIDs(v int) []int32 { return c.inEID[c.inOff[v]:c.inOff[v+1]] }
+
+// EdgeID returns the directed edge id of u->v, or -1 when absent.
+// Expected O(1): a flat-table hash probe, no map access.
+func (c *CSR) EdgeID(u, v int) int32 {
+	key := pack(int32(u), int32(v))
+	slot := mix64(key) & c.htMask
+	for {
+		id := c.htIDs[slot]
+		if id < 0 {
+			return -1
+		}
+		if c.htKeys[slot] == key {
+			return id
+		}
+		slot = (slot + 1) & c.htMask
+	}
+}
+
+// HasEdge reports whether the directed edge u->v exists.
+func (c *CSR) HasEdge(u, v int) bool { return c.EdgeID(u, v) >= 0 }
+
+// Endpoints returns the (source, target) of a directed edge id.
+func (c *CSR) Endpoints(id int32) (int32, int32) { return c.edgeU[id], c.edgeV[id] }
+
+// UndirID returns the undirected edge id of a directed edge id.
+func (c *CSR) UndirID(id int32) int32 { return c.undirID[id] }
+
+// UndirEndpoints returns the canonical (min, max) endpoints of an
+// undirected edge id.
+func (c *CSR) UndirEndpoints(id int32) (int32, int32) { return c.undirU[id], c.undirV[id] }

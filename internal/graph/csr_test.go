@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFreezeMatchesDigraph checks the CSR snapshot against the builder
+// it froze: same adjacency in the same order, consistent edge ids on
+// both sides, and O(1) lookup agreeing with the builder's edge set.
+func TestFreezeMatchesDigraph(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomGraph(60, 400, seed)
+		// A few self-loops and reciprocal edges to exercise the
+		// undirected-id assignment.
+		g.AddEdge(5, 5)
+		g.AddEdge(7, 9)
+		g.AddEdge(9, 7)
+		c := Freeze(g)
+
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("size mismatch: csr %d/%d vs digraph %d/%d",
+				c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		// Edge ids follow Digraph.Edges iteration order.
+		id := int32(0)
+		g.Edges(func(u, v int) {
+			eu, ev := c.Endpoints(id)
+			if int(eu) != u || int(ev) != v {
+				t.Fatalf("edge id %d = (%d,%d); want (%d,%d)", id, eu, ev, u, v)
+			}
+			if got := c.EdgeID(u, v); got != id {
+				t.Fatalf("EdgeID(%d,%d) = %d; want %d", u, v, got, id)
+			}
+			id++
+		})
+		// Lookup agrees with the builder for every pair.
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if c.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("HasEdge(%d,%d) = %v; digraph says %v",
+						u, v, c.HasEdge(u, v), g.HasEdge(u, v))
+				}
+			}
+		}
+		// Out slices mirror the builder's (same order).
+		for u := 0; u < g.NumNodes(); u++ {
+			out := c.Out(u)
+			if len(out) != g.OutDegree(u) {
+				t.Fatalf("out degree mismatch at %d", u)
+			}
+			for i, v := range g.Out(u) {
+				if out[i] != v {
+					t.Fatalf("out order differs at %d[%d]", u, i)
+				}
+			}
+		}
+		// In-slots carry matching edge ids.
+		for v := 0; v < c.NumNodes(); v++ {
+			ids := c.InEdgeIDs(v)
+			for i, u := range c.In(v) {
+				eu, ev := c.Endpoints(ids[i])
+				if eu != u || int(ev) != v {
+					t.Fatalf("in-slot %d of %d: edge id %d = (%d,%d); want (%d,%d)",
+						i, v, ids[i], eu, ev, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestUndirectedIDs checks that reciprocal orientations share one
+// undirected id with canonical endpoints and that ids are dense.
+func TestUndirectedIDs(t *testing.T) {
+	g := randomGraph(40, 150, 4).Undirected()
+	g.AddEdge(3, 3) // self-loop gets its own id
+	c := Freeze(g)
+	seen := make([]int, c.NumUndirEdges())
+	for id := int32(0); id < int32(c.NumEdges()); id++ {
+		u, v := c.Endpoints(id)
+		uid := c.UndirID(id)
+		cu, cv := c.UndirEndpoints(uid)
+		if cu > cv {
+			t.Fatalf("undirected endpoints not canonical: (%d,%d)", cu, cv)
+		}
+		if min, max := minmax(u, v); cu != min || cv != max {
+			t.Fatalf("undirected id %d endpoints (%d,%d) don't match edge (%d,%d)",
+				uid, cu, cv, u, v)
+		}
+		if u != v {
+			rev := c.EdgeID(int(v), int(u))
+			if rev < 0 || c.UndirID(rev) != uid {
+				t.Fatalf("orientations of (%d,%d) have different undirected ids", u, v)
+			}
+		}
+		seen[uid]++
+	}
+	for uid, n := range seen {
+		u, v := c.UndirEndpoints(int32(uid))
+		want := 2
+		if u == v {
+			want = 1
+		}
+		if n != want {
+			t.Fatalf("undirected id %d covered by %d directed edges; want %d", uid, n, want)
+		}
+	}
+}
+
+func minmax(a, b int32) (int32, int32) {
+	if a <= b {
+		return a, b
+	}
+	return b, a
+}
+
+// TestShardRangesPartition pins the fixed-shard split: contiguous,
+// disjoint, covering, and a function of n only.
+func TestShardRangesPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 31, 32, 33, 1000} {
+		shards := NumShards(n)
+		if n > 0 && (shards < 1 || shards > KernelShards || shards > max(n, 1)) {
+			t.Fatalf("n=%d: shards=%d", n, shards)
+		}
+		prev := 0
+		for s := 0; s < shards; s++ {
+			lo, hi := ShardRange(n, shards, s)
+			if lo != prev || hi < lo {
+				t.Fatalf("n=%d shard %d: range [%d,%d) not contiguous from %d", n, s, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if prev != n {
+			t.Fatalf("n=%d: shards cover [0,%d); want [0,%d)", n, prev, n)
+		}
+	}
+}
+
+// TestParallelShardsRunsAll checks every shard runs exactly once at
+// several worker counts.
+func TestParallelShardsRunsAll(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 64} {
+		ran := make([]int32, 100)
+		ParallelShards(par, len(ran), func(shard, worker int) {
+			ran[shard]++
+		})
+		for s, n := range ran {
+			if n != 1 {
+				t.Fatalf("par=%d: shard %d ran %d times", par, s, n)
+			}
+		}
+	}
+}
+
+func BenchmarkFreeze(b *testing.B) {
+	g := randomGraph(5000, 20000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Freeze(g)
+	}
+}
+
+func BenchmarkCSREdgeID(b *testing.B) {
+	g := randomGraph(5000, 20000, 7)
+	c := Freeze(g)
+	rng := rand.New(rand.NewSource(8))
+	us := make([]int, 1024)
+	vs := make([]int, 1024)
+	for i := range us {
+		us[i], vs[i] = rng.Intn(5000), rng.Intn(5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EdgeID(us[i%1024], vs[i%1024])
+	}
+}

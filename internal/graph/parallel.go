@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the bounded worker pool the parallel kernels share.
+// Work is split into *shards* whose count is a fixed function of the
+// problem size — never of the worker count — so that any reduction
+// merged in shard-index order produces bit-identical results at every
+// parallelism level, including 1. See DESIGN.md "Parallel graph-kernel
+// engine" for the determinism argument.
+
+// KernelShards is the fixed shard count the deterministic kernels use
+// when the work size allows it. It bounds both the merge cost and the
+// per-shard accumulator memory (shards x edges floats for Brandes).
+const KernelShards = 32
+
+// NumShards returns the shard count for n work items: min(n, KernelShards),
+// at least 1. It depends only on n, keeping shard boundaries — and
+// therefore floating-point reduction trees — independent of the worker
+// count.
+func NumShards(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n < KernelShards {
+		return n
+	}
+	return KernelShards
+}
+
+// ShardRange returns the half-open item range [lo, hi) of shard s when
+// n items are split into shards contiguous shards as evenly as
+// possible (the first n%shards shards take one extra item).
+func ShardRange(n, shards, s int) (lo, hi int) {
+	q, r := n/shards, n%shards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ParallelShards runs fn(shard, worker) for every shard in [0, shards)
+// on min(par, shards) goroutines. Shards are claimed dynamically from
+// an atomic counter, so stragglers do not serialize the pool; worker
+// ids in [0, min(par, shards)) let callers reuse per-worker scratch
+// state. par <= 1 runs everything on the calling goroutine.
+func ParallelShards(par, shards int, fn func(shard, worker int)) {
+	if par > shards {
+		par = shards
+	}
+	if par <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s, worker)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

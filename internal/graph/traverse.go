@@ -16,9 +16,8 @@ func (g *Digraph) BFSFrom(src int) []int {
 	dist[src] = 0
 	queue := make([]int32, 0, 64)
 	queue = append(queue, int32(src))
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		du := dist[u]
 		for _, v := range g.out[u] {
 			if dist[v] == -1 {
@@ -39,10 +38,10 @@ func (g *Digraph) BFSTo(dst int) []int {
 		dist[i] = -1
 	}
 	dist[dst] = 0
-	queue := []int32{int32(dst)}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(dst))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		du := dist[u]
 		for _, v := range g.in[u] {
 			if dist[v] == -1 {
@@ -69,9 +68,8 @@ func (g *Digraph) Ancestors(targets []int) []int {
 			queue = append(queue, int32(t))
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.in[u] {
 			if !seen[v] {
 				seen[v] = true
@@ -93,9 +91,8 @@ func (g *Digraph) Descendants(sources []int) []int {
 			queue = append(queue, int32(s))
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.out[u] {
 			if !seen[v] {
 				seen[v] = true
@@ -150,9 +147,8 @@ func (g *Digraph) HasDirectedPath(from, to []int) bool {
 			queue = append(queue, int32(s))
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.out[u] {
 			if targets[v] {
 				return true
@@ -175,6 +171,7 @@ func (g *Digraph) WeaklyConnectedComponents() [][]int {
 		comp[i] = -1
 	}
 	var comps [][]int
+	queue := make([]int32, 0, 64)
 	for s := 0; s < g.NumNodes(); s++ {
 		if comp[s] != -1 {
 			continue
@@ -182,10 +179,10 @@ func (g *Digraph) WeaklyConnectedComponents() [][]int {
 		id := len(comps)
 		comp[s] = id
 		members := []int{s}
-		queue := []int32{int32(s)}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			for _, v := range g.out[u] {
 				if comp[v] == -1 {
 					comp[v] = id

@@ -1,0 +1,149 @@
+package rca
+
+// Determinism pins for the parallel graph-kernel engine: every kernel
+// must produce BIT-IDENTICAL output at every parallelism level, because
+// shard counts and merge order are fixed functions of the problem size
+// (see DESIGN.md "Parallel graph-kernel engine"). These tests are the
+// contract WithParallelism advertises; if one fails, a kernel's
+// reduction tree has started depending on the worker count.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/centrality"
+	"github.com/climate-rca/rca/internal/community"
+	"github.com/climate-rca/rca/internal/graph"
+)
+
+// symGraph builds a random symmetric graph: k loose clusters with
+// bridges, the shape the refinement loop feeds Girvan-Newman.
+func symGraph(n int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+			g.AddEdge(v, u)
+		}
+	}
+	return g
+}
+
+func TestParallelKernelsDeterministic(t *testing.T) {
+	pars := []int{1, 2, 8}
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		g := symGraph(40+int(seed%3)*20, seed)
+		csr := graph.Freeze(g)
+
+		// Edge betweenness: flat scores must match bitwise.
+		ref := community.EdgeBetweennessFlat(csr, 1)
+		for _, par := range pars {
+			got := community.EdgeBetweennessFlat(csr, par)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d: betweenness par=%d differs from sequential", seed, par)
+			}
+		}
+
+		// Girvan-Newman: identical community structure.
+		refComms := community.GirvanNewmanPar(g, 2, 0, 1)
+		for _, par := range pars {
+			got := community.GirvanNewmanPar(g, 2, 0, par)
+			if !reflect.DeepEqual(refComms, got) {
+				t.Fatalf("seed %d: girvan-newman par=%d differs: %v vs %v",
+					seed, par, got, refComms)
+			}
+		}
+
+		// Eigenvector centrality (both orientations): bitwise equal.
+		for _, in := range []bool{false, true} {
+			solve := func(par int) []float64 {
+				o := centrality.Options{Parallelism: par}
+				if in {
+					return centrality.EigenvectorIn(g, o)
+				}
+				return centrality.Eigenvector(g, o)
+			}
+			refEV := solve(1)
+			for _, par := range pars {
+				if got := solve(par); !reflect.DeepEqual(refEV, got) {
+					t.Fatalf("seed %d: eigenvector(in=%v) par=%d differs", seed, in, par)
+				}
+			}
+		}
+	}
+}
+
+// TestEigenLargeGraphParallelDeterministic exercises the matvec worker
+// pool for real: eigen falls back to the calling goroutine below 1024
+// nodes, so the small graphs above never enter the parallel branch.
+// This pins bitwise determinism (and, under -race, data-race freedom)
+// on a graph large enough to shard.
+func TestEigenLargeGraphParallelDeterministic(t *testing.T) {
+	g := symGraph(1500, 11)
+	for _, in := range []bool{false, true} {
+		solve := func(par int) []float64 {
+			o := centrality.Options{Parallelism: par}
+			if in {
+				return centrality.EigenvectorIn(g, o)
+			}
+			return centrality.Eigenvector(g, o)
+		}
+		ref := solve(1)
+		for _, par := range []int{2, 8} {
+			if got := solve(par); !reflect.DeepEqual(ref, got) {
+				t.Fatalf("eigenvector(in=%v) par=%d differs on 1500-node graph", in, par)
+			}
+		}
+	}
+}
+
+// TestMapWrapperMatchesFlatKernel pins the compatibility wrapper: the
+// map-shaped EdgeBetweenness must carry exactly the flat kernel's
+// scores under canonical endpoints.
+func TestMapWrapperMatchesFlatKernel(t *testing.T) {
+	g := symGraph(30, 5)
+	csr := graph.Freeze(g)
+	flat := community.EdgeBetweennessFlat(csr, 4)
+	m := community.EdgeBetweenness(g)
+	if len(m) != len(flat) {
+		t.Fatalf("wrapper has %d edges, flat has %d", len(m), len(flat))
+	}
+	for id, s := range flat {
+		u, v := csr.UndirEndpoints(int32(id))
+		if got := m[[2]int32{u, v}]; got != s {
+			t.Fatalf("edge (%d,%d): map %v != flat %v", u, v, got, s)
+		}
+	}
+}
+
+// TestSessionRunAllParallelRace drives the whole pipeline with an
+// 8-wide intra-investigation pool (ensemble fan-out plus parallel
+// kernels) and compares against the sequential reference; under -race
+// it doubles as the data-race check for the worker pools.
+func TestSessionRunAllParallelRace(t *testing.T) {
+	cfg := CorpusConfig{AuxModules: 25, Seed: 2}
+	scenarios := []Scenario{GOFFGRATCH, WSUBBUG}
+	ctx := context.Background()
+
+	par := NewSession(cfg, WithEnsembleSize(12), WithExpSize(4), WithParallelism(8))
+	parOuts, err := par.RunAll(ctx, scenarios)
+	if err != nil {
+		t.Fatalf("parallel RunAll: %v", err)
+	}
+	seq := NewSession(cfg, WithEnsembleSize(12), WithExpSize(4), WithParallelism(1))
+	seqOuts, err := seq.RunAll(ctx, scenarios)
+	if err != nil {
+		t.Fatalf("sequential RunAll: %v", err)
+	}
+	for i := range scenarios {
+		if !reflect.DeepEqual(summarize(parOuts[i]), summarize(seqOuts[i])) {
+			t.Fatalf("%s: parallel outcome differs from sequential:\n%+v\nvs\n%+v",
+				scenarios[i].Name(), summarize(parOuts[i]), summarize(seqOuts[i]))
+		}
+	}
+}

@@ -85,6 +85,15 @@ func WithContext(ctx context.Context) Option { return experiments.WithContext(ct
 // WithWorkers bounds RunAll's concurrent fan-out (default GOMAXPROCS).
 func WithWorkers(n int) Option { return experiments.WithWorkers(n) }
 
+// WithParallelism bounds the worker pool used inside one investigation
+// (default GOMAXPROCS): ensemble and experimental-set members integrate
+// concurrently and the refinement loop's graph kernels (edge
+// betweenness, Girvan-Newman, eigenvector matvecs) shard across it.
+// Results are bit-identical at every parallelism level —
+// WithParallelism(1) is the sequential reference — so this is purely a
+// wall-clock knob. Contexts are honored between work units.
+func WithParallelism(n int) Option { return experiments.WithParallelism(n) }
+
 // ValueSampling instruments refinement nodes with real runtime value
 // snapshots; tol <= 0 selects the default normalized-RMS tolerance.
 func ValueSampling(tol float64) Sampler { return experiments.ValueSampling(tol) }
