@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	rca "github.com/climate-rca/rca"
+)
+
+// client drives a remote rcad daemon instead of an in-process Session.
+// Corpus and ensemble sizing live server-side (rcad's flags); the
+// client only ships scenario descriptions and renders what comes back.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(base string) *client {
+	return &client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// jobReply mirrors the serve job JSON (the fields the CLI renders).
+type jobReply struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	State       string `json:"state"`
+	Stage       string `json:"stage"`
+	Outcome     *struct {
+		Text       string `json:"text"`
+		BugLocated bool   `json:"bugLocated"`
+	} `json:"outcome"`
+	Error string `json:"error"`
+}
+
+// do issues a request and decodes the JSON reply, surfacing the
+// service's error body on non-2xx statuses.
+func (c *client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// submit posts a scenario; wait=1 blocks until the job ends.
+func (c *client) submit(ctx context.Context, sc rca.Scenario, wait bool) (*jobReply, error) {
+	body, err := rca.ScenarioToJSON(sc)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/jobs"
+	if wait {
+		path += "?wait=1"
+	}
+	var reply jobReply
+	if err := c.do(ctx, http.MethodPost, path, body, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// await blocks until a job reaches a terminal state.
+func (c *client) await(ctx context.Context, id string) (*jobReply, error) {
+	var reply jobReply
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"?wait=1", nil, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// outcomeText extracts the rendered report or explains why there is
+// none.
+func outcomeText(j *jobReply) (string, error) {
+	if j.Outcome != nil {
+		return j.Outcome.Text, nil
+	}
+	if j.Error != "" {
+		return "", fmt.Errorf("job %s %s: %s", j.ID, j.State, j.Error)
+	}
+	return "", fmt.Errorf("job %s ended %s without an outcome", j.ID, j.State)
+}
+
+// runRemote executes one scenario on the daemon and prints its report.
+func runRemote(ctx context.Context, c *client, sc rca.Scenario) error {
+	reply, err := c.submit(ctx, sc, true)
+	if err != nil {
+		return err
+	}
+	text, err := outcomeText(reply)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}
+
+// runRemoteAll submits every scenario up front — the daemon
+// deduplicates and fans them across its workers — then renders the
+// reports in catalog order.
+func runRemoteAll(ctx context.Context, c *client, scs []rca.Scenario) error {
+	ids := make([]string, len(scs))
+	for i, sc := range scs {
+		reply, err := c.submit(ctx, sc, false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name(), err)
+		}
+		ids[i] = reply.ID
+	}
+	located := 0
+	for i, id := range ids {
+		reply, err := c.await(ctx, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", scs[i].Name(), err)
+		}
+		text, err := outcomeText(reply)
+		if err != nil {
+			return err
+		}
+		fmt.Println("================================================================")
+		fmt.Print(text)
+		if reply.Outcome.BugLocated {
+			located++
+		}
+	}
+	fmt.Println("================================================================")
+	fmt.Printf("located %d/%d injected defects\n", located, len(scs))
+	return nil
+}
+
+// runRemoteTable1 fetches the §6.5 selective-FMA study.
+func runRemoteTable1(ctx context.Context, c *client, ensemble, runs, topk int) error {
+	q := url.Values{}
+	if ensemble > 0 {
+		q.Set("ensemble", strconv.Itoa(ensemble))
+	}
+	if runs > 0 {
+		q.Set("runs", strconv.Itoa(runs))
+	}
+	if topk > 0 {
+		q.Set("topk", strconv.Itoa(topk))
+	}
+	var reply struct {
+		Text string `json:"text"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/table1?"+q.Encode(), nil, &reply); err != nil {
+		return err
+	}
+	fmt.Print(reply.Text)
+	return nil
+}

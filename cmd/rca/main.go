@@ -15,6 +15,13 @@
 //	rca -scenario twobugs.json
 //	rca -table1 -aux 100 -topk 20
 //	rca -list
+//
+// With -server, rca becomes a thin client of an rcad daemon: the
+// scenario description is shipped as JSON and the daemon's shared
+// Session does the work (corpus sizing then lives server-side):
+//
+//	rca -server http://localhost:8080 -experiment GOFFGRATCH
+//	rca -server http://localhost:8080 -all
 package main
 
 import (
@@ -54,6 +61,7 @@ func main() {
 		dot      = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
 		graded   = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
 		parallel = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
+		server   = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
 	)
 	flag.Var(&injects, "inject",
 		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | prng=mt | fma=all|m1,m2 | param:NAME=V")
@@ -76,6 +84,44 @@ func main() {
 	// reports ErrCanceled instead of tearing the process down mid-run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *server != "" {
+		c := newClient(*server)
+		var err error
+		switch {
+		case *table1:
+			// Sizing lives server-side: forward only the parameters
+			// the user set explicitly, so a bare `-table1` reuses the
+			// daemon's cached ensemble instead of forcing the client
+			// defaults onto it.
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			var e, r, k int
+			if set["ensemble"] {
+				e = *ensemble
+			}
+			if set["runs"] {
+				r = *runs
+			}
+			if set["topk"] {
+				k = *topk
+			}
+			err = runRemoteTable1(ctx, c, e, r, k)
+		case *all:
+			err = runRemoteAll(ctx, c, rca.Experiments())
+		default:
+			var sc rca.Scenario
+			if sc, err = resolveScenario(*name, *scFile, injects, *scName, *camOnly, *selectK); err != nil {
+				fmt.Fprintln(os.Stderr, "rca:", err)
+				os.Exit(2)
+			}
+			err = runRemote(ctx, c, sc)
+		}
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	// Validate the sampler up front: a typo should fail here, not ten
 	// minutes into an ensemble run.

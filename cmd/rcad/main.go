@@ -1,0 +1,114 @@
+// Command rcad is the long-running root-cause-analysis daemon: one
+// compile-once rca.Session per process behind an HTTP/JSON API. Many
+// clients submit scenario descriptions; the service computes the
+// expensive shared substeps — corpus builds, the control-ensemble ECT
+// fingerprint, compiled metagraphs — at most once, deduplicates
+// identical in-flight investigations (singleflight on the scenario
+// fingerprints) and serves repeat submissions from an LRU outcome
+// store. See internal/serve for the API.
+//
+// Usage:
+//
+//	rcad -addr :8080 -aux 100 -ensemble 40 -runs 10
+//	curl -X POST 'localhost:8080/v1/jobs?wait=1' -d '{"experiment":"GOFFGRATCH"}'
+//	curl 'localhost:8080/v1/table1?topk=20'
+//	rca -server http://localhost:8080 -all
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		aux      = flag.Int("aux", 100, "auxiliary module count (corpus scale)")
+		seed     = flag.Uint64("seed", 1, "corpus structure seed")
+		ensemble = flag.Int("ensemble", 40, "ensemble size")
+		runs     = flag.Int("runs", 10, "experimental run count")
+		sampler  = flag.String("sampler", "value", "sampler: value | reach | graded")
+		parallel = flag.Int("parallel", 0, "worker pool per investigation (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 2, "concurrent pipeline executions")
+		queue    = flag.Int("queue", 64, "bounded job-queue capacity")
+		storeCap = flag.Int("store", 128, "LRU outcome-store capacity")
+		warm     = flag.Bool("warm", true, "precompute the control-ensemble fingerprint at startup")
+	)
+	flag.Parse()
+
+	var strategy rca.Sampler
+	switch *sampler {
+	case "value":
+		strategy = rca.ValueSampling(0)
+	case "reach":
+		strategy = rca.ReachSampling()
+	case "graded":
+		strategy = rca.GradedSampling()
+	default:
+		fmt.Fprintf(os.Stderr, "rcad: invalid -sampler %q (valid: value, reach, graded)\n", *sampler)
+		os.Exit(2)
+	}
+
+	ccfg := rca.DefaultCorpus()
+	ccfg.AuxModules = *aux
+	ccfg.Seed = *seed
+	opts := []rca.Option{
+		rca.WithEnsembleSize(*ensemble),
+		rca.WithExpSize(*runs),
+		rca.WithSampler(strategy),
+	}
+	if *parallel > 0 {
+		opts = append(opts, rca.WithParallelism(*parallel))
+	}
+	session := rca.NewSession(ccfg, opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warm {
+		// Pay the control-ensemble cost before the first job instead
+		// of inside it; a Ctrl-C during warmup still exits promptly.
+		log.Printf("rcad: warming control-ensemble fingerprint (aux=%d, ensemble=%d)", *aux, *ensemble)
+		start := time.Now()
+		if _, err := session.Fingerprint(ctx); err != nil {
+			if errors.Is(err, rca.ErrCanceled) {
+				return
+			}
+			log.Fatalf("rcad: warmup: %v", err)
+		}
+		log.Printf("rcad: warm in %v", time.Since(start).Round(time.Millisecond))
+	}
+
+	svc := serve.New(serve.Config{
+		Session:   session,
+		QueueSize: *queue,
+		Workers:   *workers,
+		StoreSize: *storeCap,
+	})
+	defer svc.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("rcad: serving on %s (workers=%d, queue=%d, store=%d)", *addr, *workers, *queue, *storeCap)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("rcad: %v", err)
+	}
+	log.Printf("rcad: shut down")
+}

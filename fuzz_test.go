@@ -1,0 +1,111 @@
+package rca
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExperimentCatalogWireParity: every scenario the CLI can name
+// must also resolve over the wire as {"experiment": NAME} with the
+// same fingerprint — the wire catalog and the Go catalog are one list.
+func TestExperimentCatalogWireParity(t *testing.T) {
+	for _, sc := range AllExperiments() {
+		got, err := ScenarioFromJSON([]byte(fmt.Sprintf(`{"experiment":%q}`, sc.Name())))
+		if err != nil {
+			t.Fatalf("%s: not resolvable over the wire: %v", sc.Name(), err)
+		}
+		fpWant, err := ScenarioFingerprint(fuzzCorpus, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpGot, err := ScenarioFingerprint(fuzzCorpus, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fpGot != fpWant || got.Name() != sc.Name() {
+			t.Fatalf("%s: wire catalog diverges from Go catalog", sc.Name())
+		}
+	}
+}
+
+// fuzzCorpus is a tiny corpus configuration: fingerprints are computed
+// from the plan alone, so no model work happens in the fuzz loop.
+var fuzzCorpus = CorpusConfig{AuxModules: 10, Seed: 5}
+
+// FuzzScenarioJSON pins the wire format's round-trip contract: any
+// scenario that parses and fingerprints must re-serialize, re-parse,
+// and fingerprint identically — the property rcad's dedup keys and
+// the `rca -server` client depend on. And nothing may panic.
+func FuzzScenarioJSON(f *testing.F) {
+	// Seed with every prewired catalog scenario…
+	for _, sc := range AllExperiments() {
+		data, err := ScenarioToJSON(sc)
+		if err != nil {
+			f.Fatalf("serialize catalog scenario %s: %v", sc.Name(), err)
+		}
+		f.Add(data)
+	}
+	// …the shipped scenario files…
+	seeds, err := filepath.Glob(filepath.Join("testdata", "scenario_*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no scenario seeds in testdata/")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// …and hand-picked edge shapes.
+	for _, s := range []string{
+		`{"experiment":"avx2-full"}`,
+		`{"experiment":"WSUBBUG","name":"renamed"}`,
+		`{"name":"empty"}`,
+		`{"name":"fma","inject":["fma=micro_mg,dyn3"]}`,
+		`{"name":"occ","inject":["phys/aero_run.wsub#2*=1.5"]}`,
+		`{"name":"meta","inject":["a.b:x=>y=>z"]}`,
+		`{"name":"repl","inject":[{"kind":"replace","subprogram":"s","var":"v","old":"a","new":"b@c","site":"m::s::v"}]}`,
+		`{"name":"nan","inject":["a.b*=NaN"]}`,
+		`{"name":"neg","inject":[{"kind":"scale","subprogram":"s","var":"v","occurrence":-1,"factor":2}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ScenarioFromJSON(data)
+		if err != nil {
+			return // malformed input is allowed to fail, not panic
+		}
+		fp, err := ScenarioFingerprint(fuzzCorpus, sc)
+		if err != nil {
+			return // e.g. conflicting injections — fine, typed error
+		}
+		// A scenario that parsed and fingerprinted must serialize…
+		out, err := ScenarioToJSON(sc)
+		if err != nil {
+			t.Fatalf("round-trip serialize failed for %q: %v", data, err)
+		}
+		// …re-parse…
+		sc2, err := ScenarioFromJSON(out)
+		if err != nil {
+			t.Fatalf("re-parse of serialized form %q failed: %v", out, err)
+		}
+		// …and agree on name, options and fingerprint.
+		fp2, err := ScenarioFingerprint(fuzzCorpus, sc2)
+		if err != nil {
+			t.Fatalf("re-fingerprint of %q failed: %v", out, err)
+		}
+		if fp2 != fp {
+			t.Fatalf("fingerprint unstable across round-trip:\nin:  %q\nout: %q\nfp1: %s\nfp2: %s", data, out, fp, fp2)
+		}
+		if sc2.Name() != sc.Name() || sc2.Options() != sc.Options() {
+			t.Fatalf("name/options changed across round-trip: %q -> %q", data, out)
+		}
+	})
+}

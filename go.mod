@@ -1,3 +1,3 @@
 module github.com/climate-rca/rca
 
-go 1.21
+go 1.22

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/corpus"
+)
+
+// TestExperimentalOutputsBounds: negative or overflowing n/offset must
+// return ErrInvalidBounds before any model work, never slice-panic.
+func TestExperimentalOutputsBounds(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession(corpus.Config{AuxModules: 10, Seed: 5},
+		WithEnsembleSize(4), WithExpSize(2))
+	sc := NewScenario("CLEAN", ScenarioOptions{})
+
+	cases := []struct {
+		name      string
+		n, offset int
+		wantErr   bool
+		wantLen   int
+	}{
+		{"negative n", -1, 0, true, 0},
+		{"negative offset", 1, -1, true, 0},
+		{"both negative", -3, -7, true, 0},
+		{"min int n", math.MinInt, 0, true, 0},
+		{"min int offset", 1, math.MinInt, true, 0},
+		{"overflowing sum", 2, math.MaxInt - 1, true, 0},
+		{"max int n", math.MaxInt, 1, true, 0},
+		{"empty set", 0, 0, false, 0},
+		{"empty set at offset", 0, 5, false, 0},
+		{"small set", 2, 3, false, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			outs, err := s.ExperimentalOutputs(ctx, sc, tc.n, tc.offset)
+			if tc.wantErr {
+				if !errors.Is(err, ErrInvalidBounds) {
+					t.Fatalf("err = %v, want ErrInvalidBounds", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(outs) != tc.wantLen {
+				t.Fatalf("len = %d, want %d", len(outs), tc.wantLen)
+			}
+		})
+	}
+}
+
+// TestExperimentalOutputsBoundsDoNotPoisonSession: a rejected request
+// must leave the session fully usable.
+func TestExperimentalOutputsBoundsDoNotPoisonSession(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession(corpus.Config{AuxModules: 10, Seed: 5},
+		WithEnsembleSize(4), WithExpSize(2))
+	sc := NewScenario("CLEAN", ScenarioOptions{})
+	if _, err := s.ExperimentalOutputs(ctx, sc, -1, -1); !errors.Is(err, ErrInvalidBounds) {
+		t.Fatalf("err = %v, want ErrInvalidBounds", err)
+	}
+	outs, err := s.ExperimentalOutputs(ctx, sc, 1, 0)
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("session unusable after rejected bounds: %v (len %d)", err, len(outs))
+	}
+}

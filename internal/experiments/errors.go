@@ -28,6 +28,10 @@ var ErrCanceled = errors.New("experiments: canceled")
 // assignment).
 var ErrConflictingInjections = errors.New("experiments: conflicting injections")
 
+// ErrInvalidBounds reports a run-set request with negative or
+// overflowing count/offset bounds.
+var ErrInvalidBounds = errors.New("experiments: invalid experimental-set bounds")
+
 // canceledError adapts a context error into the typed model.
 type canceledError struct{ cause error }
 

@@ -88,6 +88,13 @@ var (
 	LANDBUG = Spec{Name: "LANDBUG", Bug: corpus.BugLand, CAMOnly: false, SelectK: 2}
 )
 
+// catalogSpecs is the single list of every prewired spec (§6 order,
+// then the supplement): the wire format's {"experiment": NAME}
+// references resolve against it. A new prewired Spec must be added
+// here too — TestExperimentCatalogWireParity (root package) pins
+// parity with rca.AllExperiments.
+var catalogSpecs = []Spec{WSUBBUG, RANDMT, GOFFGRATCH, AVX2, RANDOMBUG, DYN3BUG, AVX2Full, LANDBUG}
+
 // Setup sizes the one-shot harness.
 type Setup struct {
 	Corpus       corpus.Config

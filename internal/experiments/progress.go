@@ -1,0 +1,51 @@
+// Stage progress: a per-call callback carried on the context, so one
+// Session.Run can report which pipeline stage it is entering without
+// the Session growing per-job state. The service layer (internal/serve)
+// uses this to stream verdict→select→compile→slice→refine progress to
+// HTTP clients; library callers can log or trace the same way.
+package experiments
+
+import "context"
+
+// Stage names one pipeline stage of Session.Run, in execution order.
+type Stage string
+
+// The pipeline stages Session.Run reports, in order.
+const (
+	StageVerdict Stage = "verdict" // experimental set + UF-ECT verdict
+	StageSelect  Stage = "select"  // §3 affected-variable selection
+	StageCompile Stage = "compile" // §4 coverage filter + metagraph
+	StageSlice   Stage = "slice"   // §5.1-5.3 hybrid slice
+	StageRefine  Stage = "refine"  // §5.4 iterative refinement
+)
+
+// Stages lists the pipeline stages in execution order.
+func Stages() []Stage {
+	return []Stage{StageVerdict, StageSelect, StageCompile, StageSlice, StageRefine}
+}
+
+// progressKey carries the callback on a context.
+type progressKey struct{}
+
+// WithProgress returns a context that makes Session.Run (and RunAll,
+// which composes it) report each stage transition to f before entering
+// the stage. Cached stages still report — the callback narrates the
+// investigation's logical progress, not the cache misses. f must be
+// safe for concurrent use when the context is shared across
+// goroutines (RunAll fan-out).
+func WithProgress(ctx context.Context, f func(Stage)) context.Context {
+	if f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, f)
+}
+
+// reportStage invokes the context's progress callback, if any.
+func reportStage(ctx context.Context, st Stage) {
+	if ctx == nil {
+		return
+	}
+	if f, ok := ctx.Value(progressKey{}).(func(Stage)); ok {
+		f(st)
+	}
+}

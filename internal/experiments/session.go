@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -541,24 +542,30 @@ func (s *Session) Refine(ctx context.Context, sc Scenario) (*core.Result, error)
 
 // Run composes the stages end to end for one scenario. Stage results
 // are cached, so repeated runs (and stage calls before or after) reuse
-// all shared work.
+// all shared work. Each stage transition is reported to the context's
+// WithProgress callback, if any, before the stage is entered.
 func (s *Session) Run(ctx context.Context, sc Scenario) (*Outcome, error) {
+	reportStage(ctx, StageVerdict)
 	v, err := s.Verdict(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	reportStage(ctx, StageSelect)
 	sel, err := s.SelectVariables(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	reportStage(ctx, StageCompile)
 	comp, err := s.Compile(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	reportStage(ctx, StageSlice)
 	sl, err := s.Slice(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	reportStage(ctx, StageRefine)
 	ref, err := s.Refine(ctx, sc)
 	if err != nil {
 		return nil, err
@@ -645,13 +652,48 @@ func (s *Session) EnsembleOutputs(ctx context.Context) ([]ect.RunOutput, error) 
 
 // ExperimentalOutputs integrates n experimental members (perturbation
 // seeds offset..offset+n-1) under the scenario's configuration,
-// reusing the cached corpus builds.
+// reusing the cached corpus builds. Negative or overflowing bounds are
+// rejected with ErrInvalidBounds before any model work happens.
 func (s *Session) ExperimentalOutputs(ctx context.Context, sc Scenario, n, offset int) ([]ect.RunOutput, error) {
+	if n < 0 || offset < 0 || offset > math.MaxInt-n {
+		return nil, fmt.Errorf("%w: n=%d, offset=%d", ErrInvalidBounds, n, offset)
+	}
 	b, err := s.Builds(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
 	return runSet(ctx, b.Exper, n, offset, s.parallel, b.ExpRunCfg)
+}
+
+// Keys are the layered cache fingerprints of one scenario over the
+// session's corpus configuration — the identities the Session caches
+// key on, from coarsest sharing to finest:
+//
+//	Source   — generation parameters + source-level injections;
+//	           scenarios sharing it share a parsed corpus build.
+//	Build    — Source plus run-configuration injections (PRNG, FMA);
+//	           scenarios sharing it share a verdict and a compiled
+//	           metagraph.
+//	Scenario — Build plus defect-site overrides and slicing options;
+//	           scenarios sharing it share selections, slices,
+//	           refinements — whole outcomes. Display names do not
+//	           participate.
+type Keys struct {
+	Source   string
+	Build    string
+	Scenario string
+}
+
+// Keys returns the scenario's layered cache fingerprints over the
+// session's corpus configuration without running anything. External
+// caching and deduplication layers (e.g. the rcad service) key on
+// these.
+func (s *Session) Keys(sc Scenario) (Keys, error) {
+	p, err := s.plan(sc)
+	if err != nil {
+		return Keys{}, err
+	}
+	return Keys{Source: p.sourceKey(), Build: p.buildKey(), Scenario: p.scenarioKey()}, nil
 }
 
 // Table1 reproduces the paper's Table 1 selective-FMA study over the

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: Queued → Running → one of Done/Failed/Canceled.
+// A job whose outcome is served from the store is born Done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state ends the job.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// StageEvent is one progress event: the job's investigation entered a
+// pipeline stage.
+type StageEvent struct {
+	Stage rca.Stage `json:"stage"`
+	At    time.Time `json:"at"`
+}
+
+// job is one client submission. Several jobs may share one flight (the
+// deduplicated pipeline execution); each job still cancels
+// independently — canceling a job only aborts the underlying execution
+// once no other job subscribes to it.
+type job struct {
+	id   string
+	name string  // scenario display name
+	keys keyView // hashed layered fingerprints
+	fl   *flight // nil when served straight from the outcome store
+	srv  *Server
+
+	mu      sync.Mutex
+	state   State
+	stage   rca.Stage
+	events  []StageEvent
+	outcome *Outcome
+	err     error
+	done    chan struct{} // closed on the first terminal transition
+}
+
+func newJob(id, name string, keys keyView, fl *flight, srv *Server) *job {
+	return &job{id: id, name: name, keys: keys, fl: fl, srv: srv,
+		state: StateQueued, done: make(chan struct{})}
+}
+
+// isTerminal reports whether the job has ended.
+func (j *job) isTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal()
+}
+
+// setRunning moves a queued job to running (idempotent).
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+}
+
+// setStage records a stage transition (deduplicating repeats).
+func (j *job) setStage(st rca.Stage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() || j.stage == st {
+		return
+	}
+	j.stage = st
+	j.events = append(j.events, StageEvent{Stage: st, At: time.Now().UTC()})
+}
+
+// finish moves the job to a terminal state. The first terminal
+// transition wins; later ones (e.g. a flight completing after the job
+// was canceled) are ignored.
+func (j *job) finish(state State, out *Outcome, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state, j.outcome, j.err = state, out, err
+	close(j.done)
+	return true
+}
+
+// cancel detaches the job from its flight and marks it canceled. The
+// flight's context is canceled only if this was its last subscriber —
+// one client's disconnect never aborts another client's identical
+// in-flight investigation.
+func (j *job) cancel() {
+	if !j.finish(StateCanceled, nil, nil) {
+		return
+	}
+	j.srv.m.jobsCanceled.Add(1)
+	if j.fl != nil {
+		j.fl.unsubscribe(j)
+	}
+}
+
+// snapshot copies the job's mutable state for rendering.
+func (j *job) snapshot() (State, rca.Stage, []StageEvent, *Outcome, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	events := make([]StageEvent, len(j.events))
+	copy(events, j.events)
+	return j.state, j.stage, events, j.outcome, j.err
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics are the service counters exposed at /metrics in the
+// Prometheus text exposition format.
+type metrics struct {
+	jobsSubmitted   atomic.Int64 // accepted submissions (all paths)
+	jobsDeduped     atomic.Int64 // submissions that joined an in-flight execution
+	jobsFromStore   atomic.Int64 // submissions served whole from the outcome store
+	jobsCompleted   atomic.Int64 // jobs finished with an outcome
+	jobsFailed      atomic.Int64 // jobs finished with a pipeline error
+	jobsCanceled    atomic.Int64 // jobs canceled by their client
+	jobsRejected    atomic.Int64 // submissions rejected (queue full / shutdown)
+	executions      atomic.Int64 // actual underlying pipeline executions
+	flightsCanceled atomic.Int64 // executions aborted because every subscriber left
+}
+
+// write renders the counters plus the gauges the server derives live.
+func (m *metrics) write(w io.Writer, queueDepth, storeSize, inflight int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s counter\nrcad_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s gauge\nrcad_%s %d\n", name, help, name, name, v)
+	}
+	counter("jobs_submitted_total", "Accepted job submissions.", m.jobsSubmitted.Load())
+	counter("jobs_deduped_total", "Submissions that joined an identical in-flight execution.", m.jobsDeduped.Load())
+	counter("jobs_from_store_total", "Submissions served whole from the outcome store.", m.jobsFromStore.Load())
+	counter("jobs_completed_total", "Jobs finished with an outcome.", m.jobsCompleted.Load())
+	counter("jobs_failed_total", "Jobs finished with a pipeline error.", m.jobsFailed.Load())
+	counter("jobs_canceled_total", "Jobs canceled by their client.", m.jobsCanceled.Load())
+	counter("jobs_rejected_total", "Submissions rejected by backpressure or shutdown.", m.jobsRejected.Load())
+	counter("pipeline_executions_total", "Underlying pipeline executions (post-dedup).", m.executions.Load())
+	counter("flights_canceled_total", "Executions aborted because every subscriber left.", m.flightsCanceled.Load())
+	gauge("queue_depth", "Executions waiting for a worker.", queueDepth)
+	gauge("outcome_store_size", "Outcomes held by the LRU store.", storeSize)
+	gauge("flights_inflight", "Executions queued or running.", inflight)
+}

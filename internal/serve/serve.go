@@ -1,0 +1,440 @@
+// Package serve implements rcad, the concurrent root-cause-analysis
+// service: one long-lived rca.Session per corpus configuration behind
+// an HTTP/JSON API. The paper's pipeline is expensive and most of it
+// is shared — corpus builds, the control-ensemble ECT fingerprint,
+// compiled metagraphs — so the service's job is to make N clients pay
+// for it at most once:
+//
+//   - a bounded job queue feeds a fixed worker pool; submissions
+//     beyond the bound are rejected with 503 (backpressure, not
+//     unbounded memory);
+//   - submissions are deduplicated in flight (singleflight) on the
+//     Session's layered scenario fingerprints: clients submitting an
+//     identical scenario while one is queued or running subscribe to
+//     the same execution;
+//   - completed outcomes land in an LRU store keyed by the same
+//     fingerprint, so repeat submissions don't even queue;
+//   - every job cancels independently (DELETE, or a waiting client
+//     disconnecting). The shared execution is aborted only when its
+//     last subscriber leaves.
+//
+// Determinism is untouched: the service renders results with
+// rca.FormatOutcome over the same Session API the CLI uses, so the
+// bytes a client receives are identical to an in-process run.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Session is the compile-once pipeline the service fronts
+	// (required). Its caches are the second deduplication layer behind
+	// the in-flight singleflight.
+	Session *rca.Session
+	// QueueSize bounds executions waiting for a worker (default 64).
+	// Submissions beyond it are rejected with ErrQueueFull.
+	QueueSize int
+	// Workers is the number of concurrent pipeline executions
+	// (default 2; each execution parallelizes internally via the
+	// session's WithParallelism pool).
+	Workers int
+	// StoreSize bounds the LRU outcome store (default 128).
+	StoreSize int
+	// RunHook, when set, is called with the scenario fingerprint once
+	// per actual underlying pipeline execution — after dedup, before
+	// the run. Tests use it to count executions; it must return
+	// quickly unless the test wants to hold the execution window open.
+	RunHook func(fingerprint string)
+	// JobsCap bounds the job registry (default 4096): once exceeded,
+	// the oldest *terminal* jobs are forgotten (their outcomes remain
+	// reachable by fingerprint through the store). Live jobs are never
+	// evicted.
+	JobsCap int
+}
+
+// Typed submission failures the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull rejects a submission when the job queue is at
+	// capacity (HTTP 503).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrClosed rejects a submission during shutdown (HTTP 503).
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// keyView is the hashed form of a scenario's layered fingerprints.
+// Raw keys embed the whole corpus configuration and injection IDs;
+// hashes make them URL- and log-safe while preserving the sharing
+// structure (equal hash ⇔ equal layer).
+type keyView struct {
+	Source   string `json:"source"`
+	Build    string `json:"build"`
+	Scenario string `json:"scenario"`
+}
+
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
+
+func hashKeys(k rca.ScenarioKeys) keyView {
+	return keyView{Source: hashKey(k.Source), Build: hashKey(k.Build), Scenario: hashKey(k.Scenario)}
+}
+
+// Server is the RCA service: job registry, in-flight dedup table,
+// bounded queue, worker pool and outcome store around one Session.
+type Server struct {
+	session *rca.Session
+	store   *store
+	hook    func(string)
+	queue   chan *flight
+	base    context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	m       metrics
+
+	jobsCap int
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[string]*job    // job id → job
+	jobOrder []string           // insertion order, for registry pruning
+	flights  map[string]*flight // scenario fingerprint hash → in-flight execution
+
+	// Table 1 requests go through the same singleflight discipline as
+	// jobs: identical concurrent requests share one execution and the
+	// semaphore serializes the heavy study instead of letting N
+	// handler goroutines bypass the worker pool.
+	t1mu  sync.Mutex
+	t1    map[string]*t1flight
+	t1sem chan struct{}
+}
+
+// t1flight is one deduplicated Table 1 execution; waiters are
+// refcounted like job flights, so the study is aborted only when the
+// last interested client disconnects.
+type t1flight struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	subs   int
+	done   chan struct{}
+	rows   []rca.Table1Row
+	err    error
+}
+
+// New builds a Server over cfg.Session and starts its worker pool.
+// Call Close to stop it.
+func New(cfg Config) *Server {
+	if cfg.Session == nil {
+		panic("serve: Config.Session is required")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.StoreSize <= 0 {
+		cfg.StoreSize = 128
+	}
+	if cfg.JobsCap <= 0 {
+		cfg.JobsCap = 4096
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		session: cfg.Session,
+		store:   newStore(cfg.StoreSize),
+		hook:    cfg.RunHook,
+		queue:   make(chan *flight, cfg.QueueSize),
+		base:    base,
+		stop:    stop,
+		jobsCap: cfg.JobsCap,
+		jobs:    make(map[string]*job),
+		flights: make(map[string]*flight),
+		t1:      make(map[string]*t1flight),
+		t1sem:   make(chan struct{}, 1),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool, aborting in-flight executions; queued
+// and running jobs finish canceled. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// submit registers a job for a scenario: served from the outcome
+// store, attached to an identical in-flight execution, or enqueued as
+// a new one. It returns ErrQueueFull/ErrClosed under backpressure.
+func (s *Server) submit(sc rca.Scenario) (*job, error) {
+	keys, err := s.session.Keys(sc)
+	if err != nil {
+		return nil, err
+	}
+	kv := hashKeys(keys)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.m.jobsRejected.Add(1)
+		return nil, ErrClosed
+	}
+
+	// Whole-outcome sharing: a stored outcome completes the job
+	// without queueing anything.
+	if out, ok := s.store.get(kv.Scenario); ok {
+		j := newJob(s.newJobID(), sc.Name(), kv, nil, s)
+		j.finish(StateDone, out, nil)
+		s.registerJob(j)
+		s.m.jobsSubmitted.Add(1)
+		s.m.jobsFromStore.Add(1)
+		s.m.jobsCompleted.Add(1)
+		return j, nil
+	}
+
+	// In-flight dedup: identical scenarios share one execution. A
+	// flight whose last subscriber already canceled is dead (its
+	// context is canceled) even though a worker has not reaped it yet;
+	// joining it would spuriously cancel the new job, so it is
+	// replaced instead. subscribe re-checks under the flight's own
+	// lock, closing the race with a concurrent last-subscriber cancel.
+	if fl, ok := s.flights[kv.Scenario]; ok {
+		j := newJob(s.newJobID(), sc.Name(), kv, fl, s)
+		if fl.subscribe(j) {
+			s.registerJob(j)
+			s.m.jobsSubmitted.Add(1)
+			s.m.jobsDeduped.Add(1)
+			return j, nil
+		}
+	}
+
+	// New execution — subject to the queue bound.
+	fl := newFlight(s.base, kv.Scenario, sc)
+	select {
+	case s.queue <- fl:
+	default:
+		fl.cancel()
+		s.m.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.flights[kv.Scenario] = fl
+	j := newJob(s.newJobID(), sc.Name(), kv, fl, s)
+	fl.subscribe(j)
+	s.registerJob(j)
+	s.m.jobsSubmitted.Add(1)
+	return j, nil
+}
+
+func (s *Server) newJobID() string {
+	s.nextID++
+	return fmt.Sprintf("j-%06d", s.nextID)
+}
+
+// registerJob records a job (caller holds s.mu), pruning the oldest
+// terminal jobs beyond the registry cap. Completed outcomes stay
+// reachable by fingerprint through the store; only the per-job view
+// ages out. Live jobs are never evicted.
+func (s *Server) registerJob(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobs) <= s.jobsCap {
+		return
+	}
+	keep := make([]string, 0, len(s.jobs))
+	for _, id := range s.jobOrder {
+		old, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.jobsCap && old.isTerminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.jobOrder = keep
+}
+
+// jobByID looks a job up in the registry.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker drains the queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case fl := <-s.queue:
+			s.runFlight(fl)
+		case <-s.base.Done():
+			s.drain()
+			return
+		}
+	}
+}
+
+// drain cancels whatever is still queued at shutdown (exactly one
+// worker wins each flight; runFlight completes it as canceled).
+func (s *Server) drain() {
+	for {
+		select {
+		case fl := <-s.queue:
+			s.runFlight(fl)
+		default:
+			return
+		}
+	}
+}
+
+// runFlight executes one deduplicated investigation. The flight's
+// context — alive while any subscriber remains — drives cancellation;
+// stage progress fans out to every subscribed job.
+func (s *Server) runFlight(fl *flight) {
+	if err := fl.ctx.Err(); err != nil {
+		// Every subscriber canceled (or the server closed) while the
+		// flight was still queued: nothing ran, nothing to store.
+		s.m.flightsCanceled.Add(1)
+		s.finishFlight(fl, nil, rca.ErrCanceled)
+		return
+	}
+	fl.start()
+	s.m.executions.Add(1)
+	if s.hook != nil {
+		s.hook(fl.key)
+	}
+	ctx := rca.WithProgress(fl.ctx, fl.setStage)
+	out, err := s.session.Run(ctx, fl.scenario)
+	if err == nil {
+		s.finishFlight(fl, &Outcome{
+			Fingerprint: fl.key,
+			Name:        out.Name,
+			FailureRate: out.FailureRate,
+			BugLocated:  out.BugLocated,
+			Text:        rca.FormatOutcome(out),
+			CompletedAt: time.Now().UTC(),
+		}, nil)
+		return
+	}
+	if errors.Is(err, rca.ErrCanceled) {
+		s.m.flightsCanceled.Add(1)
+	}
+	s.finishFlight(fl, nil, err)
+}
+
+// finishFlight publishes a flight's result: the outcome (if any) goes
+// to the LRU store and the flight leaves the dedup table under one
+// lock — a submission always sees either the in-flight entry or the
+// stored outcome, never a gap — then the remaining subscribers finish.
+func (s *Server) finishFlight(fl *flight, out *Outcome, err error) {
+	s.mu.Lock()
+	if out != nil {
+		s.store.put(fl.key, out)
+	}
+	// Identity check: a dead flight may already have been replaced in
+	// the table by a fresh execution of the same scenario.
+	if cur, ok := s.flights[fl.key]; ok && cur == fl {
+		delete(s.flights, fl.key)
+	}
+	s.mu.Unlock()
+
+	for _, j := range fl.take() {
+		switch {
+		case out != nil:
+			if j.finish(StateDone, out, nil) {
+				s.m.jobsCompleted.Add(1)
+			}
+		case errors.Is(err, rca.ErrCanceled):
+			if j.finish(StateCanceled, nil, err) {
+				s.m.jobsCanceled.Add(1)
+			}
+		default:
+			if j.finish(StateFailed, nil, err) {
+				s.m.jobsFailed.Add(1)
+			}
+		}
+	}
+}
+
+// inflight counts flights queued or running.
+func (s *Server) inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flights)
+}
+
+// table1Flight joins (or starts) the deduplicated execution for one
+// parameter set. A dead flight — every waiter left, context canceled,
+// goroutine not yet reaped — is replaced, not joined; the last-out
+// cancel in table1Leave happens under t1mu, so the liveness check here
+// is race-free.
+func (s *Server) table1Flight(key string, setup rca.Table1Setup) (*t1flight, error) {
+	s.t1mu.Lock()
+	defer s.t1mu.Unlock()
+	if fl, ok := s.t1[key]; ok && fl.ctx.Err() == nil {
+		fl.subs++
+		return fl, nil
+	}
+	// New execution: the shutdown check and the waitgroup registration
+	// share s.mu with Close, so Close cannot observe a zero counter
+	// between them (sync.WaitGroup forbids Add racing Wait).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(s.base)
+	fl := &t1flight{ctx: ctx, cancel: cancel, subs: 1, done: make(chan struct{})}
+	s.t1[key] = fl
+	go func() {
+		defer s.wg.Done()
+		select {
+		case s.t1sem <- struct{}{}:
+			fl.rows, fl.err = s.session.Table1(ctx, setup)
+			<-s.t1sem
+		case <-ctx.Done():
+			fl.err = rca.ErrCanceled
+		}
+		s.t1mu.Lock()
+		if cur, ok := s.t1[key]; ok && cur == fl {
+			delete(s.t1, key)
+		}
+		s.t1mu.Unlock()
+		close(fl.done)
+	}()
+	return fl, nil
+}
+
+// table1Leave drops one waiter; the last one out aborts the study
+// (under t1mu, so a concurrent join cannot slip in between).
+func (s *Server) table1Leave(fl *t1flight) {
+	s.t1mu.Lock()
+	defer s.t1mu.Unlock()
+	fl.subs--
+	if fl.subs == 0 {
+		fl.cancel()
+	}
+}

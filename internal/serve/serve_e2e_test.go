@@ -1,0 +1,164 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/serve"
+)
+
+// e2eCorpus sizes the end-to-end harness: big enough that every
+// catalog pipeline locates its defect, small enough for -race CI.
+var e2eCorpus = rca.CorpusConfig{AuxModules: 25, Seed: 2}
+
+func e2eOptions() []rca.Option {
+	return []rca.Option{rca.WithEnsembleSize(16), rca.WithExpSize(4)}
+}
+
+// jobReply mirrors the serve job JSON for test decoding.
+type jobReply struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	State       string `json:"state"`
+	Outcome     *struct {
+		Fingerprint string  `json:"fingerprint"`
+		Name        string  `json:"name"`
+		FailureRate float64 `json:"failureRate"`
+		BugLocated  bool    `json:"bugLocated"`
+		Text        string  `json:"text"`
+	} `json:"outcome"`
+	Error string `json:"error"`
+}
+
+// postJob submits a scenario body. It returns errors instead of
+// failing the test so client goroutines can report through channels
+// (t.Fatalf must not be called off the test goroutine).
+func postJob(base string, body []byte, wait bool) (*jobReply, int, error) {
+	url := base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("POST /v1/jobs: %w", err)
+	}
+	defer resp.Body.Close()
+	var reply jobReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("decode job reply (status %d): %w", resp.StatusCode, err)
+	}
+	return &reply, resp.StatusCode, nil
+}
+
+// TestServeE2EGoldenCatalog is the acceptance harness: the full paper
+// catalog driven through the HTTP API by 8 concurrent clients must
+// produce FormatOutcome bytes identical to a direct in-process
+// Session.RunAll — the service layer (queue, dedup, store, JSON
+// transport) must not perturb determinism. Run under -race in CI.
+func TestServeE2EGoldenCatalog(t *testing.T) {
+	ctx := context.Background()
+	scenarios := rca.Experiments()
+
+	// The in-process reference.
+	direct := rca.NewSession(e2eCorpus, e2eOptions()...)
+	outs, err := direct.RunAll(ctx, scenarios)
+	if err != nil {
+		t.Fatalf("direct RunAll: %v", err)
+	}
+	want := make(map[string]string, len(outs))
+	for _, out := range outs {
+		want[out.Name] = rca.FormatOutcome(out)
+	}
+
+	// The service under test, on its own independent session.
+	srv := serve.New(serve.Config{Session: rca.NewSession(e2eCorpus, e2eOptions()...), Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*len(scenarios))
+	fingerprints := make([][]string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fingerprints[c] = make([]string, len(scenarios))
+			for i := range scenarios {
+				// Stagger the order per client so submissions overlap
+				// across different scenarios, not in lockstep.
+				sc := scenarios[(i+c)%len(scenarios)]
+				body, err := rca.ScenarioToJSON(sc)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: serialize %s: %v", c, sc.Name(), err)
+					return
+				}
+				reply, status, err := postJob(ts.URL, body, true)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %s: %w", c, sc.Name(), err)
+					return
+				}
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("client %d: %s: status %d (%s)", c, sc.Name(), status, reply.Error)
+					return
+				}
+				if reply.State != "done" || reply.Outcome == nil {
+					errs <- fmt.Errorf("client %d: %s: state %s, error %q", c, sc.Name(), reply.State, reply.Error)
+					return
+				}
+				if reply.Outcome.Text != want[sc.Name()] {
+					errs <- fmt.Errorf("client %d: %s: outcome bytes diverge from in-process run:\n--- service ---\n%s\n--- direct ---\n%s",
+						c, sc.Name(), reply.Outcome.Text, want[sc.Name()])
+					return
+				}
+				fingerprints[c][(i+c)%len(scenarios)] = reply.Fingerprint
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every client saw the same fingerprint per scenario, and the
+	// outcome store serves those fingerprints with the same bytes.
+	for c := 1; c < clients; c++ {
+		for i := range scenarios {
+			if fingerprints[c][i] != fingerprints[0][i] {
+				t.Fatalf("%s: client %d fingerprint %s != client 0 %s",
+					scenarios[i].Name(), c, fingerprints[c][i], fingerprints[0][i])
+			}
+		}
+	}
+	for i, sc := range scenarios {
+		resp, err := http.Get(ts.URL + "/v1/outcomes/" + fingerprints[0][i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Name string `json:"name"`
+			Text string `json:"text"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Text != want[sc.Name()] {
+			t.Fatalf("outcome store for %s: status %d, bytes match = %v",
+				sc.Name(), resp.StatusCode, out.Text == want[sc.Name()])
+		}
+	}
+}

@@ -138,6 +138,9 @@ var (
 	ErrConflictingInjections = experiments.ErrConflictingInjections
 	ErrUnknownSubprogram     = corpus.ErrUnknownSubprogram
 	ErrBadPatch              = corpus.ErrBadPatch
+	// ErrInvalidBounds reports a run-set request with negative or
+	// overflowing count/offset (Session.ExperimentalOutputs).
+	ErrInvalidBounds = experiments.ErrInvalidBounds
 )
 
 // The paper's prewired experiments (§6 and supplement §8.2), as
@@ -175,11 +178,21 @@ func NewScenario(name string, opts ScenarioOptions, injs ...Injection) Scenario 
 // "param:turbcoef=0.02". See the experiments package for the grammar.
 func ParseInjection(s string) (Injection, error) { return experiments.ParseInjection(s) }
 
-// ScenarioFromJSON decodes a JSON scenario definition:
+// ScenarioFromJSON decodes a JSON scenario definition — the format of
+// `rca -scenario` files and of rcad's POST /v1/jobs request body.
+// Inject entries are compact-syntax strings or structured patch
+// objects; alternatively {"experiment": "GOFFGRATCH"} references the
+// prewired catalog:
 //
 //	{"name": "WSUB+GG", "camonly": true, "selectk": 5,
 //	 "inject": ["aero_run.wsub:0.20=>2.00", "prng=mt"]}
 func ScenarioFromJSON(data []byte) (Scenario, error) { return experiments.ScenarioFromJSON(data) }
+
+// ScenarioToJSON serializes a scenario to the wire format, the inverse
+// of ScenarioFromJSON: parsing the result yields a scenario with the
+// same name, options and injection fingerprints. This is how
+// `rca -server` ships scenarios to an rcad daemon.
+func ScenarioToJSON(sc Scenario) ([]byte, error) { return experiments.ScenarioToJSON(sc) }
 
 // ScenarioFingerprint returns a scenario's stable cache identity over
 // a corpus configuration — the value that replaces the legacy

@@ -36,6 +36,38 @@ type Option = experiments.Option
 // refinement loop; see ValueSampling, ReachSampling, GradedSampling.
 type Sampler = experiments.Sampler
 
+// Stage names one pipeline stage of Session.Run, in execution order:
+// StageVerdict, StageSelect, StageCompile, StageSlice, StageRefine.
+type Stage = experiments.Stage
+
+// The pipeline stages Session.Run reports, in order.
+const (
+	StageVerdict = experiments.StageVerdict
+	StageSelect  = experiments.StageSelect
+	StageCompile = experiments.StageCompile
+	StageSlice   = experiments.StageSlice
+	StageRefine  = experiments.StageRefine
+)
+
+// Stages lists the pipeline stages in execution order.
+func Stages() []Stage { return experiments.Stages() }
+
+// WithProgress returns a context that makes Session.Run report each
+// stage transition to f before entering the stage — the hook rcad's
+// job progress events are built on. Cached stages still report: the
+// callback narrates the investigation's logical progress. f must be
+// safe for concurrent use when the context is shared across goroutines
+// (RunAll fan-out).
+func WithProgress(ctx context.Context, f func(Stage)) context.Context {
+	return experiments.WithProgress(ctx, f)
+}
+
+// ScenarioKeys are the layered cache fingerprints of one scenario over
+// a session's corpus configuration (Source ⊂ Build ⊂ Scenario); see
+// Session.Keys. External caching and deduplication layers — rcad's
+// singleflight job dedup, its outcome store — key on these.
+type ScenarioKeys = experiments.Keys
+
 // Stage payloads of the Session API.
 type (
 	// Verdict is the UF-ECT consistency verdict (pipeline step 0).
