@@ -3,15 +3,22 @@
 // BENCH_*.json files in the repo root record): benchmark name mapped
 // to ns/op, B/op and allocs/op, averaged over -count repetitions.
 //
+// With -baseline it additionally guards against regressions: the named
+// benchmark's fresh ns/op is compared to the committed snapshot's and
+// the process exits nonzero when it regressed beyond -tol.
+//
 // Usage:
 //
 //	go test -bench 'PipelineSixSpecs|GirvanNewman|EdgeBetweenness' \
 //	    -benchmem -count 3 -run '^$' ./... | go run ./cmd/benchjson
+//	... | go run ./cmd/benchjson -baseline BENCH_PR5.json -key pr5 \
+//	    -guard BenchmarkPipelineSixSpecsSession -tol 0.15
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -32,6 +39,13 @@ type Result struct {
 }
 
 func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed snapshot JSON to guard against")
+		key      = flag.String("key", "", "top-level object inside the baseline holding the results (e.g. pr5); empty = the file is the results map")
+		guard    = flag.String("guard", "BenchmarkPipelineSixSpecsSession", "benchmark name the regression guard checks")
+		tol      = flag.Float64("tol", 0.15, "allowed fractional ns/op regression before failing")
+	)
+	flag.Parse()
 	acc := map[string]*Result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -71,4 +85,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if err := checkGuard(acc, *baseline, *key, *guard, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGuard fails when the guarded benchmark's fresh ns/op exceeds
+// the committed snapshot's by more than the tolerance.
+func checkGuard(acc map[string]*Result, path, key, guard string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	results := data
+	if key != "" {
+		raw, ok := doc[key]
+		if !ok {
+			return fmt.Errorf("%s: no %q object", path, key)
+		}
+		results = raw
+	}
+	var base map[string]*Result
+	if err := json.Unmarshal(results, &base); err != nil {
+		return fmt.Errorf("%s[%s]: %w", path, key, err)
+	}
+	want, ok := base[guard]
+	if !ok || want.NsOp <= 0 {
+		return fmt.Errorf("%s: baseline has no usable %s entry", path, guard)
+	}
+	got, ok := acc[guard]
+	if !ok {
+		return fmt.Errorf("fresh run has no %s result to guard", guard)
+	}
+	limit := want.NsOp * (1 + tol)
+	if got.NsOp > limit {
+		return fmt.Errorf("%s regressed: %.0f ns/op vs committed %.0f (limit %.0f, tol %.0f%%)",
+			guard, got.NsOp, want.NsOp, limit, tol*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s ok: %.0f ns/op vs committed %.0f (limit %.0f)\n",
+		guard, got.NsOp, want.NsOp, limit)
+	return nil
 }

@@ -61,6 +61,7 @@ func main() {
 		dot      = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
 		graded   = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
 		parallel = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
+		engine   = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
 		server   = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
 	)
 	flag.Var(&injects, "inject",
@@ -143,6 +144,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	engKind, err := rca.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rca:", err)
+		os.Exit(2)
+	}
+
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = *aux
 	ccfg.Seed = *seed
@@ -151,6 +158,7 @@ func main() {
 		rca.WithEnsembleSize(*ensemble),
 		rca.WithExpSize(*runs),
 		rca.WithSampler(strategy),
+		rca.WithEngine(engKind),
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))

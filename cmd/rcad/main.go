@@ -40,6 +40,7 @@ func main() {
 		runs     = flag.Int("runs", 10, "experimental run count")
 		sampler  = flag.String("sampler", "value", "sampler: value | reach | graded")
 		parallel = flag.Int("parallel", 0, "worker pool per investigation (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle)")
 		workers  = flag.Int("workers", 2, "concurrent pipeline executions")
 		queue    = flag.Int("queue", 64, "bounded job-queue capacity")
 		storeCap = flag.Int("store", 128, "LRU outcome-store capacity")
@@ -60,6 +61,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	engKind, err := rca.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcad:", err)
+		os.Exit(2)
+	}
+
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = *aux
 	ccfg.Seed = *seed
@@ -67,6 +74,7 @@ func main() {
 		rca.WithEnsembleSize(*ensemble),
 		rca.WithExpSize(*runs),
 		rca.WithSampler(strategy),
+		rca.WithEngine(engKind),
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))

@@ -1,0 +1,549 @@
+package bytecode
+
+import "math"
+
+// exec runs one proc's code against its frame. Jump targets are
+// absolute; opRet (or falling off the end) returns.
+func (vm *VM) exec(p *proc, fr *frame) error {
+	code := p.code
+	scal := fr.scal
+	pc := 0
+	for pc < len(code) {
+		in := &code[pc]
+		switch in.op {
+		case opNop:
+		case opJmp:
+			pc = int(in.b)
+			continue
+		case opJZ:
+			if scal[in.a] == 0 {
+				pc = int(in.b)
+				continue
+			}
+		case opAnyV:
+			v := 0.0
+			for _, x := range fr.arr[in.a] {
+				if x != 0 {
+					v = 1
+					break
+				}
+			}
+			scal[in.d] = v
+		case opRet:
+			return nil
+		case opErr:
+			return vm.prog.errs[in.a]
+		case opBrNoFMA:
+			if !vm.fma[p.modIdx] {
+				pc = int(in.b)
+				continue
+			}
+
+		case opConst:
+			scal[in.d] = vm.prog.consts[in.a]
+		case opMovS:
+			scal[in.d] = scal[in.a]
+		case opLoadG:
+			scal[in.d] = vm.gscal[in.a]
+		case opStoreG:
+			vm.gscal[in.d] = scal[in.a]
+		case opLoadP:
+			scal[in.d] = *fr.ptrs[in.a]
+		case opStoreP:
+			*fr.ptrs[in.d] = scal[in.a]
+		case opLoadDF:
+			scal[in.d] = fr.drv[in.a].scal[in.b]
+		case opStoreDF:
+			fr.drv[in.d].scal[in.b] = scal[in.a]
+		case opLoadDF0:
+			scal[in.d] = fr.drv[in.a].f
+		case opStoreDF0:
+			fr.drv[in.d].f = scal[in.a]
+		case opBindG:
+			fr.arr[in.d] = vm.garr[in.a]
+		case opBindGD:
+			fr.drv[in.d] = vm.gdrv[in.a]
+		case opBindDF:
+			fr.arr[in.d] = fr.drv[in.a].arr[in.b]
+		case opIdx:
+			idx := int(scal[in.b]) - 1
+			a := fr.arr[in.a]
+			if idx < 0 || idx >= len(a) {
+				return errf("index %d out of bounds [1,%d] on %s", idx+1, len(a), vm.prog.labels[in.e])
+			}
+			fr.ints[in.d] = int64(idx)
+		case opLoadElem:
+			scal[in.d] = fr.arr[in.a][fr.ints[in.b]]
+		case opStoreElem:
+			fr.arr[in.a][fr.ints[in.b]] = scal[in.c]
+		case opBroadV:
+			v := scal[in.a]
+			out := fr.arr[in.d]
+			for i := range out {
+				out[i] = v
+			}
+		case opCopyV:
+			copy(fr.arr[in.d], fr.arr[in.a])
+		case opCollapse:
+			scal[in.d] = fr.arr[in.a][0]
+
+		case opAddS:
+			scal[in.d] = scal[in.a] + scal[in.b]
+		case opSubS:
+			scal[in.d] = scal[in.a] - scal[in.b]
+		case opMulS:
+			scal[in.d] = scal[in.a] * scal[in.b]
+		case opDivS:
+			scal[in.d] = scal[in.a] / scal[in.b]
+		case opPowS:
+			scal[in.d] = math.Pow(scal[in.a], scal[in.b])
+		case opEqS:
+			scal[in.d] = b2f(scal[in.a] == scal[in.b])
+		case opNeS:
+			scal[in.d] = b2f(scal[in.a] != scal[in.b])
+		case opLtS:
+			scal[in.d] = b2f(scal[in.a] < scal[in.b])
+		case opLeS:
+			scal[in.d] = b2f(scal[in.a] <= scal[in.b])
+		case opGtS:
+			scal[in.d] = b2f(scal[in.a] > scal[in.b])
+		case opGeS:
+			scal[in.d] = b2f(scal[in.a] >= scal[in.b])
+		case opAndS:
+			scal[in.d] = b2f(scal[in.a] != 0 && scal[in.b] != 0)
+		case opOrS:
+			scal[in.d] = b2f(scal[in.a] != 0 || scal[in.b] != 0)
+		case opModS:
+			scal[in.d] = math.Mod(scal[in.a], scal[in.b])
+		case opSignS:
+			scal[in.d] = math.Copysign(scal[in.a], scal[in.b])
+		case opMinS:
+			scal[in.d] = math.Min(scal[in.a], scal[in.b])
+		case opMaxS:
+			scal[in.d] = math.Max(scal[in.a], scal[in.b])
+		case opNegS:
+			scal[in.d] = -scal[in.a]
+		case opNotS:
+			scal[in.d] = b2f(scal[in.a] == 0)
+		case opAbsS:
+			scal[in.d] = math.Abs(scal[in.a])
+		case opSqrtS:
+			scal[in.d] = math.Sqrt(scal[in.a])
+		case opExpS:
+			scal[in.d] = math.Exp(scal[in.a])
+		case opLogS:
+			scal[in.d] = math.Log(scal[in.a])
+		case opFloorS:
+			scal[in.d] = math.Floor(scal[in.a])
+		case opFMAS:
+			a, c := scal[in.a], scal[in.c]
+			if in.e&1 != 0 {
+				a = -a
+			}
+			if in.e&2 != 0 {
+				c = -c
+			}
+			scal[in.d] = math.FMA(a, scal[in.b], c)
+
+		case opAddV:
+			out := fr.arr[in.d]
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = a[i] + b[i]
+				}
+			case 1:
+				a, s := fr.arr[in.a], scal[in.b]
+				for i := range out {
+					out[i] = a[i] + s
+				}
+			default:
+				s, b := scal[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = s + b[i]
+				}
+			}
+		case opSubV:
+			out := fr.arr[in.d]
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = a[i] - b[i]
+				}
+			case 1:
+				a, s := fr.arr[in.a], scal[in.b]
+				for i := range out {
+					out[i] = a[i] - s
+				}
+			default:
+				s, b := scal[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = s - b[i]
+				}
+			}
+		case opMulV:
+			out := fr.arr[in.d]
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = a[i] * b[i]
+				}
+			case 1:
+				a, s := fr.arr[in.a], scal[in.b]
+				for i := range out {
+					out[i] = a[i] * s
+				}
+			default:
+				s, b := scal[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = s * b[i]
+				}
+			}
+		case opDivV:
+			out := fr.arr[in.d]
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = a[i] / b[i]
+				}
+			case 1:
+				a, s := fr.arr[in.a], scal[in.b]
+				for i := range out {
+					out[i] = a[i] / s
+				}
+			default:
+				s, b := scal[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = s / b[i]
+				}
+			}
+		case opMinV:
+			out := fr.arr[in.d]
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = math.Min(a[i], b[i])
+				}
+			case 1:
+				a, s := fr.arr[in.a], scal[in.b]
+				for i := range out {
+					out[i] = math.Min(a[i], s)
+				}
+			default:
+				s, b := scal[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = math.Min(s, b[i])
+				}
+			}
+		case opMaxV:
+			out := fr.arr[in.d]
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = math.Max(a[i], b[i])
+				}
+			case 1:
+				a, s := fr.arr[in.a], scal[in.b]
+				for i := range out {
+					out[i] = math.Max(a[i], s)
+				}
+			default:
+				s, b := scal[in.a], fr.arr[in.b]
+				for i := range out {
+					out[i] = math.Max(s, b[i])
+				}
+			}
+		case opPowV, opEqV, opNeV, opLtV, opLeV, opGtV, opGeV, opAndV, opOrV, opModV, opSignV:
+			vm.slowBinV(in, fr)
+		case opNegV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = -a[i]
+			}
+		case opNotV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = b2f(a[i] == 0)
+			}
+		case opAbsV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = math.Abs(a[i])
+			}
+		case opSqrtV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = math.Sqrt(a[i])
+			}
+		case opExpV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = math.Exp(a[i])
+			}
+		case opLogV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = math.Log(a[i])
+			}
+		case opFloorV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			for i := range out {
+				out[i] = math.Floor(a[i])
+			}
+		case opFMAV:
+			out := fr.arr[in.d]
+			var av, bv, cv []float64
+			var af, bf, cf float64
+			if in.e&4 != 0 {
+				av = fr.arr[in.a]
+			} else {
+				af = scal[in.a]
+			}
+			if in.e&8 != 0 {
+				bv = fr.arr[in.b]
+			} else {
+				bf = scal[in.b]
+			}
+			if in.e&16 != 0 {
+				cv = fr.arr[in.c]
+			} else {
+				cf = scal[in.c]
+			}
+			sa, sc := 1.0, 1.0
+			if in.e&1 != 0 {
+				sa = -1
+			}
+			if in.e&2 != 0 {
+				sc = -1
+			}
+			for i := range out {
+				x, y, z := af, bf, cf
+				if av != nil {
+					x = av[i]
+				}
+				if bv != nil {
+					y = bv[i]
+				}
+				if cv != nil {
+					z = cv[i]
+				}
+				out[i] = math.FMA(sa*x, y, sc*z)
+			}
+		case opSumV:
+			var s float64
+			for _, x := range fr.arr[in.a] {
+				s += x
+			}
+			scal[in.d] = s
+		case opNcol:
+			scal[in.d] = float64(vm.ncol)
+		case opShiftV:
+			out, src := fr.arr[in.d], fr.arr[in.a]
+			n := len(src)
+			k := int(scal[in.b]) % n
+			if k < 0 {
+				k += n
+			}
+			// out[i] = src[(i+k)%n], as two straight copies.
+			copy(out, src[k:])
+			copy(out[n-k:], src[:k])
+
+		case opRandS:
+			scal[in.d] = vm.rng.Float64()
+		case opRandV:
+			out := fr.arr[in.d]
+			for i := range out {
+				out[i] = vm.rng.Float64()
+			}
+		case opOutS:
+			lbl := vm.prog.labels[in.a]
+			if dst, ok := vm.Outputs[lbl]; ok && len(dst) == 1 {
+				dst[0] = scal[in.b]
+			} else {
+				vm.Outputs[lbl] = []float64{scal[in.b]}
+			}
+		case opOutV:
+			lbl := vm.prog.labels[in.a]
+			src := fr.arr[in.b]
+			if dst, ok := vm.Outputs[lbl]; ok && len(dst) == len(src) {
+				copy(dst, src)
+			} else {
+				vm.Outputs[lbl] = append([]float64(nil), src...)
+			}
+		case opTouch:
+			fr.touched[in.a] = true
+
+		case opLoopInit:
+			fr.ints[in.d] = int64(int(scal[in.a]))
+			fr.ints[in.d+1] = int64(int(scal[in.b]))
+		case opLoopCond:
+			if fr.ints[in.a] > fr.ints[in.a+1] {
+				pc = int(in.b)
+				continue
+			}
+			scal[in.d] = float64(fr.ints[in.a])
+		case opLoopInc:
+			fr.ints[in.a]++
+			pc = int(in.b)
+			continue
+
+		case opCallSub:
+			cs := vm.prog.calls[in.a]
+			cf, err := vm.callSiteInvoke(cs, fr)
+			if cf != nil {
+				vm.putFrame(cs.proc, cf)
+			}
+			if err != nil {
+				return err
+			}
+		case opCallFunS:
+			cs := vm.prog.calls[in.a]
+			cf, err := vm.callSiteInvoke(cs, fr)
+			if err != nil {
+				if cf != nil {
+					vm.putFrame(cs.proc, cf)
+				}
+				return err
+			}
+			scal[in.d] = vm.retScal(cs.proc, cf)
+			vm.putFrame(cs.proc, cf)
+		case opCallFunV:
+			cs := vm.prog.calls[in.a]
+			cf, err := vm.callSiteInvoke(cs, fr)
+			if err != nil {
+				if cf != nil {
+					vm.putFrame(cs.proc, cf)
+				}
+				return err
+			}
+			copy(fr.arr[in.d], cf.arr[cs.proc.ret.reg])
+			vm.putFrame(cs.proc, cf)
+		case opCallFunD:
+			cs := vm.prog.calls[in.a]
+			cf, err := vm.callSiteInvoke(cs, fr)
+			if err != nil {
+				if cf != nil {
+					vm.putFrame(cs.proc, cf)
+				}
+				return err
+			}
+			cloneDval(fr.drv[in.d], cf.drv[cs.proc.ret.reg])
+			vm.putFrame(cs.proc, cf)
+		case opCallElem:
+			if err := vm.elemBroadcast(vm.prog.calls[in.a], fr, fr.arr[in.d]); err != nil {
+				return err
+			}
+
+		default:
+			return errf("bad opcode %d", in.op)
+		}
+		pc++
+	}
+	return nil
+}
+
+// slowBinV covers the colder elementwise binaries with one generic
+// loop body per op.
+func (vm *VM) slowBinV(in *instr, fr *frame) {
+	var fn func(a, b float64) float64
+	switch in.op {
+	case opPowV:
+		fn = math.Pow
+	case opEqV:
+		fn = func(a, b float64) float64 { return b2f(a == b) }
+	case opNeV:
+		fn = func(a, b float64) float64 { return b2f(a != b) }
+	case opLtV:
+		fn = func(a, b float64) float64 { return b2f(a < b) }
+	case opLeV:
+		fn = func(a, b float64) float64 { return b2f(a <= b) }
+	case opGtV:
+		fn = func(a, b float64) float64 { return b2f(a > b) }
+	case opGeV:
+		fn = func(a, b float64) float64 { return b2f(a >= b) }
+	case opAndV:
+		fn = func(a, b float64) float64 { return b2f(a != 0 && b != 0) }
+	case opOrV:
+		fn = func(a, b float64) float64 { return b2f(a != 0 || b != 0) }
+	case opModV:
+		fn = math.Mod
+	case opSignV:
+		fn = math.Copysign
+	}
+	out := fr.arr[in.d]
+	switch in.e {
+	case 0:
+		a, b := fr.arr[in.a], fr.arr[in.b]
+		for i := range out {
+			out[i] = fn(a[i], b[i])
+		}
+	case 1:
+		a, s := fr.arr[in.a], fr.scal[in.b]
+		for i := range out {
+			out[i] = fn(a[i], s)
+		}
+	default:
+		s, b := fr.scal[in.a], fr.arr[in.b]
+		for i := range out {
+			out[i] = fn(s, b[i])
+		}
+	}
+}
+
+// elemBroadcast invokes an elemental function once per column, binding
+// scalar views read live per column, exactly as callFunction's
+// broadcast loop does.
+func (vm *VM) elemBroadcast(cs *callSite, caller *frame, out []float64) error {
+	p := cs.proc
+	for col := 0; col < vm.ncol; col++ {
+		if vm.depth >= maxDepth {
+			return errf("call depth exceeded at %s", p.fullName)
+		}
+		vm.depth++
+		if vm.trace != nil {
+			vm.trace(p.module, p.name)
+		}
+		fr := vm.getFrame(p)
+		for ai, ea := range cs.elem {
+			if ai >= len(p.argBind) {
+				break
+			}
+			slot := p.argBind[ai]
+			if slot.mode == 'u' {
+				continue
+			}
+			var v float64
+			switch ea.space {
+			case esTempS:
+				v = caller.scal[ea.a]
+			case esGlobS:
+				v = vm.gscal[ea.a]
+			case esPtrS:
+				v = *caller.ptrs[ea.a]
+			case esFieldS:
+				v = caller.drv[ea.a].scal[ea.b]
+			case esDrvF:
+				v = caller.drv[ea.a].f
+			case esArr:
+				v = caller.arr[ea.a][col]
+			}
+			fr.scal[slot.reg] = v
+		}
+		err := vm.exec(p, fr)
+		vm.exitSnapshots(p, fr)
+		vm.depth--
+		if err != nil {
+			vm.putFrame(p, fr)
+			return err
+		}
+		out[col] = vm.retScal(p, fr)
+		vm.putFrame(p, fr)
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/fortran"
+	"github.com/climate-rca/rca/internal/interp"
+	"github.com/climate-rca/rca/internal/rng"
+)
+
+// progGen derives a syntactically valid FortLite program from a fuzz
+// byte stream: module variables (scalars, fields, a derived type),
+// parameters, an elemental and a plain function, helper subroutines
+// and a zero-argument entry — with statements and expressions chosen
+// byte by byte. Loops are bounded and calls only target previously
+// defined subprograms, so every generated program terminates.
+type progGen struct {
+	data []byte
+	pos  int
+	sb   strings.Builder
+	tmp  int
+}
+
+func (g *progGen) byte() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *progGen) pick(n int) int { return int(g.byte()) % n }
+
+func (g *progGen) lit() string {
+	v := float64(int(g.byte())-128) / 16
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Scalar-valued variables visible in every subprogram.
+var fzScal = []string{"s0", "s1", "s2", "st%mass"}
+
+// Array-valued variables visible in every subprogram.
+var fzArr = []string{"a0", "a1", "a2", "st%t", "st%q"}
+
+// expr emits an expression of bounded depth; array controls shape.
+func (g *progGen) expr(depth int, array bool) string {
+	if depth <= 0 {
+		return g.atom(array)
+	}
+	switch g.pick(8) {
+	case 0:
+		return g.atom(array)
+	case 1:
+		return fmt.Sprintf("(-%s)", g.expr(depth-1, array))
+	case 2: // FMA candidate a*b + c
+		return fmt.Sprintf("%s * %s + %s", g.atom(array), g.atom(false), g.expr(depth-1, array))
+	case 3: // c - a*b
+		return fmt.Sprintf("%s - %s * %s", g.expr(depth-1, array), g.atom(array), g.atom(false))
+	case 4:
+		op := []string{"+", "-", "*", "/"}[g.pick(4)]
+		return fmt.Sprintf("%s %s %s", g.expr(depth-1, array), op, g.atom(array))
+	case 5:
+		fn := []string{"abs", "sqrt", "exp", "log", "floor"}[g.pick(5)]
+		return fmt.Sprintf("%s(%s)", fn, g.expr(depth-1, array))
+	case 6:
+		fn := []string{"min", "max", "mod", "sign"}[g.pick(4)]
+		return fmt.Sprintf("%s(%s, %s)", fn, g.expr(depth-1, array), g.atom(array))
+	default:
+		if array {
+			switch g.pick(3) {
+			case 0:
+				return fmt.Sprintf("shift(%s, %d)", g.atom(true), g.pick(7)-3)
+			case 1:
+				return fmt.Sprintf("efn(%s)", g.atom(true)) // elemental broadcast
+			default:
+				return g.atom(true)
+			}
+		}
+		switch g.pick(4) {
+		case 0:
+			return fmt.Sprintf("sum(%s)", g.atom(true))
+		case 1:
+			return fmt.Sprintf("size(%s)", g.atom(true))
+		case 2:
+			return fmt.Sprintf("ffn(%s, %s)", g.atom(false), g.atom(false))
+		default:
+			return g.atom(false)
+		}
+	}
+}
+
+func (g *progGen) atom(array bool) string {
+	if array {
+		return fzArr[g.pick(len(fzArr))]
+	}
+	switch g.pick(4) {
+	case 0:
+		return g.lit()
+	case 1: // element read with a small in-bounds index
+		return fmt.Sprintf("%s(%d)", fzArr[g.pick(3)], 1+g.pick(4))
+	default:
+		return fzScal[g.pick(len(fzScal))]
+	}
+}
+
+func (g *progGen) stmt(depth int) {
+	switch g.pick(9) {
+	case 0, 1: // array assignment
+		fmt.Fprintf(&g.sb, "    %s = %s\n", fzArr[g.pick(len(fzArr))], g.expr(2, true))
+	case 2: // scalar assignment
+		fmt.Fprintf(&g.sb, "    %s = %s\n", fzScal[g.pick(3)], g.expr(2, false))
+	case 3: // element assignment
+		fmt.Fprintf(&g.sb, "    %s(%d) = %s\n", fzArr[g.pick(3)], 1+g.pick(4), g.expr(2, false))
+	case 4:
+		if depth > 0 {
+			fmt.Fprintf(&g.sb, "    if (%s > %s) then\n", g.expr(1, false), g.lit())
+			g.stmt(depth - 1)
+			g.sb.WriteString("    else\n")
+			g.stmt(depth - 1)
+			g.sb.WriteString("    end if\n")
+			return
+		}
+		fmt.Fprintf(&g.sb, "    %s = %s\n", fzScal[g.pick(3)], g.expr(1, false))
+	case 5:
+		if depth > 0 {
+			g.tmp++
+			v := fmt.Sprintf("i%d", g.tmp)
+			fmt.Fprintf(&g.sb, "    do %s = 1, %d\n", v, 1+g.pick(3))
+			g.stmt(depth - 1)
+			fmt.Fprintf(&g.sb, "    end do\n")
+			return
+		}
+		fmt.Fprintf(&g.sb, "    %s = %s\n", fzArr[g.pick(3)], g.expr(1, true))
+	case 6:
+		fmt.Fprintf(&g.sb, "    call random_number(%s)\n", fzArr[g.pick(3)])
+	case 7:
+		fmt.Fprintf(&g.sb, "    call helper(%s, %s)\n", fzArr[g.pick(len(fzArr))], fzScal[g.pick(3)])
+	default:
+		fmt.Fprintf(&g.sb, "    call outfld('F%d', %s)\n", g.pick(4), fzArr[g.pick(len(fzArr))])
+	}
+}
+
+func (g *progGen) source() string {
+	g.sb.WriteString(`module fz
+  type cell
+    real :: t(:)
+    real :: q(:)
+    real :: mass
+  end type
+  type(cell) :: st
+  real :: a0(:), a1(:), a2(:)
+  real :: s0, s1, s2
+  real, parameter :: pconst = `)
+	g.sb.WriteString(g.lit())
+	g.sb.WriteString(`
+contains
+  elemental function efn(v) result(r)
+    real, intent(in) :: v
+    real :: r
+    r = v * `)
+	g.sb.WriteString(g.lit())
+	g.sb.WriteString(` + `)
+	g.sb.WriteString(g.lit())
+	g.sb.WriteString(`
+  end function
+  function ffn(x, y) result(r)
+    real :: x, y, r
+    r = x * y - pconst
+  end function
+  subroutine helper(v, amt)
+    real :: v(:), amt
+    v = v * 0.5 + amt
+    amt = amt + 1.0
+  end subroutine
+  subroutine fzinit()
+    integer :: i
+    do i = 1, size(a0)
+      a0(i) = 0.1 * i
+      a1(i) = 1.0 - 0.05 * i
+      a2(i) = pconst * i
+      st%t(i) = 270.0 + i
+      st%q(i) = 0.01 * i
+    end do
+    st%mass = 5.5
+    s0 = 1.5
+    s1 = -0.25
+    s2 = pconst
+  end subroutine
+  subroutine main()
+`)
+	n := 3 + g.pick(8)
+	for i := 0; i < n; i++ {
+		g.stmt(2)
+	}
+	g.sb.WriteString("  end subroutine\nend module fz\n")
+	return g.sb.String()
+}
+
+// FuzzBytecodeVsTree generates FortLite programs and asserts the
+// bytecode VM and the tree walker produce bit-identical Outputs,
+// Kernel and AllValues maps — the differential pin behind making the
+// VM the default engine.
+func FuzzBytecodeVsTree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("fma patterns and shifts everywhere, please"))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01,
+		0xaa, 0x55, 0xcc, 0x33, 0x99, 0x66, 0xf0, 0x0f, 0x11, 0x22})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &progGen{data: data}
+		fmaMode := g.pick(3)
+		src := g.source()
+		mods, err := fortran.ParseFile(src)
+		if err != nil {
+			t.Fatalf("generator produced unparsable source: %v\n%s", err, src)
+		}
+		mk := func() interp.Config {
+			var fma func(string) bool
+			switch fmaMode {
+			case 1:
+				fma = func(string) bool { return true }
+			case 2:
+				fma = func(m string) bool { return m == "fz" }
+			}
+			return interp.Config{Ncol: 6, RNG: rng.NewKISS(99),
+				SnapshotAll: true, KernelWatch: "fz::main", FMA: fma}
+		}
+		m, merr := interp.NewMachine(mods, mk())
+		vm, verr := Compile(mods).NewVM(mk())
+		if (merr == nil) != (verr == nil) {
+			t.Fatalf("construction disagreement: tree=%v vm=%v\n%s", merr, verr, src)
+		}
+		if merr != nil {
+			return
+		}
+		for _, call := range [][2]string{{"fz", "fzinit"}, {"fz", "main"}} {
+			em := m.Call(call[0], call[1])
+			ev := vm.Call(call[0], call[1])
+			if (em == nil) != (ev == nil) {
+				t.Fatalf("call %s disagreement: tree=%v vm=%v\n%s", call[1], em, ev, src)
+			}
+			if em != nil {
+				return
+			}
+		}
+		m.SnapshotModuleVars()
+		vm.SnapshotModuleVars()
+		for label, pair := range map[string][2]map[string][]float64{
+			"Outputs":   {m.Outputs, vm.Outputs},
+			"Kernel":    {m.Kernel, vm.Kernel},
+			"AllValues": {m.AllValues, vm.AllValues},
+		} {
+			want, got := pair[0], pair[1]
+			if len(want) != len(got) {
+				t.Fatalf("%s: key counts differ (%d vs %d)\n%s", label, len(want), len(got), src)
+			}
+			for k, wv := range want {
+				gv, ok := got[k]
+				if !ok {
+					t.Fatalf("%s: key %q missing from VM\n%s", label, k, src)
+				}
+				if len(wv) != len(gv) {
+					t.Fatalf("%s[%s]: lengths differ\n%s", label, k, src)
+				}
+				for i := range wv {
+					if math.Float64bits(wv[i]) != math.Float64bits(gv[i]) {
+						t.Fatalf("%s[%s][%d]: tree=%x vm=%x\n%s",
+							label, k, i, math.Float64bits(wv[i]), math.Float64bits(gv[i]), src)
+					}
+				}
+			}
+		}
+	})
+}

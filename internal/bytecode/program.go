@@ -1,0 +1,294 @@
+// Package bytecode compiles FortLite modules into a register-based
+// bytecode program and executes it on a stack-of-frames VM. It is the
+// default execution engine behind interp.Engine: semantic analysis
+// resolves every variable, derived-type field and call target to an
+// integer slot at compile time, scalars live unboxed in flat []float64
+// register files, and column fields in preallocated flat arrays — so
+// the hot path runs with no map lookups and no per-expression heap
+// boxing.
+//
+// The tree-walking interpreter (internal/interp) remains the reference
+// oracle: the compiler's hard requirement is bit-identical Outputs,
+// Kernel and AllValues maps for every program both engines accept. The
+// paper's verdicts hang on exact floating-point semantics — FMA fusion
+// patterns, PRNG draw order, evaluation order — so the lowering
+// preserves the walker's evaluation order exactly, including its
+// corner cases (live whole-variable reads at consumption time, eager
+// element and intrinsic materialization, per-module FMA selecting
+// between two compiled operand orders). See DESIGN.md "Execution
+// engine" for the ISA sketch and the determinism contract.
+package bytecode
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/climate-rca/rca/internal/fortran"
+)
+
+// vkind classifies a value's static shape.
+type vkind uint8
+
+const (
+	kScal vkind = iota
+	kArr
+	kDrv
+	kErr // expression whose evaluation the walker rejects at runtime
+)
+
+// dtype is an interned derived-type layout: field order and shapes
+// resolved at compile time so component access is slot arithmetic.
+type dtype struct {
+	id     int
+	fields []dfield
+	fidx   map[string]int // field name → index into fields
+	nScal  int
+	nArr   int
+}
+
+// dfield is one derived-type component.
+type dfield struct {
+	name string
+	arr  bool
+	slot int32 // index into dval.scal or dval.arr
+}
+
+// dval is a runtime derived-type instance: scalar fields flat in scal,
+// column fields in arr. f mirrors the tree walker's Value.F phantom on
+// derived values (written by random_number, read by at()).
+type dval struct {
+	t    *dtype
+	f    float64
+	scal []float64
+	arr  [][]float64
+}
+
+// newDval allocates a zeroed instance.
+func newDval(t *dtype, ncol int) *dval {
+	d := &dval{t: t}
+	if t.nScal > 0 {
+		d.scal = make([]float64, t.nScal)
+	}
+	if t.nArr > 0 {
+		d.arr = make([][]float64, t.nArr)
+		backing := make([]float64, t.nArr*ncol)
+		for i := 0; i < t.nArr; i++ {
+			d.arr[i] = backing[i*ncol : (i+1)*ncol]
+		}
+	}
+	return d
+}
+
+// reset zeroes an owned instance for a fresh frame activation.
+func (d *dval) reset() {
+	d.f = 0
+	for i := range d.scal {
+		d.scal[i] = 0
+	}
+	for _, a := range d.arr {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+}
+
+// gref addresses one global (module-level) cell.
+type gref struct {
+	kind vkind
+	idx  int32
+	dt   *dtype
+}
+
+// target mirrors interp's procKeyTarget: a subprogram plus the module
+// whose storage it executes against.
+type target struct {
+	module string
+	sub    *fortran.Subprogram
+}
+
+// argMove describes how one caller operand binds to a callee arg slot.
+type amode uint8
+
+const (
+	amNone      amode = iota // unbound (arity mismatch)
+	amRefScalS               // pass &fr.scal[a]
+	amRefScalG               // pass &vm.gscal[a]
+	amRefScalP               // forward fr.ptrs[a]
+	amRefScalDF              // pass &fr.drv[a].scal[b]
+	amRefArr                 // pass fr.arr[a] (slice alias)
+	amRefDrv                 // pass fr.drv[a]
+	amValScalS               // copy scal value (read at call time)
+	amValScalG
+	amValScalP
+	amValScalDF
+	amValArr // copy contents of fr.arr[a] into callee-owned array
+	amValDrv // deep-copy fr.drv[a] into callee-owned dval
+)
+
+type argMove struct {
+	mode amode
+	a, b int32
+}
+
+// elemSpace addresses one elemental-broadcast operand, read live per
+// column exactly as the walker's at(v, i) reads its cells.
+type elemSpace uint8
+
+const (
+	esTempS  elemSpace = iota // fr.scal[a], fixed temp or live frame var
+	esGlobS                   // vm.gscal[a]
+	esPtrS                    // *fr.ptrs[a]
+	esFieldS                  // fr.drv[a].scal[b]
+	esDrvF                    // fr.drv[a].f
+	esArr                     // fr.arr[a][i]
+)
+
+type elemArg struct {
+	space elemSpace
+	a, b  int32
+}
+
+// callSite is one resolved static call.
+type callSite struct {
+	proc *proc
+	args []argMove // regular calls
+	elem []elemArg // elemental broadcasts
+}
+
+// snapSpace addresses a snapshot source.
+type snapSpace uint8
+
+const (
+	ssScal  snapSpace = iota // fr.scal[reg]
+	ssPtr                    // *fr.ptrs[reg]
+	ssArr                    // fr.arr[reg]
+	ssDrvF                   // fr.drv[reg].scal[f] (scalar field)
+	ssDrvA                   // fr.drv[reg].arr[f] (array field)
+	ssGScal                  // vm.gscal[reg]
+	ssGArr                   // vm.garr[reg]
+	ssGDrvF                  // vm.gdrv[reg].scal[f]
+	ssGDrvA                  // vm.gdrv[reg].arr[f]
+)
+
+// snapEntry records one variable (or flattened derived component) for
+// the KernelWatch / SnapshotAll / module-level snapshots.
+type snapEntry struct {
+	name        string // frame: variable name (Kernel map key)
+	key         string // AllValues key (prefix applied at build time)
+	space       snapSpace
+	reg, f      int32
+	fromDerived bool  // KernelWatch skips derived components
+	touch       int32 // implicit-local liveness bit, -1 if always live
+}
+
+// retLoc locates a function's result variable in its frame.
+type retLoc struct {
+	kind  vkind
+	space snapSpace // ssScal / ssPtr / ssArr / ssDrvF... reuse addressing
+	reg   int32
+}
+
+// proc is one compiled subprogram specialization.
+type proc struct {
+	id       int
+	module   string
+	modIdx   int32
+	name     string
+	fullName string // module::name, the Trace/KernelWatch identity
+	isFunc   bool
+
+	code []instr
+
+	nScal, nPtr, nArr, nDrv, nInt, nTouch int
+
+	// ownArr lists frame-owned (arena-backed) array registers; zeroArr
+	// marks the subset that must be zeroed per activation (declared
+	// local arrays — scratch temporaries are always written before
+	// read and by-value arguments are overwritten at bind); ownDrv
+	// lists frame-owned derived registers with their layouts.
+	ownArr  []int32
+	zeroArr []int32
+	ownDrv  []struct {
+		reg int32
+		dt  *dtype
+	}
+
+	// argBind maps positional arguments onto frame slots.
+	argBind []argSlot
+
+	ret   retLoc
+	retDt *dtype
+	snap  []snapEntry
+}
+
+// argSlot is where a callee binds argument i.
+type argSlot struct {
+	mode byte // 'u' unbound, 's' ptr, 'S' scal, 'a'/'A' arr, 'd'/'D' drv
+	reg  int32
+}
+
+// moduleSnap is the SnapshotModuleVars metadata for one module.
+type moduleSnap struct {
+	entries []snapEntry
+}
+
+// Program is an immutable compiled FortLite program, safe for
+// concurrent NewVM use. It is the Session's cached build artifact:
+// model.Runner compiles it once per source fingerprint and every
+// ensemble member runs it on a fresh VM.
+type Program struct {
+	modules   []string
+	moduleIdx map[string]int
+
+	nGScal int
+	nGArr  int
+	gdrvs  []*dtype // layout per global derived cell
+
+	// Module-level initialization resolved at compile time.
+	scalInit []struct {
+		idx int32
+		val float64
+	}
+	arrInit []struct {
+		idx int32
+		val float64
+	}
+
+	consts []float64
+	labels []string
+	errs   []error
+	calls  []*callSite
+	procs  []*proc
+
+	// entries maps "module::name" to the zero-argument specialization
+	// the driver's Call resolves to.
+	entries map[string]*proc
+
+	// moduleVars resolves ModuleArray lookups: module → name → gref.
+	moduleVars map[string]map[string]gref
+
+	snapModules []moduleSnap
+
+	// initErr is the construction failure the tree walker's NewMachine
+	// would report (duplicate modules, bad module-level initializers,
+	// unknown derived types); NewVM returns it.
+	initErr error
+
+	// pools recycle activation frames per proc across every VM of this
+	// program — an ensemble's members run the same procs over and over,
+	// and a frame is fully reset (or rebound) before any use.
+	pools []sync.Pool
+}
+
+// Errors returns program construction state — nil when the program is
+// runnable.
+func (p *Program) Err() error { return p.initErr }
+
+func (p *Program) moduleOf(name string) (int, bool) {
+	i, ok := p.moduleIdx[name]
+	return i, ok
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("bytecode: "+format, args...)
+}

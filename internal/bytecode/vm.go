@@ -1,0 +1,446 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/climate-rca/rca/internal/fortran"
+	"github.com/climate-rca/rca/internal/interp"
+	"github.com/climate-rca/rca/internal/rng"
+)
+
+const maxDepth = 200
+
+// applyScalarOp mirrors interp's scalar semantics exactly (shared by
+// the linker's constant evaluator).
+func applyScalarOp(op fortran.Kind, a, b float64) (float64, error) {
+	switch op {
+	case fortran.PLUS:
+		return a + b, nil
+	case fortran.MINUS:
+		return a - b, nil
+	case fortran.STAR:
+		return a * b, nil
+	case fortran.SLASH:
+		return a / b, nil
+	case fortran.POW:
+		return math.Pow(a, b), nil
+	case fortran.EQ:
+		return b2f(a == b), nil
+	case fortran.NE:
+		return b2f(a != b), nil
+	case fortran.LT:
+		return b2f(a < b), nil
+	case fortran.LE:
+		return b2f(a <= b), nil
+	case fortran.GT:
+		return b2f(a > b), nil
+	case fortran.GE:
+		return b2f(a >= b), nil
+	case fortran.AND:
+		return b2f(a != 0 && b != 0), nil
+	case fortran.OR:
+		return b2f(a != 0 || b != 0), nil
+	}
+	return 0, fmt.Errorf("bad binary op %v", op)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// frame is one activation record: flat register files, an arena
+// backing the frame-owned arrays, and the implicit-local liveness
+// bits the snapshots consult.
+type frame struct {
+	ncol    int
+	scal    []float64
+	ptrs    []*float64
+	arr     [][]float64
+	drv     []*dval
+	ints    []int64
+	touched []bool
+	arena   []float64
+	zero    [][]float64 // local arrays zeroed per activation
+	ownD    []*dval
+}
+
+func newFrame(p *proc, ncol int) *frame {
+	fr := &frame{
+		ncol:    ncol,
+		scal:    make([]float64, p.nScal),
+		ptrs:    make([]*float64, p.nPtr),
+		arr:     make([][]float64, p.nArr),
+		drv:     make([]*dval, p.nDrv),
+		ints:    make([]int64, p.nInt),
+		touched: make([]bool, p.nTouch),
+		arena:   make([]float64, len(p.ownArr)*ncol),
+	}
+	for i, reg := range p.ownArr {
+		fr.arr[reg] = fr.arena[i*ncol : (i+1)*ncol]
+	}
+	for _, reg := range p.zeroArr {
+		fr.zero = append(fr.zero, fr.arr[reg])
+	}
+	for _, od := range p.ownDrv {
+		d := newDval(od.dt, ncol)
+		fr.drv[od.reg] = d
+		fr.ownD = append(fr.ownD, d)
+	}
+	return fr
+}
+
+func (fr *frame) reset() {
+	for i := range fr.scal {
+		fr.scal[i] = 0
+	}
+	for _, a := range fr.zero {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+	for i := range fr.touched {
+		fr.touched[i] = false
+	}
+	for _, d := range fr.ownD {
+		d.reset()
+	}
+}
+
+// VM executes one compiled Program instance. It implements
+// interp.Engine; a fresh VM per integration matches the walker's
+// fresh-Machine-per-run life cycle.
+type VM struct {
+	interp.Results
+
+	prog        *Program
+	ncol        int
+	rng         rng.Source
+	trace       func(module, subprogram string)
+	kernelWatch string
+	snapshotAll bool
+	fma         []bool
+
+	gscal []float64
+	garr  [][]float64
+	gdrv  []*dval
+
+	depth int
+}
+
+// NewVM instantiates the program under one run configuration,
+// mirroring interp.NewMachine's defaults and failure modes.
+func (p *Program) NewVM(cfg interp.Config) (*VM, error) {
+	if p.initErr != nil {
+		return nil, p.initErr
+	}
+	ncol := cfg.Ncol
+	if ncol <= 0 {
+		ncol = 16
+	}
+	src := cfg.RNG
+	if src == nil {
+		src = rng.NewKISS(1)
+	}
+	vm := &VM{
+		Results:     interp.NewResults(),
+		prog:        p,
+		ncol:        ncol,
+		rng:         src,
+		trace:       cfg.Trace,
+		kernelWatch: cfg.KernelWatch,
+		snapshotAll: cfg.SnapshotAll,
+		gscal:       make([]float64, p.nGScal),
+		garr:        make([][]float64, p.nGArr),
+		gdrv:        make([]*dval, len(p.gdrvs)),
+	}
+	backing := make([]float64, p.nGArr*ncol)
+	for i := 0; i < p.nGArr; i++ {
+		vm.garr[i] = backing[i*ncol : (i+1)*ncol]
+	}
+	for i, dt := range p.gdrvs {
+		vm.gdrv[i] = newDval(dt, ncol)
+	}
+	for _, si := range p.scalInit {
+		vm.gscal[si.idx] = si.val
+	}
+	for _, ai := range p.arrInit {
+		a := vm.garr[ai.idx]
+		for i := range a {
+			a[i] = ai.val
+		}
+	}
+	vm.fma = make([]bool, len(p.modules))
+	if cfg.FMA != nil {
+		for i, m := range p.modules {
+			vm.fma[i] = cfg.FMA(m)
+		}
+	}
+	return vm, nil
+}
+
+// Ncol implements interp.Engine.
+func (vm *VM) Ncol() int { return vm.ncol }
+
+// Captured implements interp.Engine.
+func (vm *VM) Captured() *interp.Results { return &vm.Results }
+
+// ModuleArray implements interp.Engine.
+func (vm *VM) ModuleArray(module string, path ...string) ([]float64, bool) {
+	if len(path) == 0 {
+		return nil, false
+	}
+	g, ok := vm.prog.moduleVars[module][path[0]]
+	if !ok {
+		return nil, false
+	}
+	rest := path[1:]
+	switch g.kind {
+	case kArr:
+		if len(rest) != 0 {
+			return nil, false
+		}
+		return vm.garr[g.idx], true
+	case kDrv:
+		if len(rest) != 1 {
+			return nil, false
+		}
+		fi, ok := g.dt.fidx[rest[0]]
+		if !ok || !g.dt.fields[fi].arr {
+			return nil, false
+		}
+		return vm.gdrv[g.idx].arr[g.dt.fields[fi].slot], true
+	}
+	return nil, false
+}
+
+// ModuleScalar returns a module-level scalar's address (tests and the
+// Engine-parity helpers use it).
+func (vm *VM) ModuleScalar(module, name string) (*float64, bool) {
+	g, ok := vm.prog.moduleVars[module][name]
+	if !ok || g.kind != kScal {
+		return nil, false
+	}
+	return &vm.gscal[g.idx], true
+}
+
+// SnapshotModuleVars implements interp.Engine.
+func (vm *VM) SnapshotModuleVars() {
+	for _, ms := range vm.prog.snapModules {
+		for _, e := range ms.entries {
+			vm.snapInto(vm.AllValues, e.key, nil, e)
+		}
+	}
+}
+
+// snapInto stores a snapshot, overwriting an existing same-length
+// slice in place — the map's final contents are what a fresh copy per
+// exit would leave (last call wins), without the per-exit allocation.
+func (vm *VM) snapInto(m map[string][]float64, key string, fr *frame, e snapEntry) {
+	var src []float64
+	var v float64
+	scalar := false
+	switch e.space {
+	case ssScal:
+		v, scalar = fr.scal[e.reg], true
+	case ssPtr:
+		v, scalar = *fr.ptrs[e.reg], true
+	case ssArr:
+		src = fr.arr[e.reg]
+	case ssDrvF:
+		v, scalar = fr.drv[e.reg].scal[e.f], true
+	case ssDrvA:
+		src = fr.drv[e.reg].arr[e.f]
+	case ssGScal:
+		v, scalar = vm.gscal[e.reg], true
+	case ssGArr:
+		src = vm.garr[e.reg]
+	case ssGDrvF:
+		v, scalar = vm.gdrv[e.reg].scal[e.f], true
+	case ssGDrvA:
+		src = vm.gdrv[e.reg].arr[e.f]
+	}
+	if scalar {
+		if dst, ok := m[key]; ok && len(dst) == 1 {
+			dst[0] = v
+			return
+		}
+		m[key] = []float64{v}
+		return
+	}
+	if dst, ok := m[key]; ok && len(dst) == len(src) {
+		copy(dst, src)
+		return
+	}
+	m[key] = append([]float64(nil), src...)
+}
+
+// snapValue copies one snapshot source (frame entries pass fr).
+func (vm *VM) snapValue(fr *frame, e snapEntry) []float64 {
+	switch e.space {
+	case ssScal:
+		return []float64{fr.scal[e.reg]}
+	case ssPtr:
+		return []float64{*fr.ptrs[e.reg]}
+	case ssArr:
+		return append([]float64(nil), fr.arr[e.reg]...)
+	case ssDrvF:
+		return []float64{fr.drv[e.reg].scal[e.f]}
+	case ssDrvA:
+		return append([]float64(nil), fr.drv[e.reg].arr[e.f]...)
+	case ssGScal:
+		return []float64{vm.gscal[e.reg]}
+	case ssGArr:
+		return append([]float64(nil), vm.garr[e.reg]...)
+	case ssGDrvF:
+		return []float64{vm.gdrv[e.reg].scal[e.f]}
+	case ssGDrvA:
+		return append([]float64(nil), vm.gdrv[e.reg].arr[e.f]...)
+	}
+	return nil
+}
+
+// exitSnapshots mirrors the walker's invoke-exit captures, including
+// on error paths.
+func (vm *VM) exitSnapshots(p *proc, fr *frame) {
+	if vm.kernelWatch != "" && vm.kernelWatch == p.fullName {
+		for _, e := range p.snap {
+			if e.fromDerived {
+				continue // snapshotKernel skips derived variables
+			}
+			if e.touch >= 0 && !fr.touched[e.touch] {
+				continue
+			}
+			vm.snapInto(vm.Kernel, e.name, fr, e)
+		}
+	}
+	if vm.snapshotAll {
+		for _, e := range p.snap {
+			if e.touch >= 0 && !fr.touched[e.touch] {
+				continue
+			}
+			vm.snapInto(vm.AllValues, e.key, fr, e)
+		}
+	}
+}
+
+// Call implements interp.Engine: invoke a zero-argument entry
+// subroutine by its visible name.
+func (vm *VM) Call(module, name string) error {
+	p, ok := vm.prog.entries[module+"::"+name]
+	if !ok {
+		return errf("no subroutine %s in %s", name, module)
+	}
+	fr, err := vm.enter(p)
+	if fr != nil {
+		vm.putFrame(p, fr)
+	}
+	return err
+}
+
+func (vm *VM) getFrame(p *proc) *frame {
+	if v := vm.prog.pools[p.id].Get(); v != nil {
+		fr := v.(*frame)
+		if fr.ncol == vm.ncol {
+			fr.reset()
+			return fr
+		}
+	}
+	return newFrame(p, vm.ncol)
+}
+
+func (vm *VM) putFrame(p *proc, fr *frame) {
+	vm.prog.pools[p.id].Put(fr)
+}
+
+// enter runs one activation with no argument binding (entry calls).
+func (vm *VM) enter(p *proc) (*frame, error) {
+	if vm.depth >= maxDepth {
+		return nil, errf("call depth exceeded at %s", p.fullName)
+	}
+	vm.depth++
+	if vm.trace != nil {
+		vm.trace(p.module, p.name)
+	}
+	fr := vm.getFrame(p)
+	err := vm.exec(p, fr)
+	vm.exitSnapshots(p, fr)
+	vm.depth--
+	return fr, err
+}
+
+// callSiteInvoke runs one activation bound from a call site.
+func (vm *VM) callSiteInvoke(cs *callSite, caller *frame) (*frame, error) {
+	p := cs.proc
+	if vm.depth >= maxDepth {
+		return nil, errf("call depth exceeded at %s", p.fullName)
+	}
+	vm.depth++
+	if vm.trace != nil {
+		vm.trace(p.module, p.name)
+	}
+	fr := vm.getFrame(p)
+	for i, mv := range cs.args {
+		slot := p.argBind[i]
+		if slot.mode == 'u' || mv.mode == amNone {
+			continue
+		}
+		switch mv.mode {
+		case amRefScalS:
+			fr.ptrs[slot.reg] = &caller.scal[mv.a]
+		case amRefScalG:
+			fr.ptrs[slot.reg] = &vm.gscal[mv.a]
+		case amRefScalP:
+			fr.ptrs[slot.reg] = caller.ptrs[mv.a]
+		case amRefScalDF:
+			fr.ptrs[slot.reg] = &caller.drv[mv.a].scal[mv.b]
+		case amRefArr:
+			fr.arr[slot.reg] = caller.arr[mv.a]
+		case amRefDrv:
+			fr.drv[slot.reg] = caller.drv[mv.a]
+		case amValScalS:
+			fr.scal[slot.reg] = caller.scal[mv.a]
+		case amValScalG:
+			fr.scal[slot.reg] = vm.gscal[mv.a]
+		case amValScalP:
+			fr.scal[slot.reg] = *caller.ptrs[mv.a]
+		case amValScalDF:
+			fr.scal[slot.reg] = caller.drv[mv.a].scal[mv.b]
+		case amValArr:
+			copy(fr.arr[slot.reg], caller.arr[mv.a])
+		case amValDrv:
+			cloneDval(fr.drv[slot.reg], caller.drv[mv.a])
+		}
+	}
+	err := vm.exec(p, fr)
+	vm.exitSnapshots(p, fr)
+	vm.depth--
+	return fr, err
+}
+
+// cloneDval mirrors Value.Clone on derived values: fields copied, the
+// phantom scalar reset to zero.
+func cloneDval(dst, src *dval) {
+	dst.f = 0
+	copy(dst.scal, src.scal)
+	for i := range src.arr {
+		copy(dst.arr[i], src.arr[i])
+	}
+}
+
+// retScal reads a function result as a scalar (array results collapse
+// to their first element, as Value.Scalar does).
+func (vm *VM) retScal(p *proc, fr *frame) float64 {
+	switch p.ret.kind {
+	case kArr:
+		return fr.arr[p.ret.reg][0]
+	default:
+		if p.ret.space == ssPtr {
+			return *fr.ptrs[p.ret.reg]
+		}
+		return fr.scal[p.ret.reg]
+	}
+}

@@ -16,6 +16,8 @@ package corpus
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/climate-rca/rca/internal/fortran"
 	"github.com/climate-rca/rca/internal/rng"
@@ -194,12 +196,46 @@ func (c *Corpus) add(name, component string, core bool, src string) {
 	c.ComponentOf[modName] = component
 }
 
+// parseCache memoizes per-file parses by exact source text. Patched
+// corpora differ from the clean build in one file, so the other ~hundred
+// parse once per process instead of once per source fingerprint; parsed
+// modules are immutable (every consumer — metagraph, coverage, both
+// execution engines — reads the AST only), so sharing them is safe.
+// The cache is capped, not evicted: corpus files are generated from a
+// bounded configuration space.
+var (
+	parseCache     sync.Map // source string → []*fortran.Module
+	parseCacheSize atomic.Int64
+)
+
+const parseCacheMax = 8192
+
+func parseFileCached(src string) ([]*fortran.Module, error) {
+	if v, ok := parseCache.Load(src); ok {
+		return v.([]*fortran.Module), nil
+	}
+	ms, err := fortran.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	if parseCacheSize.Load() < parseCacheMax {
+		if v, loaded := parseCache.LoadOrStore(src, ms); loaded {
+			// A concurrent first parse won the race: return its modules
+			// so identical sources always share pointer identity.
+			return v.([]*fortran.Module), nil
+		}
+		parseCacheSize.Add(1)
+	}
+	return ms, nil
+}
+
 // Parse parses every file into FortLite modules, in generation order
-// (which is a valid use-dependency order).
+// (which is a valid use-dependency order). Per-file results are shared
+// through a process-wide content-addressed cache.
 func (c *Corpus) Parse() ([]*fortran.Module, error) {
 	var mods []*fortran.Module
 	for _, f := range c.Files {
-		ms, err := fortran.ParseFile(f.Source)
+		ms, err := parseFileCached(f.Source)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: %s: %w", f.Name, err)
 		}

@@ -54,7 +54,7 @@ func snapshotRuns(in RefineInput) (ens, exp map[string][]float64, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return cres.Machine.AllValues, eres.Machine.AllValues, nil
+	return cres.Engine.Captured().AllValues, eres.Engine.Captured().AllValues, nil
 }
 
 type valueSampler struct{ tol float64 }

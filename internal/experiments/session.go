@@ -42,6 +42,11 @@ type Session struct {
 	base     context.Context // deprecated WithContext, checked alongside per-call contexts
 	workers  int
 	parallel int
+	engine   model.EngineKind
+
+	// runnerList tracks built runners for compile-cache statistics.
+	runnerMu   sync.Mutex
+	runnerList []*model.Runner
 
 	mu         sync.Mutex
 	fp         cell[*Fingerprint]
@@ -184,6 +189,16 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithEngine selects the execution engine for every integration the
+// session runs: the bytecode register VM (the default — each source
+// fingerprint compiles once, under the same cache layer rcad's
+// singleflight dedup reuses across jobs) or the tree-walking
+// interpreter (the reference oracle). The engines are pinned
+// bit-identical, so this is purely a throughput knob.
+func WithEngine(k model.EngineKind) Option {
+	return func(s *Session) { s.engine = k }
+}
+
 // WithParallelism bounds the worker pool used *inside* one
 // investigation (default GOMAXPROCS): ensemble and experimental-set
 // members integrate concurrently, and the refinement loop's graph
@@ -271,8 +286,34 @@ func (s *Session) runnerFor(ctx context.Context, key string, cfg corpus.Config, 
 			}
 			base = patched
 		}
-		return model.NewRunner(base)
+		r, err := model.NewRunnerEngine(base, s.engine)
+		if err != nil {
+			return nil, err
+		}
+		s.runnerMu.Lock()
+		s.runnerList = append(s.runnerList, r)
+		s.runnerMu.Unlock()
+		return r, nil
 	})
+}
+
+// Engine reports the session's execution engine name ("bytecode" or
+// "tree") — the label rcad's metrics attach to its job counters.
+func (s *Session) Engine() string { return s.engine.String() }
+
+// CompileCacheStats aggregates bytecode program-cache hits and misses
+// across the session's runners: a hit is an integration that reused a
+// compiled program, a miss an actual compilation. rcad reports both at
+// /metrics.
+func (s *Session) CompileCacheStats() (hits, misses uint64) {
+	s.runnerMu.Lock()
+	defer s.runnerMu.Unlock()
+	for _, r := range s.runnerList {
+		h, m := r.CompileStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // control returns the clean control build.

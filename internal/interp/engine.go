@@ -1,0 +1,79 @@
+package interp
+
+import "sort"
+
+// Engine is the execution substrate contract shared by the tree-walking
+// Machine (this package, the reference oracle) and the bytecode VM
+// (internal/bytecode, the default hot path). The model driver runs
+// entirely against this interface, so the two engines are drop-in
+// replacements for each other; the differential tests in
+// internal/bytecode pin them bit-identical.
+type Engine interface {
+	// Call invokes module::name, a zero-argument entry subroutine (the
+	// driver's init/step calls).
+	Call(module, name string) error
+	// Captured exposes the run's captured state: outfld outputs, the
+	// KernelWatch snapshot and the SnapshotAll value map.
+	Captured() *Results
+	// ModuleArray returns the mutable backing slice of a module-level
+	// array variable — path is the name followed by derived-type
+	// component names (e.g. "state", "t"). The model's ensemble
+	// perturbations write through it.
+	ModuleArray(module string, path ...string) ([]float64, bool)
+	// SnapshotModuleVars records module-level variables into
+	// Captured().AllValues under the module::::name key convention.
+	SnapshotModuleVars()
+	// Ncol returns the column count the engine was configured with.
+	Ncol() int
+}
+
+// Results collects everything one integration captures, shared by both
+// engines. The maps are keyed exactly alike so downstream consumers
+// (ECT means, KGen kernel comparison, runtime-sampling refinement)
+// cannot tell the engines apart.
+type Results struct {
+	// Outputs captures outfld calls: label → field (copied).
+	Outputs map[string][]float64
+	// Kernel holds the last KernelWatch snapshot: variable → values.
+	Kernel map[string][]float64
+	// AllValues holds SnapshotAll captures keyed by the metagraph's
+	// node-key convention (module::subprogram::variable, and
+	// module::::variable for module-level state).
+	AllValues map[string][]float64
+}
+
+// NewResults allocates the capture maps.
+func NewResults() Results {
+	return Results{
+		Outputs:   make(map[string][]float64),
+		Kernel:    make(map[string][]float64),
+		AllValues: make(map[string][]float64),
+	}
+}
+
+// OutputMeans returns the global mean of each captured output field —
+// the "global means" the ECT consumes.
+func (r *Results) OutputMeans() map[string]float64 {
+	out := make(map[string]float64, len(r.Outputs))
+	for k, field := range r.Outputs {
+		var s float64
+		for _, v := range field {
+			s += v
+		}
+		if len(field) > 0 {
+			s /= float64(len(field))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// OutputNames returns the sorted captured output labels.
+func (r *Results) OutputNames() []string {
+	names := make([]string, 0, len(r.Outputs))
+	for k := range r.Outputs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -17,9 +17,15 @@ type frame struct {
 
 const maxDepth = 200
 
-// Call invokes module::name (a subroutine) with the given by-reference
-// arguments. It is the entry point the model driver uses.
-func (m *Machine) Call(module, name string, args ...*Value) error {
+// Call invokes module::name, a zero-argument entry subroutine. It is
+// the Engine entry point the model driver uses.
+func (m *Machine) Call(module, name string) error {
+	return m.CallWith(module, name)
+}
+
+// CallWith invokes module::name (a subroutine) with the given
+// by-reference arguments.
+func (m *Machine) CallWith(module, name string, args ...*Value) error {
 	targets := m.subs[module+"::"+name]
 	if len(targets) == 0 {
 		return fmt.Errorf("interp: no subroutine %s in %s", name, module)

@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/climate-rca/rca/internal/fortran"
 	"github.com/climate-rca/rca/internal/rng"
@@ -32,8 +31,14 @@ type Config struct {
 
 type procKey struct{ module, name string }
 
-// Machine executes a set of FortLite modules.
+// Machine executes a set of FortLite modules by walking the AST. It is
+// the reference Engine: the bytecode VM is required to reproduce its
+// outputs bit for bit, and the differential tests compare against it.
 type Machine struct {
+	// Results embeds Outputs/Kernel/AllValues, the capture surface
+	// shared with the bytecode engine.
+	Results
+
 	cfg     Config
 	modules map[string]*fortran.Module
 	order   []string // deterministic module order
@@ -44,14 +49,6 @@ type Machine struct {
 	types map[string]map[string]fortran.DerivedType
 	funcs map[string][]procKeyTarget
 	subs  map[string][]procKeyTarget
-
-	// Outputs captures outfld calls: label → field (copied).
-	Outputs map[string][]float64
-	// Kernel holds the last KernelWatch snapshot: variable → values.
-	Kernel map[string][]float64
-	// AllValues holds SnapshotAll captures keyed by the metagraph's
-	// node-key convention (module::subprogram::variable).
-	AllValues map[string][]float64
 
 	depth      int
 	lastResult *Value // most recent function result (set by invoke)
@@ -73,15 +70,13 @@ func NewMachine(mods []*fortran.Module, cfg Config) (*Machine, error) {
 		cfg.RNG = rng.NewKISS(1)
 	}
 	m := &Machine{
-		cfg:       cfg,
-		modules:   make(map[string]*fortran.Module, len(mods)),
-		storage:   make(map[string]map[string]*Value, len(mods)),
-		types:     make(map[string]map[string]fortran.DerivedType, len(mods)),
-		funcs:     make(map[string][]procKeyTarget),
-		subs:      make(map[string][]procKeyTarget),
-		Outputs:   make(map[string][]float64),
-		Kernel:    make(map[string][]float64),
-		AllValues: make(map[string][]float64),
+		Results: NewResults(),
+		cfg:     cfg,
+		modules: make(map[string]*fortran.Module, len(mods)),
+		storage: make(map[string]map[string]*Value, len(mods)),
+		types:   make(map[string]map[string]fortran.DerivedType, len(mods)),
+		funcs:   make(map[string][]procKeyTarget),
+		subs:    make(map[string][]procKeyTarget),
 	}
 	for _, mod := range mods {
 		if _, dup := m.modules[mod.Name]; dup {
@@ -285,29 +280,30 @@ func (m *Machine) SetModuleVar(module, name string, v *Value) error {
 	return nil
 }
 
-// OutputMeans returns the global mean of each captured output field —
-// the "global means" the ECT consumes.
-func (m *Machine) OutputMeans() map[string]float64 {
-	out := make(map[string]float64, len(m.Outputs))
-	for k, field := range m.Outputs {
-		var s float64
-		for _, v := range field {
-			s += v
-		}
-		if len(field) > 0 {
-			s /= float64(len(field))
-		}
-		out[k] = s
-	}
-	return out
-}
+// Captured implements Engine, exposing the run's capture maps.
+func (m *Machine) Captured() *Results { return &m.Results }
 
-// OutputNames returns the sorted captured output labels.
-func (m *Machine) OutputNames() []string {
-	names := make([]string, 0, len(m.Outputs))
-	for k := range m.Outputs {
-		names = append(names, k)
+// ModuleArray implements Engine: the mutable backing slice of a
+// module-level array variable, walking derived-type components.
+func (m *Machine) ModuleArray(module string, path ...string) ([]float64, bool) {
+	if len(path) == 0 {
+		return nil, false
 	}
-	sort.Strings(names)
-	return names
+	v, ok := m.storage[module][path[0]]
+	if !ok {
+		return nil, false
+	}
+	for _, comp := range path[1:] {
+		if v.Kind != KindDerived {
+			return nil, false
+		}
+		v, ok = v.D[comp]
+		if !ok {
+			return nil, false
+		}
+	}
+	if v.Kind != KindArray {
+		return nil, false
+	}
+	return v.A, true
 }

@@ -86,15 +86,40 @@ func Fit(p Problem, lambda float64, maxIter int, tol float64) (*Result, error) {
 		tol = 1e-7
 	}
 	z, _, _ := standardize(p.X, p.N, p.D)
-	w := make([]float64, p.D)
-	grad := make([]float64, p.D)
+	return fitStandardized(z, p.Y, p.N, p.D, lambda, maxIter, tol, false), nil
+}
+
+// fitStandardized is the ISTA loop over an already-standardized design
+// (SelectK's path search shares one standardization across every
+// lambda). The inner loops are tuned — sparse dot products over the
+// iterate's support, one sigmoid per distinct dot, an unrolled
+// gradient update — but every floating-point operation and its order
+// is exactly the original dense loop's, so fitted weights are
+// bit-identical (TestSparseDotMatchesDense pins this).
+func fitStandardized(z, y []float64, n, d int, lambda float64, maxIter int, tol float64, forceDense bool) *Result {
+	w := make([]float64, d)
+	grad := make([]float64, d)
 	var b float64
+	// Sparse dot products: skipping exact-zero weights is bit-identical
+	// to the dense sum — a +0 weight contributes a signed-zero product,
+	// and x + ±0 == x for every accumulator this loop can produce (it
+	// starts at +0 and signed-zero additions keep it there) — except
+	// when a non-finite feature would turn 0·±Inf or 0·NaN into NaN, so
+	// non-finite designs take the dense path.
+	finite := !forceDense
+	for _, v := range z {
+		if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
+			finite = false
+			break
+		}
+	}
+	nz := make([]int, 0, d)
 	// Lipschitz constant of the logistic gradient: L <= max row norm² / 4.
 	var lip float64
-	for i := 0; i < p.N; i++ {
+	for i := 0; i < n; i++ {
 		var rn float64
-		for j := 0; j < p.D; j++ {
-			rn += z[i*p.D+j] * z[i*p.D+j]
+		for _, xv := range z[i*d : (i+1)*d] {
+			rn += xv * xv
 		}
 		rn = (rn + 1) / 4 // +1 for intercept column
 		if rn > lip {
@@ -105,45 +130,89 @@ func Fit(p Problem, lambda float64, maxIter int, tol float64) (*Result, error) {
 		lip = 1
 	}
 	step := 1 / lip
+	inv := 1 / float64(n)
 	var iters int
 	for iters = 0; iters < maxIter; iters++ {
 		for j := range grad {
 			grad[j] = 0
 		}
+		sparse := false
+		if finite {
+			nz = nz[:0]
+			for j, wj := range w {
+				if wj != 0 {
+					nz = append(nz, j)
+				}
+			}
+			sparse = len(nz)*2 < d
+		}
 		var gradB float64
-		for i := 0; i < p.N; i++ {
+		// Equal dots share one sigmoid: during the (long) pure-intercept
+		// phase every row's dot is exactly b, so one exp serves all n
+		// rows. Bitwise equality makes the reuse exact; NaN never
+		// matches itself, so NaN dots recompute.
+		lastDot := math.NaN()
+		var lastSig float64
+		for i := 0; i < n; i++ {
 			var dot float64
-			row := z[i*p.D : (i+1)*p.D]
-			for j, xv := range row {
-				dot += w[j] * xv
+			row := z[i*d : (i+1)*d]
+			if sparse {
+				for _, j := range nz {
+					dot += w[j] * row[j]
+				}
+			} else {
+				wr := w
+				if len(wr) > len(row) {
+					wr = wr[:len(row)]
+				}
+				for j, wv := range wr {
+					dot += wv * row[j]
+				}
 			}
 			dot += b
-			// p(y=1|x) - y
-			resid := sigmoid(dot) - p.Y[i]
-			for j, xv := range row {
-				grad[j] += resid * xv
+			// p(y=1|x) - y.
+			sig := lastSig
+			if dot != lastDot {
+				sig = sigmoid(dot)
+				lastDot, lastSig = dot, sig
+			}
+			resid := sig - y[i]
+			// Each grad[j] is its own accumulator, so unrolling over j
+			// reorders nothing.
+			gr := grad
+			if len(gr) > len(row) {
+				gr = gr[:len(row)]
+			}
+			j := 0
+			for ; j+4 <= len(row) && j+4 <= len(gr); j += 4 {
+				gr[j] += resid * row[j]
+				gr[j+1] += resid * row[j+1]
+				gr[j+2] += resid * row[j+2]
+				gr[j+3] += resid * row[j+3]
+			}
+			for ; j < len(row); j++ {
+				gr[j] += resid * row[j]
 			}
 			gradB += resid
 		}
-		inv := 1 / float64(p.N)
 		var maxDelta float64
-		for j := 0; j < p.D; j++ {
+		for j := 0; j < d; j++ {
 			nw := softThreshold(w[j]-step*grad[j]*inv, step*lambda)
-			if d := math.Abs(nw - w[j]); d > maxDelta {
-				maxDelta = d
+			if dd := math.Abs(nw - w[j]); dd > maxDelta {
+				maxDelta = dd
 			}
 			w[j] = nw
 		}
 		nb := b - step*gradB*inv
-		if d := math.Abs(nb - b); d > maxDelta {
-			maxDelta = d
+		if dd := math.Abs(nb - b); dd > maxDelta {
+			maxDelta = dd
 		}
 		b = nb
 		if maxDelta < tol {
 			break
 		}
 	}
-	return &Result{Weights: w, Intercept: b, Lambda: lambda, Iters: iters}, nil
+	return &Result{Weights: w, Intercept: b, Lambda: lambda, Iters: iters}
 }
 
 func softThreshold(x, t float64) float64 {
@@ -206,15 +275,18 @@ func SelectK(p Problem, k int, maxIter int) ([]int, *Result, error) {
 	if lamMax == 0 {
 		lamMax = 1
 	}
+	if maxIter <= 0 {
+		maxIter = 500
+	}
 	lo, hi := lamMax*1e-4, lamMax
 	var best *Result
 	bestGap := math.MaxInt32
 	for iter := 0; iter < 30; iter++ {
 		mid := math.Sqrt(lo * hi) // geometric bisection
-		res, err := Fit(p, mid, maxIter, 0)
-		if err != nil {
-			return nil, nil, err
-		}
+		// The standardized design and the ISTA trajectory per lambda are
+		// identical to a fresh Fit call; only the standardization work is
+		// shared across the path.
+		res := fitStandardized(z, p.Y, p.N, p.D, mid, maxIter, 1e-7, false)
 		sup := len(res.Support())
 		gap := sup - k
 		if gap < 0 {

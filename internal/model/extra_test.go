@@ -21,8 +21,8 @@ func TestRNGSeedSharedAcrossMembers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra := a.Machine.AllValues["cloud_rand_lw::::rnum_lw"]
-	rb := b.Machine.AllValues["cloud_rand_lw::::rnum_lw"]
+	ra := a.Engine.Captured().AllValues["cloud_rand_lw::::rnum_lw"]
+	rb := b.Engine.Captured().AllValues["cloud_rand_lw::::rnum_lw"]
 	if len(ra) == 0 || len(rb) == 0 {
 		t.Fatal("rnum_lw snapshots missing")
 	}
@@ -43,8 +43,8 @@ func TestMersenneChangesDraws(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra := a.Machine.AllValues["cloud_rand_lw::::rnum_lw"]
-	rb := b.Machine.AllValues["cloud_rand_lw::::rnum_lw"]
+	ra := a.Engine.Captured().AllValues["cloud_rand_lw::::rnum_lw"]
+	rb := b.Engine.Captured().AllValues["cloud_rand_lw::::rnum_lw"]
 	same := true
 	for i := range ra {
 		if ra[i] != rb[i] {
@@ -82,8 +82,8 @@ func TestStopAfterLimitsSteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n1 := one.Machine.AllValues["cam_driver::::nstep"]
-	n9 := full.Machine.AllValues["cam_driver::::nstep"]
+	n1 := one.Engine.Captured().AllValues["cam_driver::::nstep"]
+	n9 := full.Engine.Captured().AllValues["cam_driver::::nstep"]
 	if n1[0] != 1 || n9[0] != float64(Steps) {
 		t.Fatalf("nstep: one=%v full=%v", n1, n9)
 	}
@@ -110,7 +110,7 @@ func TestAuxCouplerFeedsTemperature(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := res.Machine.AllValues["aux_coupler::::auxten"]; !ok {
+	if _, ok := res.Engine.Captured().AllValues["aux_coupler::::auxten"]; !ok {
 		t.Fatal("auxten never materialized")
 	}
 	// auxten contributions must not destabilize T.

@@ -1,14 +1,24 @@
-// Package model ties the synthetic corpus to the interpreter: it
-// builds a Machine from a Corpus, applies CESM-style initial-condition
-// perturbations, advances the model, and harvests the step-9 output
-// global means the consistency test consumes (UF-CAM-ECT evaluates at
-// time step nine, paper §2.1).
+// Package model ties the synthetic corpus to the execution engine: it
+// builds an engine instance from a Corpus, applies CESM-style
+// initial-condition perturbations, advances the model, and harvests
+// the step-9 output global means the consistency test consumes
+// (UF-CAM-ECT evaluates at time step nine, paper §2.1).
+//
+// Two engines implement the integration substrate: the bytecode
+// register VM (internal/bytecode, the default — compiled once per
+// Runner and cached) and the tree-walking interpreter
+// (internal/interp, the reference oracle). Their outputs are pinned
+// bit-identical, so the choice is purely a throughput knob.
 package model
 
 import (
 	"fmt"
 	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
 
+	"github.com/climate-rca/rca/internal/bytecode"
 	"github.com/climate-rca/rca/internal/corpus"
 	"github.com/climate-rca/rca/internal/ect"
 	"github.com/climate-rca/rca/internal/fortran"
@@ -27,6 +37,39 @@ const (
 	RNGDefault RNGKind = iota // KISS, the CESM-like default
 	RNGMersenne
 )
+
+// EngineKind selects the execution engine for an integration.
+type EngineKind int
+
+// Engine choices. The zero value defers to the Runner's default,
+// which is the bytecode VM unless the Runner was built with
+// NewRunnerEngine(..., EngineTree).
+const (
+	EngineDefault EngineKind = iota
+	EngineBytecode
+	EngineTree
+)
+
+// String names the engine for metrics and CLI output.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineTree:
+		return "tree"
+	default:
+		return "bytecode"
+	}
+}
+
+// ParseEngine maps CLI flag values onto engine kinds.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "", "bytecode":
+		return EngineBytecode, nil
+	case "tree":
+		return EngineTree, nil
+	}
+	return EngineDefault, fmt.Errorf("model: unknown engine %q (want bytecode or tree)", s)
+}
 
 // RunConfig configures one model integration.
 type RunConfig struct {
@@ -56,29 +99,141 @@ type RunConfig struct {
 	// StopAfter limits the number of steps (0 = full 9 steps); the
 	// coverage filter runs only 2 steps, per §2.1.
 	StopAfter int
+	// Engine overrides the Runner's execution engine for this run.
+	Engine EngineKind
 }
 
 // Result is one completed integration.
 type Result struct {
 	// Means maps output label to global mean at the final step.
 	Means ect.RunOutput
-	// Machine is the finished interpreter (exposes Outputs/Kernel).
-	Machine *interp.Machine
+	// Engine is the finished execution engine (exposes the captured
+	// Outputs/Kernel/AllValues through Captured()).
+	Engine interp.Engine
 }
 
-// Runner caches the parsed corpus for repeated integrations.
+// Runner caches the parsed corpus — and, for the bytecode engine, the
+// compiled program — for repeated integrations. It is safe for
+// concurrent use: ensemble members fan out over one Runner.
 type Runner struct {
 	Corpus  *corpus.Corpus
 	Modules []*fortran.Module
+
+	engine EngineKind
+
+	progMu sync.Mutex
+	prog   *bytecode.Program
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
-// NewRunner parses the corpus once.
+// NewRunner parses the corpus once; integrations default to the
+// bytecode engine.
 func NewRunner(c *corpus.Corpus) (*Runner, error) {
+	return NewRunnerEngine(c, EngineDefault)
+}
+
+// NewRunnerEngine parses the corpus once and fixes the default
+// execution engine for its integrations.
+func NewRunnerEngine(c *corpus.Corpus, engine EngineKind) (*Runner, error) {
 	mods, err := c.Parse()
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{Corpus: c, Modules: mods}, nil
+	return &Runner{Corpus: c, Modules: mods, engine: engine}, nil
+}
+
+// Engine reports the Runner's default engine.
+func (r *Runner) Engine() EngineKind {
+	if r.engine == EngineTree {
+		return EngineTree
+	}
+	return EngineBytecode
+}
+
+// progCache shares compiled programs process-wide, keyed by module
+// identity: the parse cache hands identical source trees the same
+// *fortran.Module pointers, so a restarted Session (or a parallel one
+// over the same corpus configuration) reuses the compiled artifact
+// instead of recompiling. Programs are immutable, so sharing is safe.
+// Each entry retains the module pointers its key was built from —
+// that keeps every keyed address alive, so a recycled allocation can
+// never alias a stored key.
+type progEntry struct {
+	mods []*fortran.Module
+	prog *bytecode.Program
+}
+
+var (
+	progCache     sync.Map // module-pointer key → *progEntry
+	progCacheSize atomic.Int64
+)
+
+const progCacheMax = 128
+
+func progKey(mods []*fortran.Module) string {
+	var b strings.Builder
+	for _, m := range mods {
+		fmt.Fprintf(&b, "%p;", m)
+	}
+	return b.String()
+}
+
+// Program returns the compiled bytecode program, compiling on first
+// use. It is the Session's cached build artifact: every scenario
+// sharing this Runner's source fingerprint reuses it (and, through the
+// process-wide layer, so does every other Runner over an identical
+// source tree).
+func (r *Runner) Program() *bytecode.Program {
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	if r.prog != nil {
+		r.hits.Add(1)
+		return r.prog
+	}
+	key := progKey(r.Modules)
+	if v, ok := progCache.Load(key); ok {
+		r.hits.Add(1)
+		r.prog = v.(*progEntry).prog
+		return r.prog
+	}
+	r.misses.Add(1)
+	r.prog = bytecode.Compile(r.Modules)
+	if progCacheSize.Load() < progCacheMax {
+		e := &progEntry{mods: append([]*fortran.Module(nil), r.Modules...), prog: r.prog}
+		if v, loaded := progCache.LoadOrStore(key, e); loaded {
+			r.prog = v.(*progEntry).prog
+		} else {
+			progCacheSize.Add(1)
+		}
+	}
+	return r.prog
+}
+
+// CompileStats reports program-cache hits and misses (rcad's /metrics
+// surfaces the session-wide aggregate).
+func (r *Runner) CompileStats() (hits, misses uint64) {
+	return r.hits.Load(), r.misses.Load()
+}
+
+// engineFor builds the engine instance for one integration.
+func (r *Runner) engineFor(cfg RunConfig, src rng.Source) (interp.Engine, error) {
+	icfg := interp.Config{
+		Ncol:        cfg.Ncol,
+		RNG:         src,
+		FMA:         cfg.FMA,
+		Trace:       cfg.Trace,
+		KernelWatch: cfg.KernelWatch,
+		SnapshotAll: cfg.SnapshotAll,
+	}
+	kind := cfg.Engine
+	if kind == EngineDefault {
+		kind = r.Engine()
+	}
+	if kind == EngineTree {
+		return interp.NewMachine(r.Modules, icfg)
+	}
+	return r.Program().NewVM(icfg)
 }
 
 // Run integrates the model per cfg and returns the step-9 output
@@ -100,21 +255,14 @@ func (r *Runner) Run(cfg RunConfig) (*Result, error) {
 	default:
 		src = rng.NewKISS(cfg.RNGSeed)
 	}
-	m, err := interp.NewMachine(r.Modules, interp.Config{
-		Ncol:        cfg.Ncol,
-		RNG:         src,
-		FMA:         cfg.FMA,
-		Trace:       cfg.Trace,
-		KernelWatch: cfg.KernelWatch,
-		SnapshotAll: cfg.SnapshotAll,
-	})
+	eng, err := r.engineFor(cfg, src)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Call(r.Corpus.DriverModule, r.Corpus.InitSub); err != nil {
+	if err := eng.Call(r.Corpus.DriverModule, r.Corpus.InitSub); err != nil {
 		return nil, fmt.Errorf("model: init: %w", err)
 	}
-	if err := perturb(m, cfg); err != nil {
+	if err := perturb(eng, cfg); err != nil {
 		return nil, err
 	}
 	steps := Steps
@@ -122,33 +270,32 @@ func (r *Runner) Run(cfg RunConfig) (*Result, error) {
 		steps = cfg.StopAfter
 	}
 	for s := 0; s < steps; s++ {
-		if err := m.Call(r.Corpus.DriverModule, r.Corpus.StepSub); err != nil {
+		if err := eng.Call(r.Corpus.DriverModule, r.Corpus.StepSub); err != nil {
 			return nil, fmt.Errorf("model: step %d: %w", s+1, err)
 		}
 	}
 	if cfg.SnapshotAll {
-		m.SnapshotModuleVars()
+		eng.SnapshotModuleVars()
 	}
-	return &Result{Means: m.OutputMeans(), Machine: m}, nil
+	return &Result{Means: eng.Captured().OutputMeans(), Engine: eng}, nil
 }
 
 // perturb applies the member-specific initial-condition perturbation:
 // a random temperature field perturbation (CESM pertlim-style) plus a
 // small perturbation of the near-isolated wpert aerosol field so every
 // output has nonzero ensemble variance.
-func perturb(m *interp.Machine, cfg RunConfig) error {
+func perturb(eng interp.Engine, cfg RunConfig) error {
 	gen := rng.NewLCG(uint64(cfg.Member)*2654435761 + 97)
-	st, ok := m.ModuleVar("physics_types", "state")
+	t, ok := eng.ModuleArray("physics_types", "state", "t")
 	if !ok {
 		return fmt.Errorf("model: state variable missing")
 	}
-	t := st.D["t"]
-	for i := range t.A {
-		t.A[i] += cfg.PertScale * gauss(gen)
+	for i := range t {
+		t[i] += cfg.PertScale * gauss(gen)
 	}
-	if wp, ok := m.ModuleVar("microp_aero", "wpert"); ok {
-		for i := range wp.A {
-			wp.A[i] += 1e-3 * gauss(gen)
+	if wp, ok := eng.ModuleArray("microp_aero", "wpert"); ok {
+		for i := range wp {
+			wp[i] += 1e-3 * gauss(gen)
 		}
 	}
 	return nil

@@ -180,7 +180,7 @@ func TestKernelWatchCapturesMicroMG(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"dum", "ratio", "tlat", "nctend", "qvlat", "nitend"} {
-		if len(res.Machine.Kernel[v]) == 0 {
+		if len(res.Engine.Captured().Kernel[v]) == 0 {
 			t.Fatalf("kernel variable %s not captured", v)
 		}
 	}
@@ -199,7 +199,7 @@ func TestFMAChangesMicroMGKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diff := stats.NormalizedRMSDiff(off.Machine.Kernel["tlat"], on.Machine.Kernel["tlat"])
+	diff := stats.NormalizedRMSDiff(off.Engine.Captured().Kernel["tlat"], on.Engine.Captured().Kernel["tlat"])
 	if !(diff > 1e-12) {
 		t.Fatalf("tlat normalized RMS diff = %v; want > 1e-12", diff)
 	}

@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -124,8 +125,49 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"rcad_jobs_submitted_total", "rcad_jobs_deduped_total",
 		"rcad_jobs_from_store_total", "rcad_pipeline_executions_total",
 		"rcad_queue_depth", "rcad_outcome_store_size", "rcad_flights_inflight",
+		"rcad_compile_cache_hits_total", "rcad_compile_cache_misses_total",
 	} {
 		metricValue(t, ts.URL, metric) // fails the test if absent
+	}
+	// Every job series carries the session's engine label.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `rcad_jobs_submitted_total{engine="bytecode"}`) {
+		t.Fatalf("engine label missing from job counters:\n%s", body)
+	}
+}
+
+// TestMetricsCompileCacheCounts pins the compile-cache observability:
+// after one executed job, the session has compiled at least one
+// program (misses >= 1) and reused it across the scenario's
+// integrations (hits > misses).
+func TestMetricsCompileCacheCounts(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"experiment":"WSUBBUG"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job status %d", resp.StatusCode)
+	}
+	misses := metricValue(t, ts.URL, "rcad_compile_cache_misses_total")
+	hits := metricValue(t, ts.URL, "rcad_compile_cache_hits_total")
+	if hits < 1 {
+		t.Fatalf("compile cache hits = %d, want >= 1 (every integration after the first reuses the program)", hits)
+	}
+	// A process-global cache may serve this session's sources without a
+	// fresh compile (misses can be 0), but reuse must dominate.
+	if misses > hits {
+		t.Fatalf("compile cache misses = %d > hits = %d: compiled programs not reused", misses, hits)
 	}
 }
 

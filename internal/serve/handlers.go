@@ -216,7 +216,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.write(w, len(s.queue), s.store.len(), s.inflight())
+	hits, misses := s.session.CompileCacheStats()
+	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses)
 }
 
 // boolParam reads a truthy query parameter ("1", "true", "yes").

@@ -21,12 +21,16 @@ type metrics struct {
 }
 
 // write renders the counters plus the gauges the server derives live.
-func (m *metrics) write(w io.Writer, queueDepth, storeSize, inflight int) {
+// Every job series carries the session's execution-engine label
+// (engine="bytecode" or engine="tree"), and the bytecode program
+// cache's hit/miss counters are reported alongside.
+func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, inflight int, compileHits, compileMisses uint64) {
+	lbl := fmt.Sprintf(`{engine=%q}`, engine)
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s counter\nrcad_%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s counter\nrcad_%s%s %d\n", name, help, name, name, lbl, v)
 	}
 	gauge := func(name, help string, v int) {
-		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s gauge\nrcad_%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s gauge\nrcad_%s%s %d\n", name, help, name, name, lbl, v)
 	}
 	counter("jobs_submitted_total", "Accepted job submissions.", m.jobsSubmitted.Load())
 	counter("jobs_deduped_total", "Submissions that joined an identical in-flight execution.", m.jobsDeduped.Load())
@@ -37,6 +41,8 @@ func (m *metrics) write(w io.Writer, queueDepth, storeSize, inflight int) {
 	counter("jobs_rejected_total", "Submissions rejected by backpressure or shutdown.", m.jobsRejected.Load())
 	counter("pipeline_executions_total", "Underlying pipeline executions (post-dedup).", m.executions.Load())
 	counter("flights_canceled_total", "Executions aborted because every subscriber left.", m.flightsCanceled.Load())
+	counter("compile_cache_hits_total", "Integrations that reused a cached compiled program.", int64(compileHits))
+	counter("compile_cache_misses_total", "Bytecode program compilations.", int64(compileMisses))
 	gauge("queue_depth", "Executions waiting for a worker.", queueDepth)
 	gauge("outcome_store_size", "Outcomes held by the LRU store.", storeSize)
 	gauge("flights_inflight", "Executions queued or running.", inflight)
