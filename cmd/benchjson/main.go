@@ -30,12 +30,24 @@ import (
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
-// Result is one benchmark's averaged numbers.
+// coldWarm match the custom b.ReportMetric units the warm-restart
+// benchmark emits alongside ns/op.
+var (
+	coldMS = regexp.MustCompile(`([\d.]+) coldms`)
+	warmMS = regexp.MustCompile(`([\d.]+) warmms`)
+)
+
+// Result is one benchmark's averaged numbers. ColdMS/WarmMS carry a
+// job-latency pair (milliseconds for the first, pipeline-executing
+// request vs a warm-restart replay from the artifact store) when the
+// producer measured one; zero pairs are omitted from the JSON.
 type Result struct {
 	NsOp     float64 `json:"ns_op"`
 	BOp      float64 `json:"b_op"`
 	AllocsOp float64 `json:"allocs_op"`
 	Runs     int     `json:"runs"`
+	ColdMS   float64 `json:"coldms,omitempty"`
+	WarmMS   float64 `json:"warmms,omitempty"`
 }
 
 func main() {
@@ -67,6 +79,14 @@ func main() {
 			r.BOp += b
 			r.AllocsOp += a
 		}
+		if cm := coldMS.FindStringSubmatch(sc.Text()); cm != nil {
+			v, _ := strconv.ParseFloat(cm[1], 64)
+			r.ColdMS += v
+		}
+		if wm := warmMS.FindStringSubmatch(sc.Text()); wm != nil {
+			v, _ := strconv.ParseFloat(wm[1], 64)
+			r.WarmMS += v
+		}
 		r.Runs++
 	}
 	if err := sc.Err(); err != nil {
@@ -78,6 +98,8 @@ func main() {
 		r.NsOp /= n
 		r.BOp /= n
 		r.AllocsOp /= n
+		r.ColdMS /= n
+		r.WarmMS /= n
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -63,6 +63,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
 		engine   = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
 		server   = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
+		storeDir = flag.String("store", "", "artifact store directory: persist corpora, compiled programs and metagraphs so later runs (and rcad daemons) start warm")
 	)
 	flag.Var(&injects, "inject",
 		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | prng=mt | fma=all|m1,m2 | param:NAME=V")
@@ -162,6 +163,14 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))
+	}
+	if *storeDir != "" {
+		store, err := rca.OpenArtifactStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rca:", err)
+			os.Exit(2)
+		}
+		opts = append(opts, rca.WithArtifacts(store))
 	}
 	session := rca.NewSession(ccfg, opts...)
 

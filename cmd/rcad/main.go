@@ -5,11 +5,17 @@
 // fingerprint, compiled metagraphs — at most once, deduplicates
 // identical in-flight investigations (singleflight on the scenario
 // fingerprints) and serves repeat submissions from an LRU outcome
-// store. See internal/serve for the API.
+// store. With -store DIR those artifacts additionally persist in a
+// content-addressed on-disk store: a restarted daemon (or a second
+// daemon on the same directory) serves previously investigated
+// scenarios warm, without re-running the pipeline, and -worker-id
+// turns the process into a queue worker draining jobs enqueued by any
+// peer on the store. See internal/serve for the API.
 //
 // Usage:
 //
 //	rcad -addr :8080 -aux 100 -ensemble 40 -runs 10
+//	rcad -addr :8080 -store /var/lib/rcad/artifacts
 //	curl -X POST 'localhost:8080/v1/jobs?wait=1' -d '{"experiment":"GOFFGRATCH"}'
 //	curl 'localhost:8080/v1/table1?topk=20'
 //	rca -server http://localhost:8080 -all
@@ -24,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,7 +50,12 @@ func main() {
 		engine   = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle)")
 		workers  = flag.Int("workers", 2, "concurrent pipeline executions")
 		queue    = flag.Int("queue", 64, "bounded job-queue capacity")
-		storeCap = flag.Int("store", 128, "LRU outcome-store capacity")
+		outcomes = flag.Int("outcomes", 128, "in-memory LRU outcome-store capacity")
+		storeDir = flag.String("store", "", "artifact store directory: persist corpora, compiled programs, metagraphs and outcomes so restarts serve warm and concurrent daemons share work")
+		storeMax = flag.Int64("store-max-bytes", 0, "artifact store size cap in bytes (0 = default 512 MiB); least-recently-used blobs are evicted beyond it")
+		flushTO  = flag.Duration("flush-timeout", 5*time.Second, "shutdown deadline for flushing in-flight outcome writes to the artifact store")
+		workerID = flag.String("worker-id", "", "drain the artifact store's shared job queue under this worker name (requires -store)")
+		peersCSV = flag.String("worker-peers", "", "comma-separated worker names sharing the queue (affinity hashing); default just -worker-id")
 		warm     = flag.Bool("warm", true, "precompute the control-ensemble fingerprint at startup")
 	)
 	flag.Parse()
@@ -67,6 +79,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *workerID != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "rcad: -worker-id requires -store")
+		os.Exit(2)
+	}
+
+	var store *rca.ArtifactStore
+	if *storeDir != "" {
+		var sopts []rca.ArtifactStoreOption
+		if *storeMax > 0 {
+			sopts = append(sopts, rca.WithStoreMaxBytes(*storeMax))
+		}
+		store, err = rca.OpenArtifactStore(*storeDir, sopts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcad:", err)
+			os.Exit(2)
+		}
+	}
+
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = *aux
 	ccfg.Seed = *seed
@@ -78,6 +108,9 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))
+	}
+	if store != nil {
+		opts = append(opts, rca.WithArtifacts(store))
 	}
 	session := rca.NewSession(ccfg, opts...)
 
@@ -99,12 +132,27 @@ func main() {
 	}
 
 	svc := serve.New(serve.Config{
-		Session:   session,
-		QueueSize: *queue,
-		Workers:   *workers,
-		StoreSize: *storeCap,
+		Session:      session,
+		QueueSize:    *queue,
+		Workers:      *workers,
+		StoreSize:    *outcomes,
+		Artifacts:    store,
+		FlushTimeout: *flushTO,
 	})
 	defer svc.Close()
+
+	if *workerID != "" {
+		peers := []string{*workerID}
+		if *peersCSV != "" {
+			peers = strings.Split(*peersCSV, ",")
+		}
+		go func() {
+			if err := svc.ServeQueue(ctx, *workerID, peers, 0); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("rcad: queue worker: %v", err)
+			}
+		}()
+		log.Printf("rcad: worker %q draining shared queue (peers=%v)", *workerID, peers)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
@@ -114,7 +162,7 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("rcad: serving on %s (workers=%d, queue=%d, store=%d)", *addr, *workers, *queue, *storeCap)
+	log.Printf("rcad: serving on %s (workers=%d, queue=%d, outcomes=%d)", *addr, *workers, *queue, *outcomes)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("rcad: %v", err)
 	}

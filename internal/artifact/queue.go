@@ -1,0 +1,260 @@
+package artifact
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/climate-rca/rca/internal/binenc"
+)
+
+// Queue is a crash-tolerant work queue shared by every worker process
+// pointed at one store directory — the pkggen-style scheduler shape:
+// jobs are files, claims are lock-file leases, completion is a marker
+// file, and a worker that dies mid-job just lets its lease go stale
+// for another worker to steal.
+//
+// Layout under <store>/queue:
+//
+//	pending/<id>   job payload (affinity key + body, framed)
+//	leases/<id>.lock   held while a worker runs the job
+//	done/<id>      completion marker (result bytes, framed)
+//
+// Claim orders candidates by consistent-hash affinity: jobs whose
+// affinity key rendezvous-hashes to this worker come first, so N
+// workers partition the keyspace (same-buildKey jobs land on the same
+// worker and share its hot in-process caches) while still stealing
+// another worker's backlog when idle.
+type Queue struct {
+	s   *Store
+	dir string
+}
+
+// Queue opens the store's shared work queue.
+func (s *Store) Queue() (*Queue, error) {
+	q := &Queue{s: s, dir: filepath.Join(s.dir, "queue")}
+	for _, sub := range []string{"pending", "leases", "done"} {
+		if err := os.MkdirAll(filepath.Join(q.dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: open queue: %w", err)
+		}
+	}
+	return q, nil
+}
+
+// Job is one queued unit of work.
+type Job struct {
+	ID       string
+	Affinity string // consistent-hash routing key (buildKey hash)
+	Payload  []byte
+}
+
+// Claimed is a leased job; exactly one worker holds it at a time.
+type Claimed struct {
+	Job
+	q       *Queue
+	release func()
+}
+
+func jobID(id string) string {
+	// IDs come from callers as fingerprint hashes; keep them path-safe
+	// defensively.
+	return filepath.Base(id)
+}
+
+// Enqueue adds a job if no job with the same id is pending or done —
+// idempotent, so every worker (or a dispatcher) can enqueue the same
+// catalog and the queue dedupes by id.
+func (q *Queue) Enqueue(id, affinity string, payload []byte) error {
+	id = jobID(id)
+	if q.IsDone(id) {
+		return nil
+	}
+	path := filepath.Join(q.dir, "pending", id)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	w := binenc.NewWriter(len(payload) + 64)
+	w.String(affinity)
+	w.Raw(payload)
+	return atomicWrite(path, frame(w.Bytes()))
+}
+
+// Claim leases the best available job for this worker: own-affinity
+// jobs first (rendezvous hash of the affinity key over peers), then
+// anyone's backlog. ok=false means the pending queue is empty (jobs
+// leased by other workers are not available).
+func (q *Queue) Claim(workerID string, peers []string) (*Claimed, bool, error) {
+	entries, err := os.ReadDir(filepath.Join(q.dir, "pending"))
+	if err != nil {
+		return nil, false, fmt.Errorf("artifact: claim: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	var own, others []string
+	for _, id := range names {
+		aff, _, err := q.readPending(id)
+		if err != nil {
+			continue // claimed and completed since ReadDir, or torn write
+		}
+		if Owner(aff, peers) == workerID || len(peers) <= 1 {
+			own = append(own, id)
+		} else {
+			others = append(others, id)
+		}
+	}
+	for _, id := range append(own, others...) {
+		release, ok := q.tryLease(id)
+		if !ok {
+			continue
+		}
+		aff, payload, err := q.readPending(id)
+		if err != nil {
+			// Finished (or corrupt) under a stale lease; clean up.
+			release()
+			continue
+		}
+		if q.IsDone(id) {
+			_ = os.Remove(filepath.Join(q.dir, "pending", id))
+			release()
+			continue
+		}
+		return &Claimed{
+			Job:     Job{ID: id, Affinity: aff, Payload: payload},
+			q:       q,
+			release: release,
+		}, true, nil
+	}
+	return nil, false, nil
+}
+
+// Pending reports how many jobs are queued (leased or not).
+func (q *Queue) Pending() int {
+	entries, err := os.ReadDir(filepath.Join(q.dir, "pending"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// IsDone reports whether the job has a completion marker.
+func (q *Queue) IsDone(id string) bool {
+	_, err := os.Stat(filepath.Join(q.dir, "done", jobID(id)))
+	return err == nil
+}
+
+// Result returns a completed job's result bytes.
+func (q *Queue) Result(id string) ([]byte, bool) {
+	raw, err := os.ReadFile(filepath.Join(q.dir, "done", jobID(id)))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := unframe(raw)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Done marks the claimed job complete with a result and removes it
+// from the pending queue. The marker is written before the pending
+// file is removed, so a crash between the two leaves a duplicate that
+// every claimer skips, never a lost job.
+func (c *Claimed) Done(result []byte) error {
+	defer c.release()
+	if err := atomicWrite(filepath.Join(c.q.dir, "done", c.ID), frame(result)); err != nil {
+		return err
+	}
+	return os.Remove(filepath.Join(c.q.dir, "pending", c.ID))
+}
+
+// Release returns the job to the queue un-run (worker shutting down).
+func (c *Claimed) Release() { c.release() }
+
+func (q *Queue) readPending(id string) (affinity string, payload []byte, err error) {
+	raw, err := os.ReadFile(filepath.Join(q.dir, "pending", id))
+	if err != nil {
+		return "", nil, err
+	}
+	body, err := unframe(raw)
+	if err != nil {
+		return "", nil, err
+	}
+	r := binenc.NewReader(body)
+	affinity = r.String()
+	payload = r.Raw()
+	if err := r.Done(); err != nil {
+		return "", nil, err
+	}
+	return affinity, payload, nil
+}
+
+// tryLease acquires the job's lease non-blockingly, stealing leases
+// older than the store's stale timeout.
+func (q *Queue) tryLease(id string) (func(), bool) {
+	path := filepath.Join(q.dir, "leases", id+".lock")
+	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > q.s.lockStale {
+		_ = os.Remove(path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, false
+	}
+	_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+	_ = f.Close()
+	return func() { _ = os.Remove(path) }, true
+}
+
+// Owner returns the rendezvous-hash (highest-random-weight) owner of a
+// key among peers: each (key, peer) pair scores independently and the
+// maximum wins, so adding or removing one worker only remaps the keys
+// that worker owned. Empty peers returns "".
+func Owner(key string, peers []string) string {
+	var best string
+	var bestScore uint64
+	for _, p := range peers {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+		score := h.Sum64()
+		if best == "" || score > bestScore || (score == bestScore && p < best) {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// atomicWrite writes a file via tmp+rename in its final directory.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: write %s: %w", filepath.Base(path), err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: write %s: %v / %v", filepath.Base(path), werr, cerr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

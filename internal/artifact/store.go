@@ -1,0 +1,348 @@
+// Package artifact is the content-addressed on-disk artifact store
+// that makes the pipeline's layered cache fingerprints (sourceKey ⊂
+// buildKey ⊂ scenarioKey) durable identities instead of in-process map
+// keys. Compiled bytecode programs, generated corpora, compiled
+// metagraphs and finished outcomes are written once under
+// sha-256-derived paths and shared by every process pointed at the
+// same directory: a restarted rcad warm-starts from disk, and N rcad
+// workers deduplicate builds across process boundaries through
+// O_EXCL lock files (cross-process singleflight).
+//
+// Layout under the store root:
+//
+//	objects/<class>/<hh>/<hex64>   content blobs (hh = first address byte)
+//	locks/<hex64>.lock             build locks (GetOrBuild singleflight)
+//	queue/...                      shared work queue (see queue.go)
+//
+// Every blob carries a header with a payload digest; reads verify it
+// and delete corrupt blobs, so torn writes or disk damage degrade to a
+// cache miss and a clean rebuild, never an error surfaced to the
+// pipeline. Writes are tmp+rename atomic. The store is size-capped:
+// puts evict least-recently-accessed blobs (mtime is bumped to the
+// access time on every hit) until the total is back under the cap.
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Artifact classes. The class is folded into the content address, so
+// the same key never collides across classes.
+const (
+	// ClassCorpus stores generated+patched source trees per sourceKey.
+	ClassCorpus = "corpus"
+	// ClassProgram stores compiled bytecode programs per sourceKey.
+	ClassProgram = "program"
+	// ClassCompiled stores coverage-filtered metagraphs per buildKey.
+	ClassCompiled = "compiled"
+	// ClassOutcome stores finished investigation outcomes per scenarioKey.
+	ClassOutcome = "outcome"
+)
+
+// blobMagic versions the on-disk blob framing (not the per-class
+// payload codecs, which carry their own versions).
+var blobMagic = []byte("RCAART1\n")
+
+const digestLen = sha256.Size
+
+// DefaultMaxBytes caps the store at 512 MiB unless overridden.
+const DefaultMaxBytes int64 = 512 << 20
+
+// DefaultLockStale is how old a lock file must be before another
+// process may steal it (crashed-holder recovery).
+const DefaultLockStale = 2 * time.Minute
+
+// Stats is a snapshot of store counters. Hits/Misses/Evictions count
+// since Open; Bytes is the current on-disk payload total.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Puts      uint64
+	Builds    uint64
+	Bytes     int64
+}
+
+// Store is a content-addressed artifact store rooted at a directory.
+// One directory may be shared by any number of Store handles across
+// processes. The zero value is not usable; call Open.
+type Store struct {
+	dir       string
+	maxBytes  int64
+	lockStale time.Duration
+	lockPoll  time.Duration
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	puts      atomic.Uint64
+	builds    atomic.Uint64
+	bytes     atomic.Int64
+
+	evictMu sync.Mutex // serializes in-process eviction scans
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithMaxBytes caps the total payload bytes kept on disk; puts evict
+// least-recently-accessed blobs beyond it. n <= 0 keeps the default.
+func WithMaxBytes(n int64) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.maxBytes = n
+		}
+	}
+}
+
+// WithLockStale sets the age after which another process may steal a
+// build lock (the holder is presumed dead). d <= 0 keeps the default.
+func WithLockStale(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.lockStale = d
+		}
+	}
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:       dir,
+		maxBytes:  DefaultMaxBytes,
+		lockStale: DefaultLockStale,
+		lockPoll:  5 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, sub := range []string{"objects", "locks"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: open store: %w", err)
+		}
+	}
+	s.bytes.Store(s.scanBytes())
+	return s, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a counter snapshot.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Puts:      s.puts.Load(),
+		Builds:    s.builds.Load(),
+		Bytes:     s.bytes.Load(),
+	}
+}
+
+// addr derives the content address of (class, key).
+func addr(class, key string) string {
+	h := sha256.New()
+	h.Write([]byte(class))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) blobPath(class, a string) string {
+	return filepath.Join(s.dir, "objects", class, a[:2], a)
+}
+
+// Get returns the payload stored for (class, key), or ok=false on a
+// miss. Corrupt blobs are deleted and reported as misses; hits bump
+// the blob's access time for LRU eviction.
+func (s *Store) Get(class, key string) ([]byte, bool) {
+	path := s.blobPath(class, addr(class, key))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := unframe(raw)
+	if err != nil {
+		// Integrity failure: drop the blob so the next writer rebuilds
+		// cleanly, and report a plain miss.
+		if rmErr := os.Remove(path); rmErr == nil {
+			s.bytes.Add(-int64(len(raw)))
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // best-effort LRU access stamp
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under (class, key) atomically (tmp+rename) and
+// evicts past the size cap. Concurrent puts of the same content are
+// harmless: last rename wins with identical bytes.
+func (s *Store) Put(class, key string, payload []byte) error {
+	a := addr(class, key)
+	path := s.blobPath(class, a)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("artifact: put %s: %w", class, err)
+	}
+	framed := frame(payload)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: put %s: %w", class, err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(framed)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: put %s: write %v close %v", class, werr, cerr)
+	}
+	// If the blob already exists (another process won the build race),
+	// the rename replaces identical content; adjust byte accounting by
+	// the delta only.
+	var existed int64
+	if fi, err := os.Stat(path); err == nil {
+		existed = fi.Size()
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: put %s: %w", class, err)
+	}
+	s.bytes.Add(int64(len(framed)) - existed)
+	s.puts.Add(1)
+	s.evict()
+	return nil
+}
+
+// GetOrBuild returns the payload for (class, key), building and
+// storing it at most once across every process sharing the store: a
+// miss takes the key's build lock, re-checks the store (another holder
+// may have finished first), and only then runs build. The returned
+// built flag reports whether THIS call ran the builder. Lock-file
+// acquisition respects ctx; a crashed holder's lock is stolen after
+// the stale timeout.
+func (s *Store) GetOrBuild(ctx context.Context, class, key string, build func() ([]byte, error)) ([]byte, bool, error) {
+	if data, ok := s.Get(class, key); ok {
+		return data, false, nil
+	}
+	unlock, err := s.lock(ctx, addr(class, key))
+	if err != nil {
+		return nil, false, err
+	}
+	defer unlock()
+	if data, ok := s.Get(class, key); ok {
+		return data, false, nil
+	}
+	data, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	s.builds.Add(1)
+	if err := s.Put(class, key, data); err != nil {
+		// The artifact is valid even if persisting it failed (disk
+		// full, permissions): serve it, surface nothing.
+		return data, true, nil
+	}
+	return data, true, nil
+}
+
+// frame wraps a payload with the store's integrity header.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(blobMagic)+digestLen+len(payload))
+	out = append(out, blobMagic...)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// unframe verifies and strips the integrity header.
+func unframe(raw []byte) ([]byte, error) {
+	if len(raw) < len(blobMagic)+digestLen || !bytes.Equal(raw[:len(blobMagic)], blobMagic) {
+		return nil, errors.New("artifact: bad blob header")
+	}
+	want := raw[len(blobMagic) : len(blobMagic)+digestLen]
+	payload := raw[len(blobMagic)+digestLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], want) {
+		return nil, errors.New("artifact: payload digest mismatch")
+	}
+	return payload, nil
+}
+
+// scanBytes totals the on-disk blob sizes at Open.
+func (s *Store) scanBytes() int64 {
+	var total int64
+	root := filepath.Join(s.dir, "objects")
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// evict removes least-recently-accessed blobs until the store is back
+// under its byte cap. Only one in-process evictor runs at a time;
+// concurrent processes may race to delete the same blobs, which is
+// benign (Remove of a missing file is skipped in accounting).
+func (s *Store) evict() {
+	if s.bytes.Load() <= s.maxBytes {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	if s.bytes.Load() <= s.maxBytes {
+		return
+	}
+	type blob struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var blobs []blob
+	var total int64
+	root := filepath.Join(s.dir, "objects")
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		blobs = append(blobs, blob{path: path, size: fi.Size(), atime: fi.ModTime()})
+		total += fi.Size()
+		return nil
+	})
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].atime.Before(blobs[j].atime) })
+	// Re-anchor accounting to the scan (handles external deletes).
+	s.bytes.Store(total)
+	for _, b := range blobs {
+		if s.bytes.Load() <= s.maxBytes {
+			break
+		}
+		if err := os.Remove(b.path); err == nil {
+			s.bytes.Add(-b.size)
+			s.evictions.Add(1)
+		}
+	}
+}

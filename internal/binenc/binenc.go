@@ -1,0 +1,197 @@
+// Package binenc implements the deterministic little-endian binary
+// encoding the artifact codecs share. The contract is stronger than
+// encoding/gob's: byte-for-byte determinism — encoding the same value
+// twice (or encoding a decoded value) yields identical bytes, so
+// content addresses are stable and the round-trip fuzzers can assert
+// bit-exactness. Writers never fail; readers carry a sticky error and
+// return zero values after the first malformed field, so codecs can
+// decode straight-line and check Err() once.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrMalformed reports a truncated or out-of-spec payload.
+var ErrMalformed = errors.New("binenc: malformed payload")
+
+// maxSliceLen bounds decoded element counts so a corrupted length
+// prefix cannot drive a multi-gigabyte allocation. Every artifact the
+// system encodes is far below this.
+const maxSliceLen = 1 << 28
+
+// Writer accumulates a deterministic binary payload.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with some preallocated capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 appends a fixed-width little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a fixed-width little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I32 appends an int32 (two's complement).
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 appends an int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 appends a float64 by exact bit pattern (NaN payloads survive).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Len appends a non-negative element count.
+func (w *Writer) Len(n int) { w.U32(uint32(n)) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Len(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends length-prefixed raw bytes.
+func (w *Writer) Raw(b []byte) {
+	w.Len(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader decodes a payload written by Writer. All methods return zero
+// values once the sticky error is set.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps a payload.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Done extends Err with a trailing-garbage check: a well-formed
+// payload must be consumed exactly.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return ErrMalformed
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.err = ErrMalformed
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64 by bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a bool. Any nonzero byte is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Len reads an element count, rejecting absurd values so corrupted
+// prefixes fail cleanly instead of exhausting memory.
+func (r *Reader) Len() int {
+	n := r.U32()
+	if r.err == nil && n > maxSliceLen {
+		r.err = ErrMalformed
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len()
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Raw reads length-prefixed raw bytes (copied out of the payload).
+func (r *Reader) Raw() []byte {
+	n := r.Len()
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/climate-rca/rca/internal/artifact"
 	"github.com/climate-rca/rca/internal/core"
 	"github.com/climate-rca/rca/internal/corpus"
 	"github.com/climate-rca/rca/internal/ect"
@@ -43,6 +44,7 @@ type Session struct {
 	workers  int
 	parallel int
 	engine   model.EngineKind
+	store    *artifact.Store // optional on-disk artifact layer (WithArtifacts)
 
 	// runnerList tracks built runners for compile-cache statistics.
 	runnerMu   sync.Mutex
@@ -278,18 +280,15 @@ func (s *Session) cleanPlan() *plan {
 func (s *Session) runnerFor(ctx context.Context, key string, cfg corpus.Config, patches []corpus.Patch) (*model.Runner, error) {
 	c := keyedCell(&s.mu, s.runners, key)
 	return c.get(ctx, func() (*model.Runner, error) {
-		base := corpus.Generate(cfg)
-		if len(patches) > 0 {
-			patched, err := corpus.Apply(base, patches...)
-			if err != nil {
-				return nil, err
-			}
-			base = patched
+		base, err := s.corpusFor(ctx, key, cfg, patches)
+		if err != nil {
+			return nil, err
 		}
 		r, err := model.NewRunnerEngine(base, s.engine)
 		if err != nil {
 			return nil, err
 		}
+		s.restoreProgram(ctx, key, r)
 		s.runnerMu.Lock()
 		s.runnerList = append(s.runnerList, r)
 		s.runnerMu.Unlock()
@@ -516,11 +515,7 @@ func (s *Session) Compile(ctx context.Context, sc Scenario) (*Compiled, error) {
 	}
 	c := keyedCell(&s.mu, s.compiled, p.buildKey())
 	return c.get(ctx, func() (*Compiled, error) {
-		b, err := s.buildsFor(ctx, p)
-		if err != nil {
-			return nil, err
-		}
-		return compileStage(b)
+		return s.compiledFor(ctx, p)
 	})
 }
 

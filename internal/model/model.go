@@ -210,6 +210,34 @@ func (r *Runner) Program() *bytecode.Program {
 	return r.prog
 }
 
+// SetProgram installs a precompiled program (typically decoded from
+// the artifact store) as this Runner's bytecode build artifact, so
+// integrations skip compilation entirely. A program the Runner already
+// compiled wins — the installed one must describe the same sources,
+// and the compiled one is already shared process-wide. The program is
+// registered in the process-global cache so sibling Runners over an
+// identical parse reuse it too.
+func (r *Runner) SetProgram(p *bytecode.Program) {
+	if p == nil {
+		return
+	}
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	if r.prog != nil {
+		return
+	}
+	r.prog = p
+	if progCacheSize.Load() < progCacheMax {
+		key := progKey(r.Modules)
+		e := &progEntry{mods: append([]*fortran.Module(nil), r.Modules...), prog: p}
+		if v, loaded := progCache.LoadOrStore(key, e); loaded {
+			r.prog = v.(*progEntry).prog
+		} else {
+			progCacheSize.Add(1)
+		}
+	}
+}
+
 // CompileStats reports program-cache hits and misses (rcad's /metrics
 // surfaces the session-wide aggregate).
 func (r *Runner) CompileStats() (hits, misses uint64) {

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+)
+
+// BenchmarkWarmRestartSixSpecs measures the artifact store's restart
+// payoff: one daemon runs the six §6 experiments cold (full pipeline,
+// outcomes flushed to a -store directory), then a second daemon on the
+// same directory replays them warm (outcome blobs read back, zero
+// pipeline executions). The coldms/warmms metric pair is what
+// cmd/benchjson records into the BENCH_*.json snapshots.
+func BenchmarkWarmRestartSixSpecs(b *testing.B) {
+	specs := rca.Experiments()
+	var coldTotal, warmTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		cold, execs := benchSixSpecs(b, dir, specs)
+		if execs != len(specs) {
+			b.Fatalf("cold run: %d executions, want %d", execs, len(specs))
+		}
+		warm, execs := benchSixSpecs(b, dir, specs)
+		if execs != 0 {
+			b.Fatalf("warm run: %d executions, want 0 (outcomes should come from the store)", execs)
+		}
+		coldTotal += cold
+		warmTotal += warm
+	}
+	ms := func(d time.Duration) float64 {
+		return float64(d) / float64(time.Millisecond) / float64(b.N)
+	}
+	b.ReportMetric(ms(coldTotal), "coldms")
+	b.ReportMetric(ms(warmTotal), "warmms")
+}
+
+// benchSixSpecs boots a fresh daemon over the artifact store at dir,
+// runs the six experiments through the normal submit path, closes the
+// daemon (flushing outcome writes) and reports wall time plus how many
+// underlying pipeline executions happened.
+func benchSixSpecs(b *testing.B, dir string, specs []rca.Scenario) (time.Duration, int) {
+	b.Helper()
+	store, err := rca.OpenArtifactStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := rca.NewSession(rca.CorpusConfig{AuxModules: 40, Seed: 2},
+		rca.WithEnsembleSize(30), rca.WithExpSize(8), rca.WithArtifacts(store))
+	var execs atomic.Int64
+	srv := New(Config{
+		Session:   session,
+		Workers:   len(specs),
+		Artifacts: store,
+		RunHook:   func(string) { execs.Add(1) },
+	})
+	start := time.Now()
+	jobs := make([]*job, 0, len(specs))
+	for _, sc := range specs {
+		j, err := srv.submit(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.done
+		if _, _, _, _, jerr := j.snapshot(); jerr != nil {
+			b.Fatal(jerr)
+		}
+	}
+	elapsed := time.Since(start)
+	srv.Close() // flushes queued outcome writes to the store
+	return elapsed, int(execs.Load())
+}

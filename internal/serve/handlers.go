@@ -42,6 +42,10 @@ type errorJSON struct {
 //	DELETE /v1/jobs/{id}             cancel a job (shared work survives
 //	                                 while other subscribers remain)
 //	GET    /v1/outcomes/{fingerprint} completed outcome from the store
+//	POST   /v1/queue                 enqueue a scenario on the shared
+//	                                 artifact-store queue (worker mode);
+//	                                 503 without a -store
+//	GET    /v1/queue/{id}            queued job completion + result
 //	GET    /v1/table1                the §6.5 selective-FMA study
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus text metrics
@@ -51,6 +55,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/outcomes/{fingerprint}", s.handleOutcome)
+	mux.HandleFunc("POST /v1/queue", s.handleEnqueue)
+	mux.HandleFunc("GET /v1/queue/{id}", s.handleQueueStatus)
 	mux.HandleFunc("GET /v1/table1", s.handleTable1)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -164,6 +170,43 @@ func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// queuedJSON acknowledges a queue submission.
+type queuedJSON struct {
+	ID       string `json:"id"`
+	Affinity string `json:"affinity"`
+}
+
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxScenarioBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "scenario body over %d bytes", maxScenarioBytes)
+		return
+	}
+	id, affinity, err := s.Enqueue(body)
+	switch {
+	case errors.Is(err, ErrNoArtifactStore):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, queuedJSON{ID: id, Affinity: affinity})
+}
+
+func (s *Server) handleQueueStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.queueStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 // table1JSON is the wire rendering of the selective-FMA study.
 type table1JSON struct {
 	Rows []rca.Table1Row `json:"rows"`
@@ -217,7 +260,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	hits, misses := s.session.CompileCacheStats()
-	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses)
+	var as artifactStats
+	if s.artifacts != nil {
+		st := s.artifacts.Stats()
+		as = artifactStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Bytes: st.Bytes}
+	}
+	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses, as)
 }
 
 // boolParam reads a truthy query parameter ("1", "true", "yes").

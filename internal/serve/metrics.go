@@ -24,7 +24,7 @@ type metrics struct {
 // Every job series carries the session's execution-engine label
 // (engine="bytecode" or engine="tree"), and the bytecode program
 // cache's hit/miss counters are reported alongside.
-func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, inflight int, compileHits, compileMisses uint64) {
+func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, inflight int, compileHits, compileMisses uint64, as artifactStats) {
 	lbl := fmt.Sprintf(`{engine=%q}`, engine)
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s counter\nrcad_%s%s %d\n", name, help, name, name, lbl, v)
@@ -43,7 +43,21 @@ func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, infli
 	counter("flights_canceled_total", "Executions aborted because every subscriber left.", m.flightsCanceled.Load())
 	counter("compile_cache_hits_total", "Integrations that reused a cached compiled program.", int64(compileHits))
 	counter("compile_cache_misses_total", "Bytecode program compilations.", int64(compileMisses))
+	counter("artifact_store_hits_total", "Artifact store blob reads that hit.", int64(as.Hits))
+	counter("artifact_store_misses_total", "Artifact store blob reads that missed (or failed integrity).", int64(as.Misses))
+	counter("artifact_store_evictions_total", "Artifact store blobs evicted by the size cap.", int64(as.Evictions))
 	gauge("queue_depth", "Executions waiting for a worker.", queueDepth)
 	gauge("outcome_store_size", "Outcomes held by the LRU store.", storeSize)
 	gauge("flights_inflight", "Executions queued or running.", inflight)
+	gauge("artifact_store_bytes", "Artifact store on-disk payload bytes.", int(as.Bytes))
+}
+
+// artifactStats is the slice of artifact.Stats the metrics page
+// renders; zero-valued when the server has no store attached, so the
+// series always exist.
+type artifactStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bytes     int64
 }

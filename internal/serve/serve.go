@@ -33,6 +33,7 @@ import (
 	"time"
 
 	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/artifact"
 )
 
 // Config sizes a Server.
@@ -60,6 +61,21 @@ type Config struct {
 	// reachable by fingerprint through the store). Live jobs are never
 	// evicted.
 	JobsCap int
+	// Artifacts, when set, is the durable third cache layer behind the
+	// in-flight dedup and the in-memory LRU: completed outcomes are
+	// persisted under their scenario fingerprint (so a restarted
+	// daemon serves them without re-running the pipeline), executions
+	// take a cross-process scenario lease (so N daemons sharing the
+	// store never run the same investigation concurrently), and the
+	// session's corpus/program/metagraph artifacts warm-start from the
+	// same directory when the session was built WithArtifacts.
+	Artifacts *rca.ArtifactStore
+	// FlushTimeout bounds how long Close waits for outcome writes
+	// still queued for the artifact store (default 5s). Outcomes are
+	// persisted asynchronously so job completion latency never
+	// includes disk I/O; the flusher drains on shutdown within this
+	// deadline.
+	FlushTimeout time.Duration
 }
 
 // Typed submission failures the HTTP layer maps to status codes.
@@ -101,6 +117,19 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 	m       metrics
+
+	// Durable outcome layer (nil without Config.Artifacts). Outcome
+	// writes flow through flushCh so completion latency excludes disk
+	// I/O; each write carries the scenario lease it must release once
+	// the blob is on disk, preserving cross-process singleflight.
+	artifacts    *rca.ArtifactStore
+	flushCh      chan flushReq
+	flushDone    chan struct{}
+	flushTimeout time.Duration
+
+	// Shared work queue (worker mode), opened lazily on first use.
+	qmu sync.Mutex
+	q   *artifact.Queue
 
 	jobsCap int
 
@@ -150,19 +179,29 @@ func New(cfg Config) *Server {
 	if cfg.JobsCap <= 0 {
 		cfg.JobsCap = 4096
 	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 5 * time.Second
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		session: cfg.Session,
-		store:   newStore(cfg.StoreSize),
-		hook:    cfg.RunHook,
-		queue:   make(chan *flight, cfg.QueueSize),
-		base:    base,
-		stop:    stop,
-		jobsCap: cfg.JobsCap,
-		jobs:    make(map[string]*job),
-		flights: make(map[string]*flight),
-		t1:      make(map[string]*t1flight),
-		t1sem:   make(chan struct{}, 1),
+		session:      cfg.Session,
+		store:        newStore(cfg.StoreSize),
+		hook:         cfg.RunHook,
+		queue:        make(chan *flight, cfg.QueueSize),
+		base:         base,
+		stop:         stop,
+		artifacts:    cfg.Artifacts,
+		flushTimeout: cfg.FlushTimeout,
+		jobsCap:      cfg.JobsCap,
+		jobs:         make(map[string]*job),
+		flights:      make(map[string]*flight),
+		t1:           make(map[string]*t1flight),
+		t1sem:        make(chan struct{}, 1),
+	}
+	if s.artifacts != nil {
+		s.flushCh = make(chan flushReq, 256)
+		s.flushDone = make(chan struct{})
+		go s.flusher()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -172,13 +211,51 @@ func New(cfg Config) *Server {
 }
 
 // Close stops the worker pool, aborting in-flight executions; queued
-// and running jobs finish canceled. Safe to call once.
+// and running jobs finish canceled. Outcome writes already queued for
+// the artifact store are flushed to disk before returning, bounded by
+// the configured FlushTimeout — a completed investigation survives a
+// graceful shutdown even if its disk write had not landed yet. Safe
+// to call once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	if s.flushCh != nil {
+		// Workers are stopped, so nothing enqueues anymore; drain what
+		// remains within the deadline. On timeout the writes are
+		// abandoned — their scenario leases go stale and another
+		// process steals them, degrading to a cold re-run, never a
+		// hang.
+		close(s.flushCh)
+		select {
+		case <-s.flushDone:
+		case <-time.After(s.flushTimeout):
+		}
+	}
+}
+
+// flushReq is one asynchronous outcome write; release (if non-nil) is
+// the scenario lease to drop once the blob is durable.
+type flushReq struct {
+	key     string
+	data    []byte
+	release func()
+}
+
+// flusher serializes outcome writes to the artifact store. It runs
+// from New until Close drains it; releasing each write's scenario
+// lease only after the Put keeps cross-process singleflight airtight
+// (a peer that wins the next lease always sees the stored outcome).
+func (s *Server) flusher() {
+	defer close(s.flushDone)
+	for req := range s.flushCh {
+		_ = s.artifacts.Put(artifact.ClassOutcome, req.key, req.data)
+		if req.release != nil {
+			req.release()
+		}
+	}
 }
 
 // submit registers a job for a scenario: served from the outcome
@@ -191,11 +268,29 @@ func (s *Server) submit(sc rca.Scenario) (*job, error) {
 	}
 	kv := hashKeys(keys)
 
+	// Disk prefetch happens outside s.mu (it is file I/O): a warm
+	// artifact store lets a freshly restarted daemon complete the job
+	// without queueing anything, exactly like an in-memory store hit.
+	var disk *Outcome
+	if s.artifacts != nil {
+		if data, ok := s.artifacts.Get(artifact.ClassOutcome, kv.Scenario); ok {
+			if o, err := decodeOutcome(data); err == nil {
+				disk = o
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		s.m.jobsRejected.Add(1)
 		return nil, ErrClosed
+	}
+
+	// The in-memory LRU wins over the disk copy (it is the same
+	// outcome); a disk-only hit is promoted into the LRU.
+	if _, ok := s.store.get(kv.Scenario); !ok && disk != nil {
+		s.store.put(kv.Scenario, disk)
 	}
 
 	// Whole-outcome sharing: a stored outcome completes the job
@@ -319,6 +414,32 @@ func (s *Server) runFlight(fl *flight) {
 		s.finishFlight(fl, nil, rca.ErrCanceled)
 		return
 	}
+
+	// Cross-process singleflight: with a shared artifact store, take
+	// the scenario's lease before running. A peer daemon holding it is
+	// running the same investigation — waiting, then re-checking the
+	// store, turns this flight into a warm read instead of a duplicate
+	// execution. The lease travels with the outcome write and is
+	// released only after the blob is durable.
+	var release func()
+	if s.artifacts != nil {
+		rel, err := s.artifacts.Lock(fl.ctx, "scenario-"+fl.key)
+		if err != nil {
+			s.m.flightsCanceled.Add(1)
+			s.finishFlight(fl, nil, rca.ErrCanceled)
+			return
+		}
+		release = rel
+		if data, ok := s.artifacts.Get(artifact.ClassOutcome, fl.key); ok {
+			if out, derr := decodeOutcome(data); derr == nil {
+				release()
+				s.m.jobsFromStore.Add(1)
+				s.finishFlight(fl, out, nil)
+				return
+			}
+		}
+	}
+
 	fl.start()
 	s.m.executions.Add(1)
 	if s.hook != nil {
@@ -327,20 +448,45 @@ func (s *Server) runFlight(fl *flight) {
 	ctx := rca.WithProgress(fl.ctx, fl.setStage)
 	out, err := s.session.Run(ctx, fl.scenario)
 	if err == nil {
-		s.finishFlight(fl, &Outcome{
+		o := &Outcome{
 			Fingerprint: fl.key,
 			Name:        out.Name,
 			FailureRate: out.FailureRate,
 			BugLocated:  out.BugLocated,
 			Text:        rca.FormatOutcome(out),
 			CompletedAt: time.Now().UTC(),
-		}, nil)
+		}
+		s.persistOutcome(fl.key, o, release)
+		s.finishFlight(fl, o, nil)
 		return
+	}
+	if release != nil {
+		release()
 	}
 	if errors.Is(err, rca.ErrCanceled) {
 		s.m.flightsCanceled.Add(1)
 	}
 	s.finishFlight(fl, nil, err)
+}
+
+// persistOutcome queues an asynchronous durable write of a completed
+// outcome, handing the scenario lease to the flusher so it is dropped
+// only once the blob is on disk. Without a store it just releases.
+func (s *Server) persistOutcome(key string, out *Outcome, release func()) {
+	if s.artifacts == nil {
+		if release != nil {
+			release()
+		}
+		return
+	}
+	data, err := encodeOutcome(out)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return
+	}
+	s.flushCh <- flushReq{key: key, data: data, release: release}
 }
 
 // finishFlight publishes a flight's result: the outcome (if any) goes

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/artifact"
+)
+
+// Worker mode: N rcad processes share one artifact store and drain a
+// file-based job queue under it (pkggen-style disposable workers over
+// content-addressed intermediates). Any daemon can enqueue (POST
+// /v1/queue); every worker claims jobs via lock-file leases, preferring
+// jobs whose buildKey rendezvous-hashes to it — so scenarios sharing a
+// build land on the worker whose in-process caches are already hot —
+// and stealing other workers' backlog when idle. Results are published
+// as done markers AND as outcome artifacts, so any process on the
+// store (worker or not) serves them warm.
+
+// ErrNoArtifactStore rejects queue operations on a server without a
+// configured artifact store.
+var ErrNoArtifactStore = errors.New("serve: queue mode requires an artifact store (-store)")
+
+// queueResult is the done-marker payload for a queued job.
+type queueResult struct {
+	Fingerprint string `json:"fingerprint"`
+	State       State  `json:"state"`
+	Error       string `json:"error,omitempty"`
+}
+
+// jobQueue lazily opens the store's shared queue.
+func (s *Server) jobQueue() (*artifact.Queue, error) {
+	if s.artifacts == nil {
+		return nil, ErrNoArtifactStore
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.q == nil {
+		q, err := s.artifacts.Queue()
+		if err != nil {
+			return nil, err
+		}
+		s.q = q
+	}
+	return s.q, nil
+}
+
+// Enqueue validates a scenario and adds it to the shared queue,
+// deduplicated by scenario fingerprint. It returns the job's queue id
+// (the scenario fingerprint hash) and its buildKey affinity hash.
+func (s *Server) Enqueue(body []byte) (id, affinity string, err error) {
+	sc, err := rca.ScenarioFromJSON(body)
+	if err != nil {
+		return "", "", err
+	}
+	keys, err := s.session.Keys(sc)
+	if err != nil {
+		return "", "", err
+	}
+	q, err := s.jobQueue()
+	if err != nil {
+		return "", "", err
+	}
+	kv := hashKeys(keys)
+	if err := q.Enqueue(kv.Scenario, kv.Build, body); err != nil {
+		return "", "", err
+	}
+	return kv.Scenario, kv.Build, nil
+}
+
+// ServeQueue drains the store's shared queue until ctx is done: claim
+// the best job (own buildKey affinity first, then steal), run it
+// through the normal submit path — so in-flight dedup, the outcome
+// stores and the cross-process scenario lease all apply — and publish
+// the result marker. Idle polls are spaced by idle (default 200ms).
+func (s *Server) ServeQueue(ctx context.Context, workerID string, peers []string, idle time.Duration) error {
+	q, err := s.jobQueue()
+	if err != nil {
+		return err
+	}
+	if idle <= 0 {
+		idle = 200 * time.Millisecond
+	}
+	if len(peers) == 0 {
+		peers = []string{workerID}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		claimed, ok, err := q.Claim(workerID, peers)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(idle):
+			}
+			continue
+		}
+		s.runQueued(ctx, claimed)
+	}
+}
+
+// runQueued executes one claimed queue job through the submit path.
+func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
+	finish := func(res queueResult) {
+		data, err := json.Marshal(res)
+		if err != nil {
+			c.Release()
+			return
+		}
+		_ = c.Done(data)
+	}
+	sc, err := rca.ScenarioFromJSON(c.Payload)
+	if err != nil {
+		// Malformed payloads are completed with an error marker rather
+		// than released: retrying cannot fix them.
+		finish(queueResult{State: StateFailed, Error: fmt.Sprintf("bad scenario: %v", err)})
+		return
+	}
+	j, err := s.submit(sc)
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+		// Transient local saturation/shutdown: back into the queue for
+		// this or another worker.
+		c.Release()
+		return
+	}
+	if err != nil {
+		finish(queueResult{State: StateFailed, Error: err.Error()})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		j.cancel()
+		c.Release()
+		return
+	}
+	state, _, _, _, jerr := j.snapshot()
+	res := queueResult{Fingerprint: j.keys.Scenario, State: state}
+	if jerr != nil {
+		res.Error = jerr.Error()
+	}
+	if state == StateCanceled {
+		// Canceled by shutdown, not by a client: leave it for a
+		// surviving worker.
+		c.Release()
+		return
+	}
+	finish(res)
+}
+
+// queueState answers GET /v1/queue/{id}.
+type queueState struct {
+	ID     string       `json:"id"`
+	Done   bool         `json:"done"`
+	Result *queueResult `json:"result,omitempty"`
+}
+
+// queueStatus reports a queued job's completion state and result.
+func (s *Server) queueStatus(id string) (queueState, error) {
+	q, err := s.jobQueue()
+	if err != nil {
+		return queueState{}, err
+	}
+	st := queueState{ID: id}
+	data, ok := q.Result(id)
+	if !ok {
+		return st, nil
+	}
+	st.Done = true
+	var res queueResult
+	if err := json.Unmarshal(data, &res); err == nil {
+		st.Result = &res
+	}
+	return st, nil
+}
