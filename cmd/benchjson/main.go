@@ -37,6 +37,14 @@ var (
 	warmMS = regexp.MustCompile(`([\d.]+) warmms`)
 )
 
+// searchNodes/searchMS match the scenario-search benchmark's custom
+// units: distinct subsets evaluated (the pruning numerator; compare
+// against the exhaustive count) and wall milliseconds per search.
+var (
+	searchNodes = regexp.MustCompile(`([\d.]+) searchnodes`)
+	searchMS    = regexp.MustCompile(`([\d.]+) searchms`)
+)
+
 // Result is one benchmark's averaged numbers. ColdMS/WarmMS carry a
 // job-latency pair (milliseconds for the first, pipeline-executing
 // request vs a warm-restart replay from the artifact store) when the
@@ -48,6 +56,10 @@ type Result struct {
 	Runs     int     `json:"runs"`
 	ColdMS   float64 `json:"coldms,omitempty"`
 	WarmMS   float64 `json:"warmms,omitempty"`
+	// SearchNodes/SearchMS carry the scenario-search benchmark's
+	// pruning and latency metrics when the producer measured them.
+	SearchNodes float64 `json:"searchnodes,omitempty"`
+	SearchMS    float64 `json:"searchms,omitempty"`
 }
 
 func main() {
@@ -87,6 +99,14 @@ func main() {
 			v, _ := strconv.ParseFloat(wm[1], 64)
 			r.WarmMS += v
 		}
+		if sn := searchNodes.FindStringSubmatch(sc.Text()); sn != nil {
+			v, _ := strconv.ParseFloat(sn[1], 64)
+			r.SearchNodes += v
+		}
+		if sm := searchMS.FindStringSubmatch(sc.Text()); sm != nil {
+			v, _ := strconv.ParseFloat(sm[1], 64)
+			r.SearchMS += v
+		}
 		r.Runs++
 	}
 	if err := sc.Err(); err != nil {
@@ -100,6 +120,8 @@ func main() {
 		r.AllocsOp /= n
 		r.ColdMS /= n
 		r.WarmMS /= n
+		r.SearchNodes /= n
+		r.SearchMS /= n
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -163,6 +163,35 @@ func runRemoteAll(ctx context.Context, c *client, scs []rca.Scenario) error {
 	return nil
 }
 
+// searchReply mirrors the serve search JSON (fields the CLI renders).
+type searchReply struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Text  string `json:"text"`
+	Error string `json:"error"`
+}
+
+// runRemoteSearch runs a branch-and-bound scenario search on the
+// daemon and prints its report.
+func runRemoteSearch(ctx context.Context, c *client, req *rca.SearchRequest) error {
+	body, err := rca.SearchRequestToJSON(req)
+	if err != nil {
+		return err
+	}
+	var reply searchReply
+	if err := c.do(ctx, http.MethodPost, "/v1/searches?wait=1", body, &reply); err != nil {
+		return err
+	}
+	if reply.Error != "" {
+		return fmt.Errorf("search %s %s: %s", reply.ID, reply.State, reply.Error)
+	}
+	if reply.Text == "" {
+		return fmt.Errorf("search %s ended %s without a result", reply.ID, reply.State)
+	}
+	fmt.Print(reply.Text)
+	return nil
+}
+
 // runRemoteTable1 fetches the §6.5 selective-FMA study.
 func runRemoteTable1(ctx context.Context, c *client, ensemble, runs, topk int) error {
 	q := url.Values{}

@@ -14,6 +14,7 @@
 //	rca -inject 'aero_run.wsub:0.20=>2.00' -inject prng=mt -name WSUB+MT
 //	rca -scenario twobugs.json
 //	rca -table1 -aux 100 -topk 20
+//	rca -search minflip -pool 'micro_mg_tend.tlat*=1.00015' -pool 'micro_mg_tend.pre*=1.0003'
 //	rca -list
 //
 // With -server, rca becomes a thin client of an rcad daemon: the
@@ -22,6 +23,12 @@
 //
 //	rca -server http://localhost:8080 -experiment GOFFGRATCH
 //	rca -server http://localhost:8080 -all
+//	rca -server http://localhost:8080 -search minflip -pool 'prng=mt' -pool 'fma=all'
+//
+// -search runs a branch-and-bound scenario search over the -pool
+// candidates (objectives: minflip, maxdelta, rank) instead of a single
+// investigation; -experiment/-inject/-scenario then name the base
+// scenario the subsets are layered onto (default: clean).
 package main
 
 import (
@@ -42,31 +49,36 @@ func (f *injectFlags) String() string     { return strings.Join(*f, "; ") }
 func (f *injectFlags) Set(s string) error { *f = append(*f, s); return nil }
 
 func main() {
-	var injects injectFlags
+	var injects, pool injectFlags
 	var (
-		name     = flag.String("experiment", "", "prewired experiment name (see -list)")
-		scName   = flag.String("name", "CUSTOM", "scenario name for -inject runs")
-		scFile   = flag.String("scenario", "", "JSON scenario definition file")
-		camOnly  = flag.Bool("camonly", true, "restrict the slice to CAM modules (-inject runs)")
-		selectK  = flag.Int("selectk", 5, "lasso target support (-inject runs)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		all      = flag.Bool("all", false, "run all six §6 experiments concurrently")
-		aux      = flag.Int("aux", 100, "auxiliary module count (corpus scale)")
-		seed     = flag.Uint64("seed", 1, "corpus structure seed")
-		ensemble = flag.Int("ensemble", 40, "ensemble size")
-		runs     = flag.Int("runs", 10, "experimental run count")
-		sampler  = flag.String("sampler", "value", "sampler: value | reach")
-		table1   = flag.Bool("table1", false, "run the Table 1 selective-FMA study instead")
-		topk     = flag.Int("topk", 50, "modules to disable per Table 1 strategy")
-		dot      = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
-		graded   = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
-		parallel = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
-		engine   = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
-		server   = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
-		storeDir = flag.String("store", "", "artifact store directory: persist corpora, compiled programs and metagraphs so later runs (and rcad daemons) start warm")
+		search    = flag.String("search", "", "scenario search objective: minflip | maxdelta | rank (requires -pool)")
+		threshold = flag.Float64("threshold", 0, "minflip verdict threshold (0 = engine default 0.5)")
+		maxSubset = flag.Int("maxsubset", 0, "search subset size cap (0 = objective default)")
+		name      = flag.String("experiment", "", "prewired experiment name (see -list)")
+		scName    = flag.String("name", "CUSTOM", "scenario name for -inject runs")
+		scFile    = flag.String("scenario", "", "JSON scenario definition file")
+		camOnly   = flag.Bool("camonly", true, "restrict the slice to CAM modules (-inject runs)")
+		selectK   = flag.Int("selectk", 5, "lasso target support (-inject runs)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		all       = flag.Bool("all", false, "run all six §6 experiments concurrently")
+		aux       = flag.Int("aux", 100, "auxiliary module count (corpus scale)")
+		seed      = flag.Uint64("seed", 1, "corpus structure seed")
+		ensemble  = flag.Int("ensemble", 40, "ensemble size")
+		runs      = flag.Int("runs", 10, "experimental run count")
+		sampler   = flag.String("sampler", "value", "sampler: value | reach")
+		table1    = flag.Bool("table1", false, "run the Table 1 selective-FMA study instead")
+		topk      = flag.Int("topk", 50, "modules to disable per Table 1 strategy")
+		dot       = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
+		graded    = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
+		parallel  = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
+		engine    = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
+		server    = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
+		storeDir  = flag.String("store", "", "artifact store directory: persist corpora, compiled programs and metagraphs so later runs (and rcad daemons) start warm")
 	)
 	flag.Var(&injects, "inject",
 		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | prng=mt | fma=all|m1,m2 | param:NAME=V")
+	flag.Var(&pool, "pool",
+		"search candidate injection (repeatable, same grammar as -inject); used with -search")
 	flag.Parse()
 
 	if *list {
@@ -109,6 +121,14 @@ func main() {
 				k = *topk
 			}
 			err = runRemoteTable1(ctx, c, e, r, k)
+		case *search != "":
+			var req *rca.SearchRequest
+			if req, err = buildSearchRequest(*search, pool, *threshold, *maxSubset,
+				*name, *scFile, injects, *scName, *camOnly, *selectK); err != nil {
+				fmt.Fprintln(os.Stderr, "rca:", err)
+				os.Exit(2)
+			}
+			err = runRemoteSearch(ctx, c, req)
 		case *all:
 			err = runRemoteAll(ctx, c, rca.Experiments())
 		default:
@@ -185,6 +205,23 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(rca.FormatTable1(rows))
+
+	case *search != "":
+		req, err := buildSearchRequest(*search, pool, *threshold, *maxSubset,
+			*name, *scFile, injects, *scName, *camOnly, *selectK)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rca:", err)
+			os.Exit(2)
+		}
+		sopts := req.Options()
+		if *parallel > 0 {
+			sopts.Parallelism = *parallel
+		}
+		res, err := rca.Search(ctx, session, sopts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rca.FormatSearchResult(res))
 
 	case *all:
 		outs, err := session.RunAll(ctx, rca.Experiments())
@@ -266,6 +303,36 @@ func resolveScenario(name, file string, injects []string, scName string,
 		}
 	}
 	return nil, fmt.Errorf("unknown experiment %q (try -list, or -inject for a custom scenario)", name)
+}
+
+// buildSearchRequest assembles the -search request: the objective, the
+// -pool candidates, and (only when the user named one) a base scenario
+// — a bare -search runs over the clean model.
+func buildSearchRequest(objective string, pool []string, threshold float64, maxSubset int,
+	name, file string, injects []string, scName string, camOnly bool, selectK int) (*rca.SearchRequest, error) {
+	obj, err := rca.ParseSearchObjective(objective)
+	if err != nil {
+		return nil, err
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("-search requires at least one -pool injection")
+	}
+	req := &rca.SearchRequest{Objective: obj, Threshold: threshold, MaxSubset: maxSubset}
+	for _, s := range pool {
+		inj, err := rca.ParseInjection(s)
+		if err != nil {
+			return nil, fmt.Errorf("-pool %q: %w", s, err)
+		}
+		req.Pool = append(req.Pool, inj)
+	}
+	if name != "" || file != "" || len(injects) > 0 {
+		base, err := resolveScenario(name, file, injects, scName, camOnly, selectK)
+		if err != nil {
+			return nil, err
+		}
+		req.Base = base
+	}
+	return req, nil
 }
 
 // injectionIDs renders a scenario's injection fingerprints for -list.

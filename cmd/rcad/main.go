@@ -10,13 +10,18 @@
 // daemon on the same directory) serves previously investigated
 // scenarios warm, without re-running the pipeline, and -worker-id
 // turns the process into a queue worker draining jobs enqueued by any
-// peer on the store. See internal/serve for the API.
+// peer on the store. POST /v1/searches runs branch-and-bound scenario
+// searches over injection pools (rca -search is the matching client
+// mode); search requests also travel the shared queue, kind-tagged as
+// {"search": {...}}, and workers publish incumbent bounds through the
+// store so peers prune against them. See internal/serve for the API.
 //
 // Usage:
 //
 //	rcad -addr :8080 -aux 100 -ensemble 40 -runs 10
 //	rcad -addr :8080 -store /var/lib/rcad/artifacts
 //	curl -X POST 'localhost:8080/v1/jobs?wait=1' -d '{"experiment":"GOFFGRATCH"}'
+//	curl -X POST 'localhost:8080/v1/searches?wait=1' -d @search.json
 //	curl 'localhost:8080/v1/table1?topk=20'
 //	rca -server http://localhost:8080 -all
 package main

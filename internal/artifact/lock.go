@@ -28,7 +28,9 @@ func (s *Store) lock(ctx context.Context, name string) (func(), error) {
 		}
 		// Held elsewhere. Steal it if the holder looks dead.
 		if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > s.lockStale {
-			_ = os.Remove(path)
+			if os.Remove(path) == nil {
+				s.steals.Add(1)
+			}
 			continue
 		}
 		select {
@@ -52,7 +54,9 @@ func (s *Store) Lock(ctx context.Context, name string) (release func(), err erro
 func (s *Store) TryLock(name string) (release func(), ok bool) {
 	path := filepath.Join(s.dir, "locks", name+".lock")
 	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > s.lockStale {
-		_ = os.Remove(path)
+		if os.Remove(path) == nil {
+			s.steals.Add(1)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {

@@ -208,7 +208,9 @@ func (q *Queue) readPending(id string) (affinity string, payload []byte, err err
 func (q *Queue) tryLease(id string) (func(), bool) {
 	path := filepath.Join(q.dir, "leases", id+".lock")
 	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > q.s.lockStale {
-		_ = os.Remove(path)
+		if os.Remove(path) == nil {
+			q.s.steals.Add(1)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {

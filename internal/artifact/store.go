@@ -49,6 +49,12 @@ const (
 	ClassCompiled = "compiled"
 	// ClassOutcome stores finished investigation outcomes per scenarioKey.
 	ClassOutcome = "outcome"
+	// ClassVerdict stores UF-ECT failure rates per buildKey — the unit
+	// of work the scenario search's branch-and-bound nodes share.
+	ClassVerdict = "verdict"
+	// ClassIncumbent stores a search's best-known solution per search
+	// fingerprint, so concurrent workers prune against the global best.
+	ClassIncumbent = "incumbent"
 )
 
 // blobMagic versions the on-disk blob framing (not the per-class
@@ -72,6 +78,7 @@ type Stats struct {
 	Evictions uint64
 	Puts      uint64
 	Builds    uint64
+	Steals    uint64
 	Bytes     int64
 }
 
@@ -89,6 +96,7 @@ type Store struct {
 	evictions atomic.Uint64
 	puts      atomic.Uint64
 	builds    atomic.Uint64
+	steals    atomic.Uint64
 	bytes     atomic.Int64
 
 	evictMu sync.Mutex // serializes in-process eviction scans
@@ -148,6 +156,7 @@ func (s *Store) Stats() Stats {
 		Evictions: s.evictions.Load(),
 		Puts:      s.puts.Load(),
 		Builds:    s.builds.Load(),
+		Steals:    s.steals.Load(),
 		Bytes:     s.bytes.Load(),
 	}
 }

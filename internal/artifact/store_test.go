@@ -185,6 +185,77 @@ func TestLockStaleSteal(t *testing.T) {
 	release()
 }
 
+// TestLockStealCounter pins the steal observability: every path that
+// removes an aged lock — blocking lock, TryLock, and the queue's lease
+// claim — must bump Stats.Steals exactly once per stolen file.
+func TestLockStealCounter(t *testing.T) {
+	s := openTest(t, WithLockStale(50*time.Millisecond))
+	age := func(path string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte("99999\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-time.Minute)
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Blocking lock path.
+	age(filepath.Join(s.dir, "locks", "dead1.lock"))
+	release, err := s.Lock(context.Background(), "dead1")
+	if err != nil {
+		t.Fatalf("stale lock not stolen: %v", err)
+	}
+	release()
+	if got := s.Stats().Steals; got != 1 {
+		t.Fatalf("after blocking steal: Steals = %d; want 1", got)
+	}
+
+	// TryLock path.
+	age(filepath.Join(s.dir, "locks", "dead2.lock"))
+	release, ok := s.TryLock("dead2")
+	if !ok {
+		t.Fatal("TryLock did not steal the aged lock")
+	}
+	release()
+	if got := s.Stats().Steals; got != 2 {
+		t.Fatalf("after TryLock steal: Steals = %d; want 2", got)
+	}
+
+	// Queue lease path: an aged lease left by a crashed worker must be
+	// stolen when the next worker claims the job.
+	q, err := s.Queue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue("orphan", "build", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	age(filepath.Join(s.dir, "queue", "leases", "orphan.lock"))
+	c, ok, err := q.Claim("w1", []string{"w1"})
+	if err != nil || !ok {
+		t.Fatalf("Claim over aged lease = %v, %v", ok, err)
+	}
+	c.Release()
+	if got := s.Stats().Steals; got != 3 {
+		t.Fatalf("after lease steal: Steals = %d; want 3", got)
+	}
+
+	// A live (fresh) lock is never counted as stolen.
+	release, err = s.Lock(context.Background(), "alive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.TryLock("alive"); ok {
+		t.Fatal("TryLock acquired a held lock")
+	}
+	release()
+	if got := s.Stats().Steals; got != 3 {
+		t.Fatalf("live lock counted as steal: Steals = %d; want 3", got)
+	}
+}
+
 func TestLockWaitsForHolder(t *testing.T) {
 	s := openTest(t)
 	release, err := s.Lock(context.Background(), "busy")

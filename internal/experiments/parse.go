@@ -225,22 +225,7 @@ func ScenarioFromJSON(data []byte) (Scenario, error) {
 	}
 	injs := make([]Injection, 0, len(def.Inject))
 	for _, raw := range def.Inject {
-		var inj Injection
-		var err error
-		switch {
-		case len(raw) > 0 && raw[0] == '"':
-			var s string
-			if err = json.Unmarshal(raw, &s); err == nil {
-				inj, err = ParseInjection(s)
-			}
-		default:
-			var p patchJSON
-			dec := json.NewDecoder(strings.NewReader(string(raw)))
-			dec.DisallowUnknownFields()
-			if err = dec.Decode(&p); err == nil {
-				inj, err = p.injection()
-			}
-		}
+		inj, err := InjectionFromWire(raw)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", def.Name, err)
 		}
@@ -276,6 +261,37 @@ func ScenarioToJSON(sc Scenario) ([]byte, error) {
 		def.Inject = append(def.Inject, raw)
 	}
 	return json.Marshal(def)
+}
+
+// InjectionFromWire decodes one inject-array entry of the wire format:
+// a compact-syntax string (see ParseInjection) or a structured patch
+// object (see patchJSON). The search wire format reuses these entries
+// for its candidate pool.
+func InjectionFromWire(raw json.RawMessage) (Injection, error) {
+	if len(raw) > 0 && raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return ParseInjection(s)
+	}
+	var p patchJSON
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, err
+	}
+	return p.injection()
+}
+
+// InjectionToWire serializes one injection to its wire entry, the
+// inverse of InjectionFromWire.
+func InjectionToWire(inj Injection) (json.RawMessage, error) {
+	entry, err := injectionWire(inj)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(entry)
 }
 
 // injectionWire maps an injection to its wire entry: a patchJSON for

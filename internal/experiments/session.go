@@ -300,6 +300,12 @@ func (s *Session) runnerFor(ctx context.Context, key string, cfg corpus.Config, 
 // "tree") — the label rcad's metrics attach to its job counters.
 func (s *Session) Engine() string { return s.engine.String() }
 
+// Sizes reports the session's control-ensemble and experimental-set
+// sizes. A scenario's UF-ECT failure rate depends on both, so durable
+// caches of verdicts (the search service's node evaluations) key on
+// them alongside the build fingerprint.
+func (s *Session) Sizes() (ensemble, expSize int) { return s.ensemble, s.expSize }
+
 // CompileCacheStats aggregates bytecode program-cache hits and misses
 // across the session's runners: a hit is an integration that reused a
 // compiled program, a miss an actual compilation. rcad reports both at

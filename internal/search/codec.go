@@ -1,0 +1,126 @@
+package search
+
+import (
+	"context"
+	"errors"
+
+	"github.com/climate-rca/rca/internal/artifact"
+	"github.com/climate-rca/rca/internal/binenc"
+)
+
+// verdictCodecVersion versions the durable verdict blob (a scenario's
+// UF-ECT failure rate keyed by build fingerprint + run sizes). Bump on
+// layout change: a mismatched version on disk decodes as an error and
+// the caller recomputes.
+const verdictCodecVersion = 1
+
+func encodeVerdict(rate float64) []byte {
+	w := binenc.NewWriter(16)
+	w.U32(verdictCodecVersion)
+	w.F64(rate)
+	return w.Bytes()
+}
+
+func decodeVerdict(data []byte) (float64, error) {
+	r := binenc.NewReader(data)
+	if v := r.U32(); v != verdictCodecVersion {
+		return 0, errors.New("search: verdict codec version mismatch")
+	}
+	rate := r.F64()
+	if err := r.Done(); err != nil {
+		return 0, err
+	}
+	return rate, nil
+}
+
+// incumbentCodecVersion versions the shared incumbent blob.
+const incumbentCodecVersion = 1
+
+func encodeIncumbent(n *node) []byte {
+	w := binenc.NewWriter(64)
+	w.U32(incumbentCodecVersion)
+	w.Int(n.wave)
+	w.F64(n.rate)
+	w.Len(len(n.ids))
+	for _, id := range n.ids {
+		w.String(id)
+	}
+	return w.Bytes()
+}
+
+func decodeIncumbent(data []byte) (*node, error) {
+	r := binenc.NewReader(data)
+	if v := r.U32(); v != incumbentCodecVersion {
+		return nil, errors.New("search: incumbent codec version mismatch")
+	}
+	n := &node{wave: r.Int(), rate: r.F64()}
+	count := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if count < 0 || count > MaxPool {
+		return nil, errors.New("search: incumbent id count out of range")
+	}
+	n.ids = make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		n.ids = append(n.ids, r.String())
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// publishIncumbent shares the current incumbent through the artifact
+// store so concurrent workers running the same search prune against
+// the global best. The blob is keyed by the search fingerprint and
+// replaced read-modify-write under a store lock, only ever with a
+// strictly better solution.
+func (e *engine) publishIncumbent(ctx context.Context) {
+	if e.store == nil || e.best == nil || e.best == e.published {
+		return
+	}
+	unlock, err := e.store.Lock(ctx, "incumbent-"+e.fingerprint[:16])
+	if err != nil {
+		return // sharing is best-effort; the local search is unaffected
+	}
+	defer unlock()
+	if data, ok := e.store.Get(artifact.ClassIncumbent, e.fingerprint); ok {
+		if cur, derr := decodeIncumbent(data); derr == nil && !e.better(e.best, cur) {
+			e.published = e.best
+			return
+		}
+	}
+	if e.store.Put(artifact.ClassIncumbent, e.fingerprint, encodeIncumbent(e.best)) == nil {
+		e.published = e.best
+	}
+}
+
+// adoptIncumbent imports a peer's published incumbent at a wave
+// boundary. Adoption is gated on the blob's discovery wave being
+// strictly earlier than the wave about to start: a peer running the
+// identical deterministic search publishes exactly what this run has
+// already found by then, so for identical searches the gate makes
+// adoption a no-op and the incumbent trace stays bit-identical with or
+// without peers. Only a search that is genuinely ahead (a resumed or
+// earlier-started run) can inject a better bound.
+func (e *engine) adoptIncumbent(wave int) {
+	if e.store == nil {
+		return
+	}
+	data, ok := e.store.Get(artifact.ClassIncumbent, e.fingerprint)
+	if !ok {
+		return
+	}
+	peer, err := decodeIncumbent(data)
+	if err != nil || peer.wave >= wave || !e.better(peer, e.best) {
+		return
+	}
+	e.best = peer
+	e.incumbents = append(e.incumbents, IncumbentUpdate{
+		Wave:   peer.wave,
+		By:     "peer",
+		Subset: Subset{IDs: peer.ids, Rate: peer.rate},
+	})
+	e.emit(Event{Kind: EventIncumbent, Wave: peer.wave, IDs: peer.ids, Rate: peer.rate, By: "peer"})
+}

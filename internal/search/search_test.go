@@ -1,0 +1,343 @@
+package search
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/climate-rca/rca/internal/artifact"
+	"github.com/climate-rca/rca/internal/corpus"
+	"github.com/climate-rca/rca/internal/experiments"
+)
+
+// smokeCfg is the corpus the seeded search case is calibrated
+// against; the session sizes below are part of the calibration (the
+// failure rates are fractions of the experimental-set size).
+var smokeCfg = corpus.Config{AuxModules: 10, Seed: 5}
+
+func smokeSession(t testing.TB, opts ...experiments.Option) *experiments.Session {
+	t.Helper()
+	all := append([]experiments.Option{
+		experiments.WithEnsembleSize(16),
+		experiments.WithExpSize(6),
+	}, opts...)
+	return experiments.NewSession(smokeCfg, all...)
+}
+
+func scale(v string, f float64) experiments.Injection {
+	return experiments.ScaleAssignment{Module: "micro_mg", Subprogram: "micro_mg_tend", Var: v, Factor: f}
+}
+
+// seededPool is the calibrated §6-style pool: no singleton flips at
+// the 50% threshold, the minimal flipping subset is the known pair
+// {tlat*1.00015, pre*1.0003}, and the two weakest candidates conflict
+// with stronger ones (same assignment) to keep the infeasible paths
+// honest.
+func seededPool() []experiments.Injection {
+	return []experiments.Injection{
+		scale("tlat", 1.00015),  // probe 2/6
+		scale("qsout", 1.0001),  // probe 2/6
+		scale("pre", 1.0003),    // probe 1/6
+		scale("qric", 1.0002),   // probe 1/6
+		scale("pre", 1.00025),   // probe 0/6, conflicts with pre*1.0003
+		scale("qsout", 1.00005), // probe 0/6, conflicts with qsout*1.0001
+	}
+}
+
+func runSeeded(t *testing.T, s *experiments.Session, par int) (*Result, []Event) {
+	t.Helper()
+	var events []Event
+	res, err := Run(context.Background(), s, Options{
+		Pool:        seededPool(),
+		Objective:   ObjectiveMinFlip,
+		Parallelism: par,
+		Progress:    func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	return res, events
+}
+
+// TestSearchMinFlipSeeded pins the end-to-end behavior on the seeded
+// case: the known minimal verdict-flipping pair is found, the greedy
+// warm start seeds the incumbent first, and pruning beats exhaustive
+// enumeration by a wide margin.
+func TestSearchMinFlipSeeded(t *testing.T) {
+	res, _ := runSeeded(t, smokeSession(t), 4)
+
+	wantBest := []string{
+		"scale:micro_mg/micro_mg_tend.tlat*1.00015",
+		"scale:micro_mg/micro_mg_tend.pre*1.0003",
+	}
+	if res.Best == nil {
+		t.Fatalf("no flipping subset found: %+v", res)
+	}
+	if !reflect.DeepEqual(res.Best.IDs, wantBest) {
+		t.Fatalf("best = %v, want %v", res.Best.IDs, wantBest)
+	}
+	if res.Best.Rate < res.Threshold {
+		t.Fatalf("best rate %v below threshold %v", res.Best.Rate, res.Threshold)
+	}
+	if len(res.Incumbents) < 2 {
+		t.Fatalf("incumbent trace %+v, want greedy seed then wave improvement", res.Incumbents)
+	}
+	if first := res.Incumbents[0]; first.By != "greedy" || len(first.Subset.IDs) != 3 {
+		t.Fatalf("first incumbent = %+v, want greedy size-3 warm start", first)
+	}
+	if last := res.Incumbents[len(res.Incumbents)-1]; last.By != "search" || last.Wave != 2 {
+		t.Fatalf("final incumbent = %+v, want wave-2 search discovery", last)
+	}
+	if res.Stats.Exhaustive != 64 { // sum C(6,k), k=0..6
+		t.Fatalf("exhaustive = %d, want 64", res.Stats.Exhaustive)
+	}
+	if res.Stats.Evaluations*3 > int(res.Stats.Exhaustive) {
+		t.Fatalf("evaluations = %d of %d exhaustive: pruning too weak",
+			res.Stats.Evaluations, res.Stats.Exhaustive)
+	}
+	if res.Stats.Pruned == 0 {
+		t.Fatal("no subtrees pruned")
+	}
+	// The probe phase must report every candidate, feasible ones in
+	// priority order.
+	if len(res.Candidates) != 6 {
+		t.Fatalf("candidates = %d, want 6", len(res.Candidates))
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		a, b := res.Candidates[i-1], res.Candidates[i]
+		if a.Feasible && b.Feasible && a.Delta < b.Delta {
+			t.Fatalf("candidates out of priority order: %v before %v", a, b)
+		}
+	}
+}
+
+// TestSearchDeterministic is the parallelism pin: the same request at
+// parallelism 1, 2 and 8 yields an identical result — incumbent
+// trace, stats, candidates, best — and an identical event stream.
+func TestSearchDeterministic(t *testing.T) {
+	var ref *Result
+	var refEvents []Event
+	for _, par := range []int{1, 2, 8} {
+		res, events := runSeeded(t, smokeSession(t), par)
+		if ref == nil {
+			ref, refEvents = res, events
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("parallelism %d result diverges:\n got %+v\nwant %+v", par, res, ref)
+		}
+		if !reflect.DeepEqual(events, refEvents) {
+			t.Fatalf("parallelism %d event stream diverges (%d events vs %d)",
+				par, len(events), len(refEvents))
+		}
+	}
+}
+
+// TestSearchMaxDelta checks the bounded-size max-rate objective on the
+// same pool: the winner must reach at least the minflip pair's rate
+// and respect the subset cap.
+func TestSearchMaxDelta(t *testing.T) {
+	s := smokeSession(t)
+	res, err := Run(context.Background(), s, Options{
+		Pool:        seededPool(),
+		Objective:   ObjectiveMaxDelta,
+		MaxSubset:   2,
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Rate < 0.99 {
+		t.Fatalf("best = %+v, want a rate-1.0 pair", res.Best)
+	}
+	if len(res.Best.IDs) > 2 {
+		t.Fatalf("best %v exceeds subset cap", res.Best.IDs)
+	}
+	// maxdelta keeps its incumbent total order: later trace entries
+	// are strictly better.
+	for i := 1; i < len(res.Incumbents); i++ {
+		prev, cur := res.Incumbents[i-1].Subset, res.Incumbents[i].Subset
+		if cur.Rate < prev.Rate {
+			t.Fatalf("incumbent trace regressed: %+v after %+v", cur, prev)
+		}
+	}
+}
+
+// TestSearchRank checks the probe-only ranking objective.
+func TestSearchRank(t *testing.T) {
+	s := smokeSession(t)
+	res, err := Run(context.Background(), s, Options{
+		Pool:        seededPool()[:4],
+		Objective:   ObjectiveRank,
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Waves != 1 {
+		t.Fatalf("rank explored %d waves, want probes only", res.Stats.Waves)
+	}
+	if res.Best == nil || len(res.Best.IDs) != 1 {
+		t.Fatalf("best = %+v, want the top singleton", res.Best)
+	}
+	if res.Best.IDs[0] != res.Candidates[0].ID {
+		t.Fatalf("best %v != top candidate %v", res.Best.IDs, res.Candidates[0].ID)
+	}
+}
+
+// TestSearchInfeasibleSubsets drives the conflict path: two FMA
+// policies are individually fine but conflict when composed, so the
+// pair node must count as infeasible and prune its subtree instead of
+// failing the search.
+func TestSearchInfeasibleSubsets(t *testing.T) {
+	s := smokeSession(t)
+	res, err := Run(context.Background(), s, Options{
+		Pool: []experiments.Injection{
+			experiments.EnableFMA(),
+			experiments.EnableFMA("micro_mg"),
+		},
+		Objective:   ObjectiveMaxDelta,
+		MaxSubset:   2,
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Infeasible == 0 {
+		t.Fatalf("stats = %+v, want the conflicting pair counted infeasible", res.Stats)
+	}
+	if res.Best == nil || len(res.Best.IDs) > 1 {
+		t.Fatalf("best = %+v, want a singleton (the pair conflicts)", res.Best)
+	}
+}
+
+// TestSearchValidation covers the request validation surface.
+func TestSearchValidation(t *testing.T) {
+	s := smokeSession(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"empty pool", Options{}},
+		{"duplicate ids", Options{Pool: []experiments.Injection{scale("tlat", 1.1), scale("tlat", 1.1)}}},
+		{"bad objective", Options{Pool: seededPool()[:1], Objective: "bogus"}},
+		{"bad threshold", Options{Pool: seededPool()[:1], Threshold: 1.5}},
+		{"negative maxsubset", Options{Pool: seededPool()[:1], MaxSubset: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(ctx, s, tc.opts); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestSearchSharedStore is the distributed pin: two sessions sharing
+// one artifact store produce bit-identical results — concurrently
+// (incumbent sharing active) and on a warm restart, where every node
+// evaluation must come from the store.
+func TestSearchSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*experiments.Session, *artifact.Store) {
+		store, err := artifact.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return smokeSession(t, experiments.WithArtifacts(store)), store
+	}
+
+	s1, _ := open()
+	s2, _ := open()
+	var res [2]*Result
+	var wg sync.WaitGroup
+	for i, s := range []*experiments.Session{s1, s2} {
+		wg.Add(1)
+		go func(i int, s *experiments.Session) {
+			defer wg.Done()
+			r, err := Run(context.Background(), s, Options{
+				Pool:        seededPool(),
+				Objective:   ObjectiveMinFlip,
+				Parallelism: 2,
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			res[i] = r
+		}(i, s)
+	}
+	wg.Wait()
+	if res[0] == nil || res[1] == nil {
+		t.Fatal("a worker failed")
+	}
+	if !reflect.DeepEqual(res[0], res[1]) {
+		t.Fatalf("two-worker results diverge:\n  %+v\n  %+v", res[0], res[1])
+	}
+
+	// Warm restart: a fresh session over the same store must replay
+	// the search entirely from stored verdicts and match bit for bit.
+	s3, store3 := open()
+	r3, err := Run(context.Background(), s3, Options{
+		Pool:        seededPool(),
+		Objective:   ObjectiveMinFlip,
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r3, res[0]) {
+		t.Fatalf("warm-restart result diverges:\n  %+v\n  %+v", r3, res[0])
+	}
+	if st := store3.Stats(); st.Misses > 0 {
+		t.Fatalf("warm restart missed the store %d times", st.Misses)
+	}
+}
+
+// TestRequestJSONRoundTrip pins the wire format: parse -> serialize ->
+// parse preserves objective, knobs, base identity and pool IDs.
+func TestRequestJSONRoundTrip(t *testing.T) {
+	doc := []byte(`{
+		"objective": "minflip",
+		"threshold": 0.5,
+		"maxsubset": 3,
+		"base": {"name": "warm", "inject": ["prng=mt"]},
+		"pool": [
+			"param:turbcoef=0.02",
+			{"kind": "scale", "module": "micro_mg", "subprogram": "micro_mg_tend", "var": "tlat", "factor": 1.00015}
+		]
+	}`)
+	req, err := RequestFromJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RequestToJSON(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RequestFromJSON(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if again.Objective != req.Objective || again.Threshold != req.Threshold || again.MaxSubset != req.MaxSubset {
+		t.Fatalf("knobs diverge: %+v vs %+v", again, req)
+	}
+	if len(again.Pool) != len(req.Pool) {
+		t.Fatalf("pool size diverges")
+	}
+	for i := range req.Pool {
+		if again.Pool[i].ID() != req.Pool[i].ID() {
+			t.Fatalf("pool[%d] = %s, want %s", i, again.Pool[i].ID(), req.Pool[i].ID())
+		}
+	}
+	if again.Base == nil || again.Base.Name() != "warm" || len(again.Base.Injections()) != 1 {
+		t.Fatalf("base lost in round-trip: %+v", again.Base)
+	}
+
+	if _, err := RequestFromJSON([]byte(`{"pool": [], "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := RequestFromJSON([]byte(`{"pool": ["nonsense grammar"]}`)); err == nil {
+		t.Fatal("bad pool entry accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/climate-rca/rca/internal/experiments"
+)
+
+// Request is the wire-level search description: everything Options
+// carries except the session-local knobs (parallelism, progress hook),
+// which the executing side supplies.
+type Request struct {
+	// Objective defaults to minflip when empty.
+	Objective Objective
+	// Threshold is the minflip flip threshold; zero defaults at Run.
+	Threshold float64
+	// MaxSubset caps subset size; zero defaults at Run.
+	MaxSubset int
+	// Base is the scenario candidates are layered onto (nil = clean).
+	Base experiments.Scenario
+	// Pool is the candidate injections.
+	Pool []experiments.Injection
+}
+
+// Options converts the request into run options.
+func (r *Request) Options() Options {
+	return Options{
+		Base:      r.Base,
+		Pool:      r.Pool,
+		Objective: r.Objective,
+		Threshold: r.Threshold,
+		MaxSubset: r.MaxSubset,
+	}
+}
+
+// requestJSON is the wire format:
+//
+//	{
+//	  "objective": "minflip",
+//	  "threshold": 0.5,
+//	  "maxsubset": 3,
+//	  "base": {"name": "...", "inject": [...]},
+//	  "pool": ["param:wsub=2.0", {"module": "m", ...}]
+//	}
+//
+// base is a full scenario document (ScenarioFromJSON); pool entries
+// use the same injection entry grammar as a scenario's inject list —
+// grammar strings or structured patch objects.
+type requestJSON struct {
+	Objective string            `json:"objective,omitempty"`
+	Threshold float64           `json:"threshold,omitempty"`
+	MaxSubset int               `json:"maxsubset,omitempty"`
+	Base      json.RawMessage   `json:"base,omitempty"`
+	Pool      []json.RawMessage `json:"pool"`
+}
+
+// RequestFromJSON parses the wire format. Unknown top-level fields are
+// rejected; defaults (objective, threshold, subset cap) are left to
+// Run so parsing stays lossless for round-trips.
+func RequestFromJSON(data []byte) (*Request, error) {
+	var def requestJSON
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&def); err != nil {
+		return nil, fmt.Errorf("search: request JSON: %w", err)
+	}
+	obj, err := ParseObjective(def.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if len(def.Pool) == 0 {
+		return nil, fmt.Errorf("search: request pool is empty")
+	}
+	if def.Objective == "" {
+		obj = ""
+	}
+	req := &Request{Objective: obj, Threshold: def.Threshold, MaxSubset: def.MaxSubset}
+	if len(def.Base) > 0 && string(def.Base) != "null" {
+		base, err := experiments.ScenarioFromJSON(def.Base)
+		if err != nil {
+			return nil, fmt.Errorf("search: request base: %w", err)
+		}
+		req.Base = base
+	}
+	for i, raw := range def.Pool {
+		inj, err := experiments.InjectionFromWire(raw)
+		if err != nil {
+			return nil, fmt.Errorf("search: request pool[%d]: %w", i, err)
+		}
+		req.Pool = append(req.Pool, inj)
+	}
+	return req, nil
+}
+
+// RequestToJSON serializes a request to the wire format, the inverse
+// of RequestFromJSON.
+func RequestToJSON(req *Request) ([]byte, error) {
+	def := requestJSON{
+		Objective: string(req.Objective),
+		Threshold: req.Threshold,
+		MaxSubset: req.MaxSubset,
+		Pool:      []json.RawMessage{},
+	}
+	if req.Base != nil {
+		base, err := experiments.ScenarioToJSON(req.Base)
+		if err != nil {
+			return nil, fmt.Errorf("search: request base: %w", err)
+		}
+		def.Base = base
+	}
+	for i, inj := range req.Pool {
+		entry, err := experiments.InjectionToWire(inj)
+		if err != nil {
+			return nil, fmt.Errorf("search: request pool[%d]: %w", i, err)
+		}
+		def.Pool = append(def.Pool, entry)
+	}
+	return json.MarshalIndent(def, "", "  ")
+}

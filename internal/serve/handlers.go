@@ -46,6 +46,14 @@ type errorJSON struct {
 //	                                 artifact-store queue (worker mode);
 //	                                 503 without a -store
 //	GET    /v1/queue/{id}            queued job completion + result
+//	POST   /v1/searches              start a branch-and-bound scenario
+//	                                 search (search request JSON body);
+//	                                 ?wait=1 blocks until it ends and
+//	                                 ties the search to the request —
+//	                                 disconnecting aborts it
+//	GET    /v1/searches/{id}         search state, progress counters,
+//	                                 retained events, and result;
+//	                                 ?wait=1 blocks (without adopting)
 //	GET    /v1/table1                the §6.5 selective-FMA study
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus text metrics
@@ -57,6 +65,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/outcomes/{fingerprint}", s.handleOutcome)
 	mux.HandleFunc("POST /v1/queue", s.handleEnqueue)
 	mux.HandleFunc("GET /v1/queue/{id}", s.handleQueueStatus)
+	mux.HandleFunc("POST /v1/searches", s.handleSearchSubmit)
+	mux.HandleFunc("GET /v1/searches/{id}", s.handleSearch)
 	mux.HandleFunc("GET /v1/table1", s.handleTable1)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -207,6 +217,57 @@ func (s *Server) handleQueueStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxScenarioBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "search body over %d bytes", maxScenarioBytes)
+		return
+	}
+	req, err := rca.SearchRequestFromJSON(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.startSearch(req)
+	if errors.Is(err, ErrClosed) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	if !boolParam(r, "wait") {
+		writeJSON(w, http.StatusAccepted, renderSearch(j))
+		return
+	}
+	// A waiting submitter owns its search: disconnecting aborts it.
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, renderSearch(j))
+	case <-r.Context().Done():
+		j.abort()
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.searchByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such search")
+		return
+	}
+	if boolParam(r, "wait") {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return // observer disconnect never cancels the search
+		}
+	}
+	writeJSON(w, http.StatusOK, renderSearch(j))
+}
+
 // table1JSON is the wire rendering of the selective-FMA study.
 type table1JSON struct {
 	Rows []rca.Table1Row `json:"rows"`
@@ -263,7 +324,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var as artifactStats
 	if s.artifacts != nil {
 		st := s.artifacts.Stats()
-		as = artifactStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Bytes: st.Bytes}
+		as = artifactStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Steals: st.Steals, Bytes: st.Bytes}
 	}
 	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses, as)
 }

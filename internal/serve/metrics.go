@@ -18,6 +18,14 @@ type metrics struct {
 	jobsRejected    atomic.Int64 // submissions rejected (queue full / shutdown)
 	executions      atomic.Int64 // actual underlying pipeline executions
 	flightsCanceled atomic.Int64 // executions aborted because every subscriber left
+
+	searchesStarted        atomic.Int64 // scenario searches accepted
+	searchesCompleted      atomic.Int64 // searches finished with a result
+	searchesFailed         atomic.Int64 // searches finished with an error
+	searchesCanceled       atomic.Int64 // searches canceled by client or shutdown
+	searchNodesExpanded    atomic.Int64 // branch-and-bound nodes evaluated
+	searchNodesPruned      atomic.Int64 // subtrees cut by bound/incumbent tests
+	searchIncumbentUpdates atomic.Int64 // best-known-solution improvements
 }
 
 // write renders the counters plus the gauges the server derives live.
@@ -43,9 +51,17 @@ func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, infli
 	counter("flights_canceled_total", "Executions aborted because every subscriber left.", m.flightsCanceled.Load())
 	counter("compile_cache_hits_total", "Integrations that reused a cached compiled program.", int64(compileHits))
 	counter("compile_cache_misses_total", "Bytecode program compilations.", int64(compileMisses))
+	counter("searches_started_total", "Scenario searches accepted.", m.searchesStarted.Load())
+	counter("searches_completed_total", "Scenario searches finished with a result.", m.searchesCompleted.Load())
+	counter("searches_failed_total", "Scenario searches finished with an error.", m.searchesFailed.Load())
+	counter("searches_canceled_total", "Scenario searches canceled by client or shutdown.", m.searchesCanceled.Load())
+	counter("search_nodes_expanded_total", "Branch-and-bound nodes evaluated across searches.", m.searchNodesExpanded.Load())
+	counter("search_nodes_pruned_total", "Branch-and-bound subtrees cut by bound or incumbent tests.", m.searchNodesPruned.Load())
+	counter("search_incumbent_updates_total", "Best-known-solution improvements across searches.", m.searchIncumbentUpdates.Load())
 	counter("artifact_store_hits_total", "Artifact store blob reads that hit.", int64(as.Hits))
 	counter("artifact_store_misses_total", "Artifact store blob reads that missed (or failed integrity).", int64(as.Misses))
 	counter("artifact_store_evictions_total", "Artifact store blobs evicted by the size cap.", int64(as.Evictions))
+	counter("artifact_lock_steals_total", "Stale artifact locks and queue leases stolen from dead holders.", int64(as.Steals))
 	gauge("queue_depth", "Executions waiting for a worker.", queueDepth)
 	gauge("outcome_store_size", "Outcomes held by the LRU store.", storeSize)
 	gauge("flights_inflight", "Executions queued or running.", inflight)
@@ -59,5 +75,6 @@ type artifactStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	Steals    uint64
 	Bytes     int64
 }

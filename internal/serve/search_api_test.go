@@ -1,0 +1,276 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/serve"
+)
+
+// seededSearchBody is the calibrated minimal-flip request: no single
+// injection reaches the 50% threshold and the known minimal flipping
+// subset is the pair {tlat*1.00015, pre*1.0003} (see internal/search's
+// seededPool). The session must run at ensemble 16 / expSize 6.
+const seededSearchBody = `{
+ "objective": "minflip",
+ "threshold": 0.5,
+ "pool": [
+  {"kind":"scale","module":"micro_mg","subprogram":"micro_mg_tend","var":"tlat","factor":1.00015},
+  {"kind":"scale","module":"micro_mg","subprogram":"micro_mg_tend","var":"qsout","factor":1.0001},
+  {"kind":"scale","module":"micro_mg","subprogram":"micro_mg_tend","var":"pre","factor":1.0003},
+  {"kind":"scale","module":"micro_mg","subprogram":"micro_mg_tend","var":"qric","factor":1.0002},
+  {"kind":"scale","module":"micro_mg","subprogram":"micro_mg_tend","var":"pre","factor":1.00025},
+  {"kind":"scale","module":"micro_mg","subprogram":"micro_mg_tend","var":"qsout","factor":1.00005}
+ ]
+}`
+
+// wantMinimalSubset is the known answer for seededSearchBody.
+var wantMinimalSubset = []string{
+	"scale:micro_mg/micro_mg_tend.tlat*1.00015",
+	"scale:micro_mg/micro_mg_tend.pre*1.0003",
+}
+
+// searchReply mirrors the /v1/searches wire rendering.
+type searchReply struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Progress struct {
+		Expanded   int64 `json:"expanded"`
+		Pruned     int64 `json:"pruned"`
+		Incumbents int64 `json:"incumbents"`
+	} `json:"progress"`
+	Events []serve.SearchEvent `json:"events"`
+	Result *rca.SearchResult   `json:"result"`
+	Text   string              `json:"text"`
+	Error  string              `json:"error"`
+}
+
+// searchSession builds a session at the calibrated search sizes.
+func searchSession(opts ...rca.Option) *rca.Session {
+	opts = append([]rca.Option{rca.WithEnsembleSize(16), rca.WithExpSize(6)}, opts...)
+	return rca.NewSession(rca.CorpusConfig{AuxModules: 10, Seed: 5}, opts...)
+}
+
+func postSearch(base, body string, wait bool) (*searchReply, int, error) {
+	url := base + "/v1/searches"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var reply searchReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &reply, resp.StatusCode, nil
+}
+
+// TestSearchEndpointSeeded is the service acceptance path: POST the
+// seeded minimal-flip search, get the known pair back, and see the
+// branch-and-bound counters on /metrics.
+func TestSearchEndpointSeeded(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Session: searchSession()})
+
+	reply, status, err := postSearch(ts.URL, seededSearchBody, true)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("POST /v1/searches?wait=1: status %d, err %v", status, err)
+	}
+	if reply.State != "done" || reply.Error != "" {
+		t.Fatalf("search state %q error %q, want done", reply.State, reply.Error)
+	}
+	if reply.Result == nil || reply.Result.Best == nil {
+		t.Fatalf("no best subset in reply: %+v", reply)
+	}
+	if got := reply.Result.Best.IDs; !equalStrings(got, wantMinimalSubset) {
+		t.Fatalf("best subset %v, want %v", got, wantMinimalSubset)
+	}
+	if reply.Result.Stats.Evaluations >= int(reply.Result.Stats.Exhaustive) {
+		t.Fatalf("evaluated %d of %d subsets: pruning did nothing",
+			reply.Result.Stats.Evaluations, reply.Result.Stats.Exhaustive)
+	}
+	if reply.Progress.Expanded == 0 || reply.Progress.Pruned == 0 || reply.Progress.Incumbents == 0 {
+		t.Fatalf("progress counters flat: %+v", reply.Progress)
+	}
+	if len(reply.Events) == 0 {
+		t.Fatal("no retained progress events")
+	}
+	if !strings.Contains(reply.Text, "best subset") {
+		t.Fatalf("text rendering missing: %q", reply.Text)
+	}
+
+	// The search is still addressable after completion.
+	got, err := http.Get(ts.URL + "/v1/searches/" + reply.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Body.Close()
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/searches/%s: %d", reply.ID, got.StatusCode)
+	}
+
+	for metric, min := range map[string]int{
+		"rcad_searches_started_total":         1,
+		"rcad_searches_completed_total":       1,
+		"rcad_search_nodes_expanded_total":    1,
+		"rcad_search_nodes_pruned_total":      1,
+		"rcad_search_incumbent_updates_total": 1,
+		"rcad_artifact_lock_steals_total":     0,
+	} {
+		if v := metricValue(t, ts.URL, metric); v < min {
+			t.Fatalf("%s = %d, want >= %d", metric, v, min)
+		}
+	}
+}
+
+func TestSearchEndpointRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	for name, body := range map[string]string{
+		"garbage":           "not json",
+		"unknown objective": `{"objective":"wat","pool":["prng=mt"]}`,
+		"empty pool":        `{"objective":"minflip"}`,
+		"bad pool entry":    `{"pool":["wat"]}`,
+		"unknown field":     `{"objective":"minflip","pool":["prng=mt"],"nope":1}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			reply, status, err := postSearch(ts.URL, body, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != http.StatusBadRequest || reply.Error == "" {
+				t.Fatalf("status %d error %q, want 400 with error body", status, reply.Error)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/v1/searches/s-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown search: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestQueuedSearchSharedStore drives a kind-tagged search request
+// through the file job queue: worker A enqueues, worker B claims and
+// runs it, and the completion marker lands in the shared store.
+func TestQueuedSearchSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	newWorker := func() (*serve.Server, *rca.ArtifactStore) {
+		store, err := rca.OpenArtifactStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.New(serve.Config{
+			Session:   searchSession(rca.WithArtifacts(store)),
+			Artifacts: store,
+		})
+		t.Cleanup(srv.Close)
+		return srv, store
+	}
+	a, store := newWorker()
+	b, _ := newWorker()
+
+	envelope := fmt.Sprintf(`{"search": %s}`, seededSearchBody)
+	id, _, err := a.Enqueue([]byte(envelope))
+	if err != nil {
+		t.Fatalf("enqueue search: %v", err)
+	}
+	// Enqueue is idempotent: the identical request maps to the same id.
+	id2, _, err := b.Enqueue([]byte(envelope))
+	if err != nil || id2 != id {
+		t.Fatalf("duplicate enqueue: id %q vs %q, err %v", id2, id, err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- b.ServeQueue(ctx, "w2", []string{"w2"}, 10*time.Millisecond) }()
+
+	q, err := store.Queue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !q.IsDone(id) {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued search %s never completed (pending=%d)", id, q.Pending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	data, ok := q.Result(id)
+	if !ok {
+		t.Fatal("done marker without result payload")
+	}
+	var res struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "done" || res.Error != "" {
+		t.Fatalf("queued search result %+v, want done", res)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("ServeQueue returned %v", err)
+	}
+}
+
+// TestSearchServerDeterministic pins the serve-layer answer against a
+// direct engine run: the HTTP result must match rca.Search on an
+// identical fresh session, byte for byte through JSON.
+func TestSearchServerDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Session: searchSession()})
+	reply, status, err := postSearch(ts.URL, seededSearchBody, true)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("POST: status %d, err %v", status, err)
+	}
+
+	req, err := rca.SearchRequestFromJSON([]byte(seededSearchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := rca.Search(context.Background(), searchSession(), req.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(reply.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("server result diverges from direct run:\n%s\nvs\n%s", got, want)
+	}
+	if reply.Text != rca.FormatSearchResult(direct) {
+		t.Fatalf("text rendering diverges:\n%q\nvs\n%q", reply.Text, rca.FormatSearchResult(direct))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -147,6 +147,15 @@ type Server struct {
 	t1mu  sync.Mutex
 	t1    map[string]*t1flight
 	t1sem chan struct{}
+
+	// Scenario searches: bounded registry + one-at-a-time semaphore
+	// (the engine parallelizes internally; serializing whole searches
+	// keeps them from starving the job worker pool).
+	nextSearchID int64
+	smu          sync.Mutex
+	searches     map[string]*searchJob
+	searchOrder  []string
+	searchSem    chan struct{}
 }
 
 // t1flight is one deduplicated Table 1 execution; waiters are
@@ -197,6 +206,8 @@ func New(cfg Config) *Server {
 		flights:      make(map[string]*flight),
 		t1:           make(map[string]*t1flight),
 		t1sem:        make(chan struct{}, 1),
+		searches:     make(map[string]*searchJob),
+		searchSem:    make(chan struct{}, 1),
 	}
 	if s.artifacts != nil {
 		s.flushCh = make(chan flushReq, 256)

@@ -49,10 +49,24 @@ func (s *Server) jobQueue() (*artifact.Queue, error) {
 	return s.q, nil
 }
 
-// Enqueue validates a scenario and adds it to the shared queue,
-// deduplicated by scenario fingerprint. It returns the job's queue id
-// (the scenario fingerprint hash) and its buildKey affinity hash.
+// queueEnvelope distinguishes queue payload kinds. A plain scenario
+// document is the historical wire format; search requests travel
+// kind-tagged as {"search": {...}} so old and new payloads coexist in
+// one queue file set.
+type queueEnvelope struct {
+	Search json.RawMessage `json:"search"`
+}
+
+// Enqueue validates a queue payload — a plain scenario document or a
+// kind-tagged {"search": {...}} request — and adds it to the shared
+// queue, deduplicated by content. It returns the job's queue id and
+// its buildKey affinity hash (scenarios and searches over the same
+// base build land on the same warm worker).
 func (s *Server) Enqueue(body []byte) (id, affinity string, err error) {
+	var env queueEnvelope
+	if jsonErr := json.Unmarshal(body, &env); jsonErr == nil && len(env.Search) > 0 {
+		return s.enqueueSearch(env.Search)
+	}
 	sc, err := rca.ScenarioFromJSON(body)
 	if err != nil {
 		return "", "", err
@@ -70,6 +84,42 @@ func (s *Server) Enqueue(body []byte) (id, affinity string, err error) {
 		return "", "", err
 	}
 	return kv.Scenario, kv.Build, nil
+}
+
+// enqueueSearch validates a search request and adds it, kind-tagged,
+// to the shared queue. The queue id is the hash of the canonical
+// request JSON (identical searches deduplicate); affinity follows the
+// base scenario's buildKey so the worker with the hot build claims it.
+func (s *Server) enqueueSearch(raw json.RawMessage) (id, affinity string, err error) {
+	req, err := rca.SearchRequestFromJSON(raw)
+	if err != nil {
+		return "", "", err
+	}
+	base := req.Base
+	if base == nil {
+		base = rca.NewScenario("base", rca.ScenarioOptions{})
+	}
+	keys, err := s.session.Keys(base)
+	if err != nil {
+		return "", "", err
+	}
+	canonical, err := rca.SearchRequestToJSON(req)
+	if err != nil {
+		return "", "", err
+	}
+	q, err := s.jobQueue()
+	if err != nil {
+		return "", "", err
+	}
+	body, err := json.Marshal(queueEnvelope{Search: canonical})
+	if err != nil {
+		return "", "", err
+	}
+	id, affinity = hashKey("search|"+string(canonical)), hashKey(keys.Build)
+	if err := q.Enqueue(id, affinity, body); err != nil {
+		return "", "", err
+	}
+	return id, affinity, nil
 }
 
 // ServeQueue drains the store's shared queue until ctx is done: claim
@@ -118,6 +168,11 @@ func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
 		}
 		_ = c.Done(data)
 	}
+	var env queueEnvelope
+	if err := json.Unmarshal(c.Payload, &env); err == nil && len(env.Search) > 0 {
+		s.runQueuedSearch(ctx, c, env.Search, finish)
+		return
+	}
 	sc, err := rca.ScenarioFromJSON(c.Payload)
 	if err != nil {
 		// Malformed payloads are completed with an error marker rather
@@ -153,6 +208,43 @@ func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
 		// surviving worker.
 		c.Release()
 		return
+	}
+	finish(res)
+}
+
+// runQueuedSearch executes one claimed kind-tagged search through the
+// normal startSearch path, so the node-evaluation artifacts and the
+// shared-store incumbent bounds it publishes are visible to every
+// worker immediately.
+func (s *Server) runQueuedSearch(ctx context.Context, c *artifact.Claimed, raw json.RawMessage, finish func(queueResult)) {
+	req, err := rca.SearchRequestFromJSON(raw)
+	if err != nil {
+		finish(queueResult{State: StateFailed, Error: fmt.Sprintf("bad search request: %v", err)})
+		return
+	}
+	j, err := s.startSearch(req)
+	if errors.Is(err, ErrClosed) {
+		c.Release()
+		return
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		j.abort()
+		c.Release()
+		return
+	}
+	j.mu.Lock()
+	state, jerr := j.state, j.err
+	j.mu.Unlock()
+	if state == StateCanceled {
+		// Shutdown, not a client decision: leave it for a survivor.
+		c.Release()
+		return
+	}
+	res := queueResult{Fingerprint: c.ID, State: state}
+	if jerr != nil {
+		res.Error = jerr.Error()
 	}
 	finish(res)
 }

@@ -1,0 +1,127 @@
+package rca
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/climate-rca/rca/internal/search"
+)
+
+// SearchObjective selects what a scenario search optimizes.
+type SearchObjective = search.Objective
+
+const (
+	// SearchMinFlip finds the smallest injection subset whose composed
+	// scenario fails UF-ECT at least at the threshold rate.
+	SearchMinFlip = search.ObjectiveMinFlip
+	// SearchMaxDelta finds the bounded-size subset with the highest
+	// composed failure rate.
+	SearchMaxDelta = search.ObjectiveMaxDelta
+	// SearchRank ranks single injections by failure-rate delta.
+	SearchRank = search.ObjectiveRank
+)
+
+// ParseSearchObjective maps a CLI/wire name to a SearchObjective
+// (empty string means minflip).
+func ParseSearchObjective(s string) (SearchObjective, error) { return search.ParseObjective(s) }
+
+// SearchOptions configure one scenario search; see rca.Search.
+type SearchOptions = search.Options
+
+// SearchResult is a finished scenario search.
+type SearchResult = search.Result
+
+// SearchRequest is the wire-level search description accepted by
+// rcad's POST /v1/searches and produced by SearchRequestToJSON.
+type SearchRequest = search.Request
+
+// SearchEvent is one search progress event (SearchOptions.Progress).
+type SearchEvent = search.Event
+
+// SearchCandidate, SearchSubset, SearchStats and SearchIncumbentUpdate
+// name the result's component types.
+type (
+	SearchCandidate       = search.Candidate
+	SearchSubset          = search.Subset
+	SearchStats           = search.Stats
+	SearchIncumbentUpdate = search.IncumbentUpdate
+)
+
+// Search runs a branch-and-bound exploration of the injection space
+// over the session: probe each pool candidate alone, order the pool by
+// probe delta, warm-start from the greedy prefix, then expand subset
+// waves with incumbent pruning. Node evaluations are keyed by the
+// layered build fingerprints, so a session with an artifact store
+// attached shares them — and its incumbent bounds — with every process
+// pointed at the same store. Results are bit-identical at every
+// parallelism level.
+func Search(ctx context.Context, s *Session, opts SearchOptions) (*SearchResult, error) {
+	return search.Run(ctx, s, opts)
+}
+
+// SearchRequestFromJSON parses the search wire format:
+//
+//	{"objective": "minflip", "threshold": 0.5, "maxsubset": 3,
+//	 "base": {"name": "clean"}, "pool": ["param:turbcoef=0.02", ...]}
+//
+// base is a scenario document (ScenarioFromJSON); pool entries use the
+// same injection grammar as a scenario's inject list.
+func SearchRequestFromJSON(data []byte) (*SearchRequest, error) {
+	return search.RequestFromJSON(data)
+}
+
+// SearchRequestToJSON serializes a request to the wire format, the
+// inverse of SearchRequestFromJSON.
+func SearchRequestToJSON(req *SearchRequest) ([]byte, error) { return search.RequestToJSON(req) }
+
+// FormatSearchResult renders a search result like the CLI prints it.
+func FormatSearchResult(r *SearchResult) string {
+	var b strings.Builder
+	switch r.Objective {
+	case SearchMinFlip:
+		fmt.Fprintf(&b, "objective        minimal flipping subset (threshold %.0f%%)\n", 100*r.Threshold)
+	case SearchMaxDelta:
+		fmt.Fprintf(&b, "objective        max verdict delta (subsets up to %d)\n", r.MaxSubset)
+	case SearchRank:
+		b.WriteString("objective        rank single injections\n")
+	}
+	fmt.Fprintf(&b, "base scenario    %s (failure rate %.0f%%)\n", r.BaseName, 100*r.BaseRate)
+	b.WriteString("candidates\n")
+	for _, c := range r.Candidates {
+		if !c.Feasible {
+			fmt.Fprintf(&b, "  %-44s conflicts with base\n", c.ID)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-44s %3.0f%% (delta %+.0f%%)\n", c.ID, 100*c.Rate, 100*c.Delta)
+	}
+	for _, u := range r.Incumbents {
+		fmt.Fprintf(&b, "incumbent        [%d] %s -> %.0f%% (%s, wave %d)\n",
+			len(u.Subset.IDs), joinOrNone(u.Subset.IDs), 100*u.Subset.Rate, u.By, u.Wave)
+	}
+	if r.Best != nil {
+		fmt.Fprintf(&b, "best subset      [%d] %s -> %.0f%% failure\n",
+			len(r.Best.IDs), joinOrNone(r.Best.IDs), 100*r.Best.Rate)
+	} else {
+		b.WriteString("best subset      none found\n")
+	}
+	s := r.Stats
+	fmt.Fprintf(&b, "explored         %d of %d subsets (%.1fx pruning), %d expanded, %d pruned, %d infeasible, %d waves\n",
+		s.Evaluations, s.Exhaustive, float64(s.Exhaustive)/float64(maxInt(s.Evaluations, 1)),
+		s.Expanded, s.Pruned, s.Infeasible, s.Waves)
+	return b.String()
+}
+
+func joinOrNone(ids []string) string {
+	if len(ids) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(ids, " + ")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

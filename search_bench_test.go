@@ -1,0 +1,50 @@
+package rca
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkSearchMinFlip runs the calibrated seeded minimal-flip
+// search (testdata/search_minflip.json) on a fresh cold session per
+// iteration and reports, alongside ns/op, the pruning and latency
+// metrics cmd/benchjson snapshots:
+//
+//	searchnodes  distinct subsets evaluated — the exhaustive
+//	             enumeration over this six-candidate pool would need
+//	             Stats.Exhaustive (64) of them
+//	searchms     wall milliseconds per search
+func BenchmarkSearchMinFlip(b *testing.B) {
+	data, err := os.ReadFile(filepath.Join("testdata", "search_minflip.json"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := SearchRequestFromJSON(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nodes int
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		s := NewSession(CorpusConfig{AuxModules: 10, Seed: 5},
+			WithEnsembleSize(16), WithExpSize(6))
+		start := time.Now()
+		res, err := Search(context.Background(), s, req.Options())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += time.Since(start)
+		nodes = res.Stats.Evaluations
+		if res.Best == nil || len(res.Best.IDs) != 2 {
+			b.Fatalf("seeded search lost the known pair: %+v", res.Best)
+		}
+		if int64(nodes) >= res.Stats.Exhaustive {
+			b.Fatalf("pruning did nothing: %d of %d", nodes, res.Stats.Exhaustive)
+		}
+	}
+	b.ReportMetric(float64(nodes), "searchnodes")
+	b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "searchms")
+}

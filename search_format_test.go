@@ -1,0 +1,120 @@
+package rca
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFormatSearchResultGolden pins the FormatSearchResult layout —
+// the surface the CLI and the daemon's text field expose — against a
+// golden file, exercising every branch: a conflicting candidate, an
+// incumbent trace, a found best subset, and the pruning summary.
+func TestFormatSearchResultGolden(t *testing.T) {
+	pair := SearchSubset{
+		IDs:  []string{"scale:micro_mg/micro_mg_tend.tlat*1.00015", "scale:micro_mg/micro_mg_tend.pre*1.0003"},
+		Rate: 1,
+	}
+	res := &SearchResult{
+		Objective: SearchMinFlip,
+		Threshold: 0.5,
+		MaxSubset: 4,
+		BaseName:  "base",
+		BaseRate:  0,
+		Candidates: []SearchCandidate{
+			{ID: "scale:micro_mg/micro_mg_tend.tlat*1.00015", Rate: 1.0 / 3, Delta: 1.0 / 3, Feasible: true},
+			{ID: "scale:micro_mg/micro_mg_tend.pre*1.0003", Rate: 1.0 / 6, Delta: 1.0 / 6, Feasible: true},
+			{ID: "scale:micro_mg/micro_mg_tend.pre*1.00025", Feasible: false},
+		},
+		Incumbents: []SearchIncumbentUpdate{
+			{Wave: 0, By: "greedy", Subset: SearchSubset{
+				IDs: []string{
+					"scale:micro_mg/micro_mg_tend.tlat*1.00015",
+					"scale:micro_mg/micro_mg_tend.pre*1.0003",
+					"scale:micro_mg/micro_mg_tend.qric*1.0002",
+				},
+				Rate: 1,
+			}},
+			{Wave: 2, By: "search", Subset: pair},
+		},
+		Best: &pair,
+		Stats: SearchStats{
+			Evaluations: 11, Expanded: 11, Pruned: 4,
+			Infeasible: 1, Waves: 2, Exhaustive: 64,
+		},
+	}
+	golden(t, "format_search.golden", FormatSearchResult(res))
+
+	// The none-found branch renders a stable line too.
+	empty := &SearchResult{
+		Objective: SearchMaxDelta, MaxSubset: 2, BaseName: "clean",
+		Stats: SearchStats{Evaluations: 3, Exhaustive: 7, Waves: 1},
+	}
+	golden(t, "format_search_none.golden", FormatSearchResult(empty))
+}
+
+// FuzzSearchRequestJSON pins the search wire format's round-trip
+// contract: any request that parses must re-serialize to a canonical
+// form that parses again and re-serializes identically — the property
+// the queue's content-addressed dedup ids depend on. And nothing may
+// panic.
+func FuzzSearchRequestJSON(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "search_*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no search request seeds in testdata/")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		`{"pool":["prng=mt"]}`,
+		`{"objective":"rank","pool":["fma=all","param:turbcoef=0.02"]}`,
+		`{"objective":"maxdelta","maxsubset":2,"pool":["a.b*=1.5","a.c*=0.5"]}`,
+		`{"objective":"minflip","threshold":0.75,"base":{"experiment":"WSUBBUG"},"pool":["prng=mt"]}`,
+		`{"pool":[{"kind":"scale","module":"m","subprogram":"s","var":"v","factor":2}]}`,
+		`{"pool":[{"kind":"replace","subprogram":"s","var":"v","old":"a","new":"b"}]}`,
+		`{"threshold":1e-9,"pool":["a.b*=NaN"]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := SearchRequestFromJSON(data)
+		if err != nil {
+			return // malformed input is allowed to fail, not panic
+		}
+		out, err := SearchRequestToJSON(req)
+		if err != nil {
+			t.Fatalf("round-trip serialize failed for %q: %v", data, err)
+		}
+		req2, err := SearchRequestFromJSON(out)
+		if err != nil {
+			t.Fatalf("re-parse of serialized form %q failed: %v", out, err)
+		}
+		out2, err := SearchRequestToJSON(req2)
+		if err != nil {
+			t.Fatalf("re-serialize of %q failed: %v", out, err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("canonical form unstable:\nin:   %q\nout:  %q\nout2: %q", data, out, out2)
+		}
+		if req2.Objective != req.Objective || req2.Threshold != req.Threshold ||
+			req2.MaxSubset != req.MaxSubset || len(req2.Pool) != len(req.Pool) {
+			t.Fatalf("request knobs changed across round-trip: %q -> %q", data, out)
+		}
+		for i := range req.Pool {
+			if req2.Pool[i].ID() != req.Pool[i].ID() {
+				t.Fatalf("pool[%d] id changed across round-trip: %q -> %q",
+					i, req.Pool[i].ID(), req2.Pool[i].ID())
+			}
+		}
+	})
+}
