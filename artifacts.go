@@ -1,6 +1,8 @@
 package rca
 
 import (
+	"time"
+
 	"github.com/climate-rca/rca/internal/artifact"
 	"github.com/climate-rca/rca/internal/experiments"
 )
@@ -33,6 +35,19 @@ type ArtifactStoreOption = artifact.Option
 // puts evict least-recently-accessed blobs beyond the cap (default
 // 512 MiB).
 func WithStoreMaxBytes(n int64) ArtifactStoreOption { return artifact.WithMaxBytes(n) }
+
+// WithStoreLockStale sets the age after which another process may
+// steal a build lock or queue lease (the holder is presumed crashed;
+// default 2 minutes).
+func WithStoreLockStale(d time.Duration) ArtifactStoreOption { return artifact.WithLockStale(d) }
+
+// WithStoreBreaker tunes the store's write-path circuit breaker:
+// threshold consecutive I/O failures trip it into degraded mode
+// (in-memory pass-through), and every cooldown interval one half-open
+// probe retries the disk (defaults 5 failures / 5s).
+func WithStoreBreaker(threshold int, cooldown time.Duration) ArtifactStoreOption {
+	return artifact.WithBreaker(threshold, cooldown)
+}
 
 // WithArtifacts attaches an artifact store to a session: corpus
 // builds, compiled bytecode programs and compiled metagraphs gain a

@@ -37,10 +37,23 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/fault"
 )
+
+// defaultFaultSeed mirrors fault.FromEnv's seed resolution so the
+// -fault-seed flag's default reflects RCAD_FAULT_SEED.
+func defaultFaultSeed() uint64 {
+	if s := os.Getenv("RCAD_FAULT_SEED"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
 
 // injectFlags collects repeated -inject values.
 type injectFlags []string
@@ -74,12 +87,23 @@ func main() {
 		engine    = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
 		server    = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
 		storeDir  = flag.String("store", "", "artifact store directory: persist corpora, compiled programs and metagraphs so later runs (and rcad daemons) start warm")
+		faults    = flag.String("faults", os.Getenv("RCAD_FAULTS"), "deterministic fault-injection spec for -store I/O, e.g. 'artifact.put:eio@0.1' (default $RCAD_FAULTS)")
+		faultSd   = flag.Uint64("fault-seed", defaultFaultSeed(), "fault-injection seed: same spec + seed replays the same fault sequence (default $RCAD_FAULT_SEED or 1)")
 	)
 	flag.Var(&injects, "inject",
 		"injection (repeatable): sub.var*=F | sub.var:OLD=>NEW | prng=mt | fma=all|m1,m2 | param:NAME=V")
 	flag.Var(&pool, "pool",
 		"search candidate injection (repeatable, same grammar as -inject); used with -search")
 	flag.Parse()
+
+	if *faults != "" {
+		plane, err := fault.Parse(*faults, *faultSd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rca:", err)
+			os.Exit(2)
+		}
+		fault.SetGlobal(plane)
+	}
 
 	if *list {
 		fmt.Println("experiments (§6):")

@@ -20,6 +20,7 @@
 //
 //	rcad -addr :8080 -aux 100 -ensemble 40 -runs 10
 //	rcad -addr :8080 -store /var/lib/rcad/artifacts
+//	rcad -faults 'artifact.put:eio@0.1;worker.exec:crash@after=2' -fault-seed 42
 //	curl -X POST 'localhost:8080/v1/jobs?wait=1' -d '{"experiment":"GOFFGRATCH"}'
 //	curl -X POST 'localhost:8080/v1/searches?wait=1' -d @search.json
 //	curl 'localhost:8080/v1/table1?topk=20'
@@ -35,13 +36,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/fault"
 	"github.com/climate-rca/rca/internal/serve"
 )
+
+// defaultFaultSeed mirrors fault.FromEnv's seed resolution so the
+// -fault-seed flag's default reflects RCAD_FAULT_SEED.
+func defaultFaultSeed() uint64 {
+	if s := os.Getenv("RCAD_FAULT_SEED"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
 
 func main() {
 	var (
@@ -62,8 +76,22 @@ func main() {
 		workerID = flag.String("worker-id", "", "drain the artifact store's shared job queue under this worker name (requires -store)")
 		peersCSV = flag.String("worker-peers", "", "comma-separated worker names sharing the queue (affinity hashing); default just -worker-id")
 		warm     = flag.Bool("warm", true, "precompute the control-ensemble fingerprint at startup")
+		faults   = flag.String("faults", os.Getenv("RCAD_FAULTS"), "deterministic fault-injection spec, e.g. 'artifact.put:eio@0.1;worker.exec:crash@after=2' (default $RCAD_FAULTS; see DESIGN.md 'Failure model')")
+		faultSd  = flag.Uint64("fault-seed", defaultFaultSeed(), "fault-injection seed: same spec + seed replays the same fault sequence (default $RCAD_FAULT_SEED or 1)")
+		maxAtt   = flag.Int("max-attempts", 3, "attempt budget per job before it is dead-lettered (terminal failed state)")
+		jobTO    = flag.Duration("job-timeout", 0, "per-job execution deadline; a timed-out attempt counts against -max-attempts (0 = none)")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		plane, err := fault.Parse(*faults, *faultSd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcad:", err)
+			os.Exit(2)
+		}
+		fault.SetGlobal(plane)
+		log.Printf("rcad: fault plane armed: %s (seed %d)", *faults, *faultSd)
+	}
 
 	var strategy rca.Sampler
 	switch *sampler {
@@ -99,6 +127,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rcad:", err)
 			os.Exit(2)
+		}
+		if store.Degraded() {
+			log.Printf("rcad: artifact store %s is unusable; serving degraded (in-memory pass-through, /healthz reports degraded:true)", *storeDir)
 		}
 	}
 
@@ -143,15 +174,20 @@ func main() {
 		StoreSize:    *outcomes,
 		Artifacts:    store,
 		FlushTimeout: *flushTO,
+		MaxAttempts:  *maxAtt,
+		JobTimeout:   *jobTO,
 	})
 	defer svc.Close()
 
+	var workerDone chan struct{}
 	if *workerID != "" {
 		peers := []string{*workerID}
 		if *peersCSV != "" {
 			peers = strings.Split(*peersCSV, ",")
 		}
+		workerDone = make(chan struct{})
 		go func() {
+			defer close(workerDone)
 			if err := svc.ServeQueue(ctx, *workerID, peers, 0); err != nil && !errors.Is(err, context.Canceled) {
 				log.Printf("rcad: queue worker: %v", err)
 			}
@@ -170,6 +206,13 @@ func main() {
 	log.Printf("rcad: serving on %s (workers=%d, queue=%d, outcomes=%d)", *addr, *workers, *queue, *outcomes)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("rcad: %v", err)
+	}
+	if workerDone != nil {
+		// Join the queue worker before exiting: ServeQueue's unwind
+		// releases any held lease, so a SIGTERM mid-job returns the job
+		// to pending for a peer instead of leaving a lease to go stale.
+		<-workerDone
+		log.Printf("rcad: queue worker drained, leases released")
 	}
 	log.Printf("rcad: shut down")
 }

@@ -1,0 +1,154 @@
+package artifact
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBreakerThreshold is how many consecutive write-path I/O
+// failures trip the store into degraded mode.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is how long a tripped store waits between
+// half-open probes of the disk.
+const DefaultBreakerCooldown = 5 * time.Second
+
+// breaker is the store's write-path circuit breaker. Closed (healthy)
+// passes operations through to disk; K consecutive failures open it,
+// and while open the store serves from its in-memory overlay instead
+// of surfacing errors. Every cooldown interval one caller wins the
+// half-open probe slot and retries the real disk op; success closes
+// the breaker and restores write-through.
+type breaker struct {
+	threshold int32
+	cooldown  time.Duration
+
+	fails   atomic.Int32
+	opened  atomic.Bool
+	probeAt atomic.Int64 // unixnano of the next allowed probe
+	trips   atomic.Uint64
+}
+
+// failure records a write-path I/O error, tripping the breaker at the
+// threshold.
+func (b *breaker) failure() {
+	if b.fails.Add(1) >= b.threshold {
+		b.trip()
+	}
+}
+
+// trip opens the breaker immediately (also used by Open when the
+// store directory cannot even be created).
+func (b *breaker) trip() {
+	if b.opened.CompareAndSwap(false, true) {
+		b.trips.Add(1)
+		b.probeAt.Store(time.Now().Add(b.cooldown).UnixNano())
+	}
+}
+
+// success records a healthy disk op, closing the breaker.
+func (b *breaker) success() {
+	b.fails.Store(0)
+	b.opened.Store(false)
+}
+
+// degraded reports whether the breaker is open.
+func (b *breaker) degraded() bool { return b.opened.Load() }
+
+// allow reports whether the caller may touch the disk: always while
+// closed; while open, exactly one caller per cooldown window wins the
+// half-open probe (the CAS pushes the window forward so the losers
+// stay on the in-memory path).
+func (b *breaker) allow() bool {
+	if !b.opened.Load() {
+		return true
+	}
+	at := b.probeAt.Load()
+	now := time.Now().UnixNano()
+	if now < at {
+		return false
+	}
+	return b.probeAt.CompareAndSwap(at, now+int64(b.cooldown))
+}
+
+// memCache is the degraded-mode overlay: a bounded in-process
+// key→payload map that keeps completed work reachable while the disk
+// is refusing writes. Entries evict FIFO past the cap — the overlay
+// favors recent artifacts, mirroring the disk store's LRU intent
+// without its persistence.
+type memCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string][]byte
+	order []string
+}
+
+const memCacheMax = 1024
+
+func (c *memCache) put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string][]byte)
+		c.max = memCacheMax
+	}
+	if _, ok := c.m[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.m[key] = payload
+	for len(c.m) > c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+}
+
+func (c *memCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.m[key]
+	return data, ok
+}
+
+// memLocks is the degraded-mode replacement for lock files: in-process
+// named mutexes with the same poll-under-context acquisition shape.
+// Cross-process singleflight is lost while degraded — two daemons may
+// duplicate a build — but duplicated builds are deterministic and
+// content-addressed, so the trade is availability for efficiency,
+// never correctness.
+type memLocks struct {
+	mu   sync.Mutex
+	held map[string]bool
+}
+
+func (l *memLocks) acquire(ctx context.Context, name string, poll time.Duration) (func(), error) {
+	for {
+		if release, ok := l.tryAcquire(name); ok {
+			return release, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+func (l *memLocks) tryAcquire(name string) (func(), bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.held == nil {
+		l.held = make(map[string]bool)
+	}
+	if l.held[name] {
+		return nil, false
+	}
+	l.held[name] = true
+	return func() {
+		l.mu.Lock()
+		delete(l.held, name)
+		l.mu.Unlock()
+	}, true
+}

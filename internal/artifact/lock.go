@@ -12,8 +12,14 @@ import (
 // exactly one process holds it) and returns its release function.
 // While another process holds the lock, acquisition polls; a lock
 // older than the stale timeout is presumed orphaned by a crashed
-// holder and stolen. ctx cancels the wait.
+// holder and stolen. ctx cancels the wait. While the store is
+// degraded, lock files give way to in-process locks: cross-process
+// exclusion is lost but deterministic content-addressed builds make
+// duplication benign.
 func (s *Store) lock(ctx context.Context, name string) (func(), error) {
+	if s.brk.degraded() {
+		return s.mlocks.acquire(ctx, name, s.lockPoll)
+	}
 	path := filepath.Join(s.dir, "locks", name+".lock")
 	content := []byte(fmt.Sprintf("%d\n", os.Getpid()))
 	for {
@@ -24,7 +30,10 @@ func (s *Store) lock(ctx context.Context, name string) (func(), error) {
 			return func() { _ = os.Remove(path) }, nil
 		}
 		if !os.IsExist(err) {
-			return nil, fmt.Errorf("artifact: lock %s: %w", name, err)
+			// The disk is refusing lock files; count it against the
+			// breaker and fall back to in-process exclusion.
+			s.brk.failure()
+			return s.mlocks.acquire(ctx, name, s.lockPoll)
 		}
 		// Held elsewhere. Steal it if the holder looks dead.
 		if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > s.lockStale {
@@ -52,6 +61,9 @@ func (s *Store) Lock(ctx context.Context, name string) (release func(), err erro
 
 // TryLock attempts a non-blocking acquisition of the named lock.
 func (s *Store) TryLock(name string) (release func(), ok bool) {
+	if s.brk.degraded() {
+		return s.mlocks.tryAcquire(name)
+	}
 	path := filepath.Join(s.dir, "locks", name+".lock")
 	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > s.lockStale {
 		if os.Remove(path) == nil {
@@ -60,6 +72,10 @@ func (s *Store) TryLock(name string) (release func(), ok bool) {
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
+		if !os.IsExist(err) {
+			s.brk.failure()
+			return s.mlocks.tryAcquire(name)
+		}
 		return nil, false
 	}
 	_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())

@@ -1,14 +1,18 @@
 package artifact
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/climate-rca/rca/internal/binenc"
+	"github.com/climate-rca/rca/internal/fault"
 )
 
 // Queue is a crash-tolerant work queue shared by every worker process
@@ -22,21 +26,51 @@ import (
 //	pending/<id>   job payload (affinity key + body, framed)
 //	leases/<id>.lock   held while a worker runs the job
 //	done/<id>      completion marker (result bytes, framed)
+//	attempts/<id>  retry bookkeeping (attempt count, backoff deadline)
+//	failed/<id>    dead-letter record (error, attempts, payload, framed)
 //
 // Claim orders candidates by consistent-hash affinity: jobs whose
 // affinity key rendezvous-hashes to this worker come first, so N
 // workers partition the keyspace (same-buildKey jobs land on the same
 // worker and share its hot in-process caches) while still stealing
 // another worker's backlog when idle.
+//
+// Jobs retry with exponential backoff and a bounded attempt budget.
+// Attempts are counted at claim time, not completion time, so a
+// worker that crashes mid-job still burns an attempt — a poison pill
+// that kills every worker it touches lands in the dead-letter
+// directory after MaxAttempts instead of crash-looping the fleet
+// forever. The backoff jitter is a pure function of (id, attempt), so
+// chaos runs reproduce byte-for-byte from a seed.
 type Queue struct {
 	s   *Store
 	dir string
+
+	// MaxAttempts is the per-job attempt budget before dead-lettering
+	// (counted at claim). BackoffBase/BackoffMax shape the exponential
+	// retry delay. All three carry usable defaults from Store.Queue.
+	MaxAttempts int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 }
+
+// Retry-policy defaults installed by Store.Queue.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBackoffBase = 250 * time.Millisecond
+	DefaultBackoffMax  = 30 * time.Second
+)
 
 // Queue opens the store's shared work queue.
 func (s *Store) Queue() (*Queue, error) {
-	q := &Queue{s: s, dir: filepath.Join(s.dir, "queue")}
-	for _, sub := range []string{"pending", "leases", "done"} {
+	q := &Queue{
+		s:           s,
+		dir:         filepath.Join(s.dir, "queue"),
+		MaxAttempts: DefaultMaxAttempts,
+		BackoffBase: DefaultBackoffBase,
+		BackoffMax:  DefaultBackoffMax,
+	}
+	for _, sub := range []string{"pending", "leases", "done", "attempts", "failed"} {
 		if err := os.MkdirAll(filepath.Join(q.dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("artifact: open queue: %w", err)
 		}
@@ -52,8 +86,11 @@ type Job struct {
 }
 
 // Claimed is a leased job; exactly one worker holds it at a time.
+// Attempt is this execution's 1-based attempt number (already charged
+// against the budget).
 type Claimed struct {
 	Job
+	Attempt int
 	q       *Queue
 	release func()
 }
@@ -70,6 +107,11 @@ func jobID(id string) string {
 func (q *Queue) Enqueue(id, affinity string, payload []byte) error {
 	id = jobID(id)
 	if q.IsDone(id) {
+		return nil
+	}
+	// Dead-lettered ids are terminal: re-enqueueing the same catalog
+	// must not resurrect a poison pill.
+	if _, failed := q.Failed(id); failed {
 		return nil
 	}
 	path := filepath.Join(q.dir, "pending", id)
@@ -111,7 +153,11 @@ func (q *Queue) Claim(workerID string, peers []string) (*Claimed, bool, error) {
 			others = append(others, id)
 		}
 	}
+	now := time.Now().UnixNano()
 	for _, id := range append(own, others...) {
+		if meta := q.readAttempts(id); meta.NotBefore > now {
+			continue // backing off; not eligible yet
+		}
 		release, ok := q.tryLease(id)
 		if !ok {
 			continue
@@ -127,8 +173,21 @@ func (q *Queue) Claim(workerID string, peers []string) (*Claimed, bool, error) {
 			release()
 			continue
 		}
+		// Charge the attempt under the lease. A job already at its
+		// budget got here via a crashed (or failed) final attempt:
+		// dead-letter it rather than run it again.
+		meta := q.readAttempts(id)
+		if meta.Attempts >= q.MaxAttempts {
+			_ = q.deadLetter(id, payload, meta.Attempts, meta.LastError)
+			release()
+			continue
+		}
+		meta.Attempts++
+		meta.NotBefore = 0
+		q.writeAttempts(id, meta)
 		return &Claimed{
 			Job:     Job{ID: id, Affinity: aff, Payload: payload},
+			Attempt: meta.Attempts,
 			q:       q,
 			release: release,
 		}, true, nil
@@ -176,14 +235,167 @@ func (q *Queue) Result(id string) ([]byte, bool) {
 // every claimer skips, never a lost job.
 func (c *Claimed) Done(result []byte) error {
 	defer c.release()
+	if err := fault.Hook(context.Background(), fault.PointQueueDone); err != nil {
+		return err
+	}
 	if err := atomicWrite(filepath.Join(c.q.dir, "done", c.ID), frame(result)); err != nil {
 		return err
 	}
+	// The attempts record is left in place: a completed job's attempt
+	// count stays queryable (crash-recovery observability), and Enqueue
+	// dedupes by the done marker so it can never re-charge.
 	return os.Remove(filepath.Join(c.q.dir, "pending", c.ID))
 }
 
 // Release returns the job to the queue un-run (worker shutting down).
+// The attempt already charged at claim stands — a lease that is taken
+// and released without running still burned budget; graceful shutdown
+// paths that want the attempt back can live with the small loss, and
+// crash loops stay bounded.
 func (c *Claimed) Release() { c.release() }
+
+// Fail records a failed execution attempt. If budget remains the job
+// stays pending with an exponential-backoff deadline (no claimer
+// touches it until the deadline passes); otherwise it is dead-lettered
+// and dead=true is returned. Either way the lease is released.
+func (c *Claimed) Fail(cause string) (dead bool, err error) {
+	defer c.release()
+	if c.Attempt >= c.q.MaxAttempts {
+		return true, c.q.deadLetter(c.ID, c.Payload, c.Attempt, cause)
+	}
+	meta := c.q.readAttempts(c.ID)
+	meta.Attempts = c.Attempt
+	meta.NotBefore = time.Now().Add(c.q.backoff(c.ID, c.Attempt)).UnixNano()
+	meta.LastError = cause
+	c.q.writeAttempts(c.ID, meta)
+	return false, nil
+}
+
+// Reject dead-letters the claimed job immediately — for permanent
+// failures (malformed payloads, unbuildable requests) where retrying
+// cannot help.
+func (c *Claimed) Reject(cause string) error {
+	defer c.release()
+	return c.q.deadLetter(c.ID, c.Payload, c.Attempt, cause)
+}
+
+// backoff returns the retry delay after a given failed attempt:
+// BackoffBase doubled per attempt, capped at BackoffMax, plus a
+// deterministic jitter derived from (id, attempt) so co-failing
+// workers spread out identically on every replay of a seeded run.
+func (q *Queue) backoff(id string, attempt int) time.Duration {
+	base := q.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	d := base
+	for i := 1; i < attempt && d < q.BackoffMax; i++ {
+		d *= 2
+	}
+	if q.BackoffMax > 0 && d > q.BackoffMax {
+		d = q.BackoffMax
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte(strconv.Itoa(attempt)))
+	return d + time.Duration(h.Sum64()%uint64(base))
+}
+
+// attemptMeta is the per-job retry bookkeeping at queue/attempts/<id>.
+type attemptMeta struct {
+	Attempts  int    `json:"attempts"`
+	NotBefore int64  `json:"not_before_unix_ns,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// readAttempts loads a job's retry bookkeeping; a missing or torn file
+// reads as the zero meta (fresh job).
+func (q *Queue) readAttempts(id string) attemptMeta {
+	var meta attemptMeta
+	raw, err := os.ReadFile(filepath.Join(q.dir, "attempts", jobID(id)))
+	if err != nil {
+		return meta
+	}
+	_ = json.Unmarshal(raw, &meta)
+	return meta
+}
+
+func (q *Queue) writeAttempts(id string, meta attemptMeta) {
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return
+	}
+	_ = atomicWrite(filepath.Join(q.dir, "attempts", jobID(id)), data)
+}
+
+// Attempts reports how many executions the job has been charged for.
+func (q *Queue) Attempts(id string) int { return q.readAttempts(id).Attempts }
+
+// FailedJob is a dead-lettered job's terminal record.
+type FailedJob struct {
+	ID       string
+	Attempts int
+	Error    string
+	At       time.Time
+	Payload  []byte
+}
+
+// deadLetter writes the terminal failure record and retires the job
+// from pending and attempts bookkeeping. The record is written before
+// the pending file is removed (same crash ordering as Done).
+func (q *Queue) deadLetter(id string, payload []byte, attempts int, cause string) error {
+	if cause == "" {
+		cause = "attempt budget exhausted (worker crashed mid-job?)"
+	}
+	w := binenc.NewWriter(len(payload) + len(cause) + 64)
+	w.String(cause)
+	w.Int(attempts)
+	w.I64(time.Now().UnixNano())
+	w.Raw(payload)
+	if err := atomicWrite(filepath.Join(q.dir, "failed", jobID(id)), frame(w.Bytes())); err != nil {
+		return err
+	}
+	_ = os.Remove(filepath.Join(q.dir, "pending", jobID(id)))
+	_ = os.Remove(filepath.Join(q.dir, "attempts", jobID(id)))
+	return nil
+}
+
+// Failed returns the dead-letter record for a job, if it has one.
+func (q *Queue) Failed(id string) (*FailedJob, bool) {
+	raw, err := os.ReadFile(filepath.Join(q.dir, "failed", jobID(id)))
+	if err != nil {
+		return nil, false
+	}
+	body, err := unframe(raw)
+	if err != nil {
+		return nil, false
+	}
+	r := binenc.NewReader(body)
+	fj := &FailedJob{ID: jobID(id)}
+	fj.Error = r.String()
+	fj.Attempts = r.Int()
+	fj.At = time.Unix(0, r.I64())
+	fj.Payload = r.Raw()
+	if err := r.Done(); err != nil {
+		return nil, false
+	}
+	return fj, true
+}
+
+// FailedCount reports how many jobs are dead-lettered.
+func (q *Queue) FailedCount() int {
+	entries, err := os.ReadDir(filepath.Join(q.dir, "failed"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
 
 func (q *Queue) readPending(id string) (affinity string, payload []byte, err error) {
 	raw, err := os.ReadFile(filepath.Join(q.dir, "pending", id))
@@ -206,6 +418,9 @@ func (q *Queue) readPending(id string) (affinity string, payload []byte, err err
 // tryLease acquires the job's lease non-blockingly, stealing leases
 // older than the store's stale timeout.
 func (q *Queue) tryLease(id string) (func(), bool) {
+	if err := fault.Hook(context.Background(), fault.PointQueueLease); err != nil {
+		return nil, false // injected lease failure: job stays claimable
+	}
 	path := filepath.Join(q.dir, "leases", id+".lock")
 	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > q.s.lockStale {
 		if os.Remove(path) == nil {

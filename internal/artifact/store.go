@@ -20,6 +20,17 @@
 // pipeline. Writes are tmp+rename atomic. The store is size-capped:
 // puts evict least-recently-accessed blobs (mtime is bumped to the
 // access time on every hit) until the total is back under the cap.
+//
+// A write-path circuit breaker guards against a disk that stops
+// cooperating entirely: after K consecutive I/O failures the store
+// trips into degraded mode — puts land in a bounded in-memory overlay,
+// gets fall back to it, and lock-file coordination is replaced by
+// in-process locks — so the pipeline keeps producing (bit-identical)
+// answers on a dead disk. Half-open probes retry the disk every
+// cooldown interval and restore write-through when it recovers. The
+// filesystem ops are threaded through the internal/fault plane
+// (points "artifact.put" / "artifact.get"), making all of this
+// testable on demand from a seeded chaos plan.
 package artifact
 
 import (
@@ -36,6 +47,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/climate-rca/rca/internal/fault"
 )
 
 // Artifact classes. The class is folded into the content address, so
@@ -71,7 +84,9 @@ const DefaultMaxBytes int64 = 512 << 20
 const DefaultLockStale = 2 * time.Minute
 
 // Stats is a snapshot of store counters. Hits/Misses/Evictions count
-// since Open; Bytes is the current on-disk payload total.
+// since Open; Bytes is the current on-disk payload total. Degraded
+// reports the circuit breaker's current state and Trips how many
+// times it has opened since Open.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
@@ -80,6 +95,8 @@ type Stats struct {
 	Builds    uint64
 	Steals    uint64
 	Bytes     int64
+	Degraded  bool
+	Trips     uint64
 }
 
 // Store is a content-addressed artifact store rooted at a directory.
@@ -100,6 +117,13 @@ type Store struct {
 	bytes     atomic.Int64
 
 	evictMu sync.Mutex // serializes in-process eviction scans
+
+	// Degraded-mode machinery: the write-path circuit breaker, the
+	// in-memory blob overlay it fails over to, and in-process locks
+	// replacing lock files while the disk is refusing writes.
+	brk    breaker
+	mem    memCache
+	mlocks memLocks
 }
 
 // Option configures Open.
@@ -125,7 +149,28 @@ func WithLockStale(d time.Duration) Option {
 	}
 }
 
-// Open opens (creating if needed) a store rooted at dir.
+// WithBreaker tunes the write-path circuit breaker: threshold is the
+// consecutive-failure count that trips the store into degraded mode,
+// cooldown the interval between half-open disk probes. Non-positive
+// values keep the defaults.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(s *Store) {
+		if threshold > 0 {
+			s.brk.threshold = int32(threshold)
+		}
+		if cooldown > 0 {
+			s.brk.cooldown = cooldown
+		}
+	}
+}
+
+// Open opens (creating if needed) a store rooted at dir. An
+// uncreatable root — unwritable parent, a file where the directory
+// should be — does not fail: the store opens pre-tripped into
+// degraded mode (in-memory overlay, in-process locks) and half-open
+// probes restore disk persistence if the path becomes usable, so a
+// daemon with a broken store directory serves requests instead of
+// refusing to boot.
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
 		dir:       dir,
@@ -133,17 +178,24 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		lockStale: DefaultLockStale,
 		lockPoll:  5 * time.Millisecond,
 	}
+	s.brk.threshold = DefaultBreakerThreshold
+	s.brk.cooldown = DefaultBreakerCooldown
 	for _, o := range opts {
 		o(s)
 	}
 	for _, sub := range []string{"objects", "locks"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("artifact: open store: %w", err)
+			s.brk.trip()
+			return s, nil
 		}
 	}
 	s.bytes.Store(s.scanBytes())
 	return s, nil
 }
+
+// Degraded reports whether the store's circuit breaker is open (disk
+// bypassed, in-memory pass-through serving).
+func (s *Store) Degraded() bool { return s.brk.degraded() }
 
 // Dir returns the store root.
 func (s *Store) Dir() string { return s.dir }
@@ -158,6 +210,8 @@ func (s *Store) Stats() Stats {
 		Builds:    s.builds.Load(),
 		Steals:    s.steals.Load(),
 		Bytes:     s.bytes.Load(),
+		Degraded:  s.brk.degraded(),
+		Trips:     s.brk.trips.Load(),
 	}
 }
 
@@ -176,23 +230,31 @@ func (s *Store) blobPath(class, a string) string {
 
 // Get returns the payload stored for (class, key), or ok=false on a
 // miss. Corrupt blobs are deleted and reported as misses; hits bump
-// the blob's access time for LRU eviction.
+// the blob's access time for LRU eviction. The degraded-mode overlay
+// backstops both failure modes: a blob the disk cannot produce (read
+// error or integrity failure) is still a hit if a recent Put parked
+// it in memory.
 func (s *Store) Get(class, key string) ([]byte, bool) {
-	path := s.blobPath(class, addr(class, key))
+	a := addr(class, key)
+	path := s.blobPath(class, a)
 	raw, err := os.ReadFile(path)
+	if err == nil {
+		// Chaos plane: a fired eio rule turns the read into an I/O
+		// error; a corrupt rule hands back tampered bytes for the
+		// integrity check below to catch.
+		raw, err = fault.HookData(context.Background(), fault.PointArtifactGet, raw)
+	}
 	if err != nil {
-		s.misses.Add(1)
-		return nil, false
+		return s.memGet(a)
 	}
 	payload, err := unframe(raw)
 	if err != nil {
 		// Integrity failure: drop the blob so the next writer rebuilds
-		// cleanly, and report a plain miss.
+		// cleanly, and report a plain miss (or the overlay's copy).
 		if rmErr := os.Remove(path); rmErr == nil {
 			s.bytes.Add(-int64(len(raw)))
 		}
-		s.misses.Add(1)
-		return nil, false
+		return s.memGet(a)
 	}
 	now := time.Now()
 	_ = os.Chtimes(path, now, now) // best-effort LRU access stamp
@@ -200,16 +262,56 @@ func (s *Store) Get(class, key string) ([]byte, bool) {
 	return payload, true
 }
 
+// memGet finishes a failed disk read against the in-memory overlay.
+func (s *Store) memGet(a string) ([]byte, bool) {
+	if data, ok := s.mem.get(a); ok {
+		s.hits.Add(1)
+		return data, true
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
 // Put stores payload under (class, key) atomically (tmp+rename) and
 // evicts past the size cap. Concurrent puts of the same content are
-// harmless: last rename wins with identical bytes.
+// harmless: last rename wins with identical bytes. Disk failures
+// never lose the artifact: the payload lands in the in-memory overlay
+// and feeds the circuit breaker, which after enough consecutive
+// failures stops touching the disk entirely (half-open probes restore
+// write-through when it recovers). The returned error reports disk
+// persistence only — callers already treat Put as best-effort.
 func (s *Store) Put(class, key string, payload []byte) error {
 	a := addr(class, key)
+	if !s.brk.allow() {
+		s.mem.put(a, payload)
+		s.puts.Add(1)
+		return nil
+	}
+	err := s.diskPut(class, a, frame(payload))
+	if err != nil {
+		s.brk.failure()
+		s.mem.put(a, payload)
+		s.puts.Add(1)
+		return err
+	}
+	s.brk.success()
+	s.puts.Add(1)
+	s.evict()
+	return nil
+}
+
+// diskPut writes a framed blob via tmp+rename, threading the bytes
+// through the artifact.put fault point (an eio rule fails the write,
+// a corrupt rule tears it).
+func (s *Store) diskPut(class, a string, framed []byte) error {
+	framed, ferr := fault.HookData(context.Background(), fault.PointArtifactPut, framed)
+	if ferr != nil {
+		return fmt.Errorf("artifact: put %s: %w", class, ferr)
+	}
 	path := s.blobPath(class, a)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("artifact: put %s: %w", class, err)
 	}
-	framed := frame(payload)
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("artifact: put %s: %w", class, err)
@@ -233,8 +335,6 @@ func (s *Store) Put(class, key string, payload []byte) error {
 		return fmt.Errorf("artifact: put %s: %w", class, err)
 	}
 	s.bytes.Add(int64(len(framed)) - existed)
-	s.puts.Add(1)
-	s.evict()
 	return nil
 }
 
@@ -251,7 +351,15 @@ func (s *Store) GetOrBuild(ctx context.Context, class, key string, build func() 
 	}
 	unlock, err := s.lock(ctx, addr(class, key))
 	if err != nil {
-		return nil, false, err
+		if ctx.Err() != nil {
+			return nil, false, err
+		}
+		// Locking failed for a reason other than cancellation (disk
+		// refusing lock files). Cross-process singleflight is nice to
+		// have, not load-bearing: builds are deterministic and
+		// content-addressed, so proceed without the lock and accept a
+		// possible duplicated build over a refused request.
+		unlock = func() {}
 	}
 	defer unlock()
 	if data, ok := s.Get(class, key); ok {

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseClauses(t *testing.T) {
+	rules, err := ParseRules("artifact.put:eio@0.1;worker.exec:crash@after=2;artifact.get:corrupt@0.05,times=3;worker.exec:sleep@ms=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Point: "artifact.put", Action: ActEIO, Prob: 0.1},
+		{Point: "worker.exec", Action: ActCrash, Prob: 1, After: 2},
+		{Point: "artifact.get", Action: ActCorrupt, Prob: 0.05, Times: 3},
+		{Point: "worker.exec", Action: ActSleep, Prob: 1, Sleep: 500 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("rules = %+v\nwant    %+v", rules, want)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"artifact.put",              // no action
+		"artifact.put:explode",      // unknown action
+		"artifact.put:eio@2",        // probability out of range
+		"artifact.put:eio@0",        // zero probability
+		"artifact.put:eio@nan",      // non-numeric probability
+		"artifact.put:eio@",         // empty params
+		"artifact.put:eio@after=-1", // negative after
+		"artifact.put:eio@times=0",  // zero times
+		"artifact.put:eio@ms=10",    // ms on a non-sleep action
+		"artifact.put:eio@0.1,0.2",  // duplicate probability
+		"Artifact.put:eio",          // uppercase point
+		".put:eio",                  // empty label
+		"artifact..put:eio",         // empty label
+		"9put:eio",                  // label starts with a digit
+		"a b:eio",                   // bad character
+		"artifact.put:eio;;",        // empty clause
+		"artifact.put:eio@wat=1",    // unknown parameter
+	}
+	for _, spec := range bad {
+		if _, err := ParseRules(spec); err == nil {
+			t.Errorf("ParseRules(%q) accepted; want error", spec)
+		}
+	}
+	if rules, err := ParseRules("  "); err != nil || rules != nil {
+		t.Fatalf("blank spec: rules=%v err=%v; want nil, nil", rules, err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	spec := "artifact.put:eio@0.1;worker.exec:crash@after=2;artifact.get:corrupt@0.05,times=3;worker.exec:sleep@ms=500;queue.done:eio"
+	rules, err := ParseRules(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := Format(rules)
+	again, err := ParseRules(formatted)
+	if err != nil {
+		t.Fatalf("Format output %q does not re-parse: %v", formatted, err)
+	}
+	if !reflect.DeepEqual(rules, again) {
+		t.Fatalf("round trip changed rules:\n%+v\n%+v", rules, again)
+	}
+}
+
+// TestDeterministicFiring pins the seeded reproducibility contract:
+// the exact sequence of fire/pass decisions at a point is a pure
+// function of (seed, spec, call index).
+func TestDeterministicFiring(t *testing.T) {
+	run := func(seed uint64) []bool {
+		p, err := Parse("artifact.put:eio@0.3", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.hookErr(PointArtifactPut) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different firing sequences")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Fatalf("p=0.3 over 200 calls fired %d times; want roughly 60", fired)
+	}
+	if reflect.DeepEqual(a, run(43)) {
+		t.Fatal("different seeds produced identical firing sequences")
+	}
+}
+
+// hookErr is a test shorthand for a payload-less hook on a specific plane.
+func (p *Plane) hookErr(point string) error {
+	_, err := p.hook(point, nil)
+	return err
+}
+
+// TestPointStreamsIndependent: interleaving calls at another point
+// must not perturb a point's firing sequence (per-rule streams).
+func TestPointStreamsIndependent(t *testing.T) {
+	seq := func(interleave bool) []bool {
+		p, err := Parse("artifact.put:eio@0.5;artifact.get:eio@0.5", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			if interleave {
+				p.hookErr(PointArtifactGet)
+				p.hookErr(PointArtifactGet)
+			}
+			out[i] = p.hookErr(PointArtifactPut) != nil
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(false), seq(true)) {
+		t.Fatal("artifact.get traffic perturbed artifact.put's firing sequence")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	p, err := Parse("worker.exec:eio@after=2,times=3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if p.hookErr(PointWorkerExec) != nil {
+			fires = append(fires, i)
+		}
+	}
+	if want := []int{3, 4, 5}; !reflect.DeepEqual(fires, want) {
+		t.Fatalf("after=2,times=3 fired on calls %v; want %v", fires, want)
+	}
+	if got := p.Injected(PointWorkerExec); got != 3 {
+		t.Fatalf("Injected = %d; want 3", got)
+	}
+	if got := p.Calls(PointWorkerExec); got != 10 {
+		t.Fatalf("Calls = %d; want 10", got)
+	}
+	if got := p.Total(); got != 3 {
+		t.Fatalf("Total = %d; want 3", got)
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	p, err := Parse("artifact.get:corrupt", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	out, err := p.hook(PointArtifactGet, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := range data {
+		if data[i] != byte(i) {
+			t.Fatal("corrupt mutated the caller's slice")
+		}
+		if out[i] != data[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("corrupt changed %d bytes; want exactly 1", diffs)
+	}
+	// The payload-less Hook skips corrupt rules entirely.
+	if err := p.hookErr(PointArtifactGet); err != nil {
+		t.Fatalf("corrupt fired at a payload-less hook: %v", err)
+	}
+}
+
+func TestGlobalAndContextPlanes(t *testing.T) {
+	if err := Hook(context.Background(), PointWorkerExec); err != nil {
+		t.Fatalf("no plane installed, got %v", err)
+	}
+	p, err := Parse("worker.exec:eio", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetGlobal(p)
+	defer SetGlobal(nil)
+	err = Hook(context.Background(), PointWorkerExec)
+	if !IsInjected(err) {
+		t.Fatalf("global plane: err = %v; want injected", err)
+	}
+	// A ctx-scoped plane overrides the global one — here, with an
+	// empty plane that never fires.
+	quiet := New(1, nil)
+	if err := Hook(With(context.Background(), quiet), PointWorkerExec); err != nil {
+		t.Fatalf("ctx override: %v", err)
+	}
+	if got := InjectedTotal(); got != 1 {
+		t.Fatalf("InjectedTotal = %d; want 1", got)
+	}
+}
+
+func TestErrInjectedClassification(t *testing.T) {
+	p, err := Parse("queue.done:eio", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookErr := p.hookErr(PointQueueDone)
+	if !errors.Is(hookErr, ErrInjected) || !IsInjected(hookErr) {
+		t.Fatalf("err %v does not classify as injected", hookErr)
+	}
+}

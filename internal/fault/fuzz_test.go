@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzFaultPlan pins the parser's two safety properties: it never
+// panics on arbitrary input, and anything it accepts re-parses from
+// its canonical Format to the same rules (reject-don't-misparse — a
+// spec either means exactly one plan or is an error).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("artifact.put:eio@0.1;worker.exec:crash@after=2")
+	f.Add("artifact.get:corrupt@0.05,times=3")
+	f.Add("worker.exec:sleep@ms=500")
+	f.Add("queue.lease:eio")
+	f.Add("queue.done:eio@0.25,after=1,times=7")
+	f.Add("a.b.c:eio@1e-3")
+	f.Add("")
+	f.Add(";;;")
+	f.Add("artifact.put:eio@0.1;")
+	f.Add("p:eio@prob=0.5")
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseRules(spec)
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			if r.Prob <= 0 || r.Prob > 1 {
+				t.Fatalf("accepted probability %v outside (0, 1] from %q", r.Prob, spec)
+			}
+			if r.After < 0 || r.Times < 0 || r.Sleep < 0 {
+				t.Fatalf("accepted negative rule field from %q: %+v", spec, r)
+			}
+			if strings.ContainsAny(r.Point, " \t\n;:@,") {
+				t.Fatalf("accepted point with delimiter bytes from %q: %q", spec, r.Point)
+			}
+		}
+		canonical := Format(rules)
+		again, err := ParseRules(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, spec, err)
+		}
+		if !reflect.DeepEqual(rules, again) {
+			t.Fatalf("round trip diverged for %q:\nfirst  %+v\nsecond %+v", spec, rules, again)
+		}
+		// A plane over the accepted rules must evaluate without
+		// panicking (crash rules aside, which Parse accepts but a unit
+		// fuzz target must not execute).
+		for _, r := range rules {
+			if r.Action == ActCrash || r.Action == ActSleep {
+				return
+			}
+		}
+		p := New(1, rules)
+		for i := 0; i < 4; i++ {
+			p.hook("artifact.put", []byte("payload"))
+			p.hook("artifact.get", nil)
+		}
+	})
+}

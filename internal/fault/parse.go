@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec grammar (the -faults flag / RCAD_FAULTS value):
+//
+//	spec    = clause *( ";" clause )
+//	clause  = point ":" action [ "@" param *( "," param ) ]
+//	point   = lowercase dotted identifier, e.g. "artifact.put"
+//	action  = "eio" | "crash" | "corrupt" | "sleep"
+//	param   = probability (bare float in (0,1], default 1)
+//	        | "after=" N   (first N calls at the point pass; default 0)
+//	        | "times=" N   (max fires; default unlimited)
+//	        | "ms=" N      (sleep duration; sleep only, default 100)
+//
+// Examples:
+//
+//	artifact.put:eio@0.1                 10% of blob writes fail
+//	worker.exec:crash@after=2            the 3rd execution kills the worker
+//	artifact.get:corrupt@0.05,times=3    flip a byte in 5% of reads, 3 max
+//	worker.exec:sleep@ms=500             every execution stalls 500ms
+//
+// Parse is strict — a malformed clause is an error, never a silently
+// adjusted rule — because a chaos plan that half-applies is worse than
+// one that refuses to run.
+
+// Parse builds a plane from a spec string and a seed. An empty spec
+// returns an empty plane (hooks never fire).
+func Parse(spec string, seed uint64) (*Plane, error) {
+	rules, err := ParseRules(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules), nil
+}
+
+// ParseRules parses a spec into its rule list without binding a seed.
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("fault: empty clause in spec %q", spec)
+		}
+		r, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseClause(clause string) (Rule, error) {
+	head, params, hasParams := strings.Cut(clause, "@")
+	point, action, ok := strings.Cut(head, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("fault: clause %q: want point:action", clause)
+	}
+	if err := checkPoint(point); err != nil {
+		return Rule{}, err
+	}
+	r := Rule{Point: point, Prob: 1}
+	switch action {
+	case "eio":
+		r.Action = ActEIO
+	case "crash":
+		r.Action = ActCrash
+	case "corrupt":
+		r.Action = ActCorrupt
+	case "sleep":
+		r.Action = ActSleep
+		r.Sleep = 100 * time.Millisecond
+	default:
+		return Rule{}, fmt.Errorf("fault: clause %q: unknown action %q (want eio, crash, corrupt or sleep)", clause, action)
+	}
+	if !hasParams {
+		return r, nil
+	}
+	if params == "" {
+		return Rule{}, fmt.Errorf("fault: clause %q: empty parameter list after '@'", clause)
+	}
+	seen := map[string]bool{}
+	for _, param := range strings.Split(params, ",") {
+		key, val, isKV := strings.Cut(param, "=")
+		if !isKV {
+			key = "prob"
+			val = param
+		}
+		if seen[key] {
+			return Rule{}, fmt.Errorf("fault: clause %q: duplicate %s parameter", clause, key)
+		}
+		seen[key] = true
+		switch key {
+		case "prob":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 || p > 1 {
+				return Rule{}, fmt.Errorf("fault: clause %q: probability %q not in (0, 1]", clause, val)
+			}
+			r.Prob = p
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("fault: clause %q: after=%q not a non-negative integer", clause, val)
+			}
+			r.After = n
+		case "times":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Rule{}, fmt.Errorf("fault: clause %q: times=%q not a positive integer", clause, val)
+			}
+			r.Times = n
+		case "ms":
+			if r.Action != ActSleep {
+				return Rule{}, fmt.Errorf("fault: clause %q: ms= only applies to sleep", clause)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Rule{}, fmt.Errorf("fault: clause %q: ms=%q not a positive integer", clause, val)
+			}
+			r.Sleep = time.Duration(n) * time.Millisecond
+		default:
+			return Rule{}, fmt.Errorf("fault: clause %q: unknown parameter %q", clause, key)
+		}
+	}
+	return r, nil
+}
+
+// checkPoint validates a point name: dot-separated lowercase labels,
+// each starting with a letter ([a-z][a-z0-9_]*).
+func checkPoint(point string) error {
+	if point == "" {
+		return fmt.Errorf("fault: empty fault point")
+	}
+	for _, label := range strings.Split(point, ".") {
+		if label == "" {
+			return fmt.Errorf("fault: point %q: empty dotted label", point)
+		}
+		for i := 0; i < len(label); i++ {
+			c := label[i]
+			switch {
+			case c >= 'a' && c <= 'z':
+			case c == '_', c >= '0' && c <= '9':
+				if i == 0 {
+					return fmt.Errorf("fault: point %q: label %q must start with a letter", point, label)
+				}
+			default:
+				return fmt.Errorf("fault: point %q: bad character %q", point, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Format renders rules back to the canonical spec string; Parse of the
+// result yields the same rules (the fuzz-pinned round-trip property).
+func Format(rules []Rule) string {
+	clauses := make([]string, 0, len(rules))
+	for _, r := range rules {
+		var b strings.Builder
+		b.WriteString(r.Point)
+		b.WriteByte(':')
+		b.WriteString(r.Action.String())
+		var params []string
+		if r.Prob < 1 {
+			params = append(params, strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		if r.After > 0 {
+			params = append(params, "after="+strconv.Itoa(r.After))
+		}
+		if r.Times > 0 {
+			params = append(params, "times="+strconv.Itoa(r.Times))
+		}
+		if r.Action == ActSleep {
+			params = append(params, "ms="+strconv.Itoa(int(r.Sleep/time.Millisecond)))
+		}
+		if len(params) > 0 {
+			b.WriteByte('@')
+			b.WriteString(strings.Join(params, ","))
+		}
+		clauses = append(clauses, b.String())
+	}
+	return strings.Join(clauses, ";")
+}
+
+// FromEnv builds the process plane from RCAD_FAULTS / RCAD_FAULT_SEED
+// (seed defaults to 1). An unset RCAD_FAULTS returns (nil, nil).
+func FromEnv() (*Plane, error) {
+	spec := os.Getenv("RCAD_FAULTS")
+	if spec == "" {
+		return nil, nil
+	}
+	seed := uint64(1)
+	if s := os.Getenv("RCAD_FAULT_SEED"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: RCAD_FAULT_SEED=%q: %v", s, err)
+		}
+		seed = n
+	}
+	return Parse(spec, seed)
+}

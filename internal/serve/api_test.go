@@ -128,6 +128,8 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"rcad_compile_cache_hits_total", "rcad_compile_cache_misses_total",
 		"rcad_artifact_store_hits_total", "rcad_artifact_store_misses_total",
 		"rcad_artifact_store_evictions_total", "rcad_artifact_store_bytes",
+		"rcad_fault_injected_total", "rcad_job_retries_total",
+		"rcad_jobs_dead_lettered_total", "rcad_store_degraded",
 	} {
 		metricValue(t, ts.URL, metric) // fails the test if absent
 	}

@@ -1,0 +1,171 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/serve"
+)
+
+// TestChaosWorkerCrashHelper is the subprocess body for
+// TestChaosWorkerCrashRecovery: it only runs when re-exec'd with
+// RCA_CRASH_WORKER_DIR set. It claims the queued job, writes a marker
+// file the moment execution starts — the window where it holds both
+// the queue lease and the scenario lock — and then stalls until the
+// parent SIGKILLs it.
+func TestChaosWorkerCrashHelper(t *testing.T) {
+	dir := os.Getenv("RCA_CRASH_WORKER_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper; driven by TestChaosWorkerCrashRecovery")
+	}
+	marker := os.Getenv("RCA_CRASH_MARKER")
+	store, err := rca.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Session:   storeSession(t, store),
+		Artifacts: store,
+		RunHook: func(string) {
+			_ = os.WriteFile(marker, []byte("claimed\n"), 0o644)
+			time.Sleep(2 * time.Minute) // SIGKILL arrives long before
+		},
+	})
+	_ = srv.ServeQueue(context.Background(), "crasher", nil, 10*time.Millisecond)
+}
+
+// TestChaosWorkerCrashRecovery is the crash-tolerance acceptance test
+// with a REAL worker process: a subprocess claims a queued scenario,
+// is SIGKILLed mid-lease (no deferred cleanup runs — exactly what a
+// kernel OOM-kill does), and a surviving peer must steal the stale
+// lease, re-run the job with an incremented attempt counter, and
+// publish FormatOutcome bytes identical to a never-crashed run.
+func TestChaosWorkerCrashRecovery(t *testing.T) {
+	scenario := rca.Experiments()[:1]
+	reference := referenceTexts(t, scenario)
+
+	dir := t.TempDir()
+	marker := filepath.Join(t.TempDir(), "claimed")
+	// Short stale timeout so the survivor steals the dead worker's
+	// queue lease and scenario lock in test time, not after 2 minutes.
+	store, err := rca.OpenArtifactStore(dir, rca.WithStoreLockStale(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Session: storeSession(t, store), Artifacts: store})
+	defer srv.Close()
+
+	body, err := rca.ScenarioToJSON(scenario[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := srv.Enqueue(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestChaosWorkerCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"RCA_CRASH_WORKER_DIR="+dir,
+		"RCA_CRASH_MARKER="+marker,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subprocess worker never claimed the job")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Mid-lease: the subprocess holds the job's lease file right now.
+	leaseFiles, err := os.ReadDir(filepath.Join(dir, "queue", "leases"))
+	if err != nil || len(leaseFiles) != 1 {
+		t.Fatalf("lease files mid-execution = %d (err %v); want 1", len(leaseFiles), err)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// The orphaned lease is still on disk — the crash left no tidy
+	// state behind, only a file going stale.
+	if entries, _ := os.ReadDir(filepath.Join(dir, "queue", "leases")); len(entries) != 1 {
+		t.Fatalf("lease files after SIGKILL = %d; want the orphan still present", len(entries))
+	}
+
+	// A surviving peer drains the queue: it must steal the stale lease
+	// and finish the job.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeQueue(ctx, "survivor", nil, 20*time.Millisecond) }()
+	q, err := store.Queue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Minute)
+	for !q.IsDone(id) {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never completed the crashed job (pending=%d)", q.Pending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("ServeQueue returned %v", err)
+	}
+
+	// The crash burned an attempt: the dead worker's claim charged 1,
+	// the survivor's re-claim charged 2.
+	if got := q.Attempts(id); got != 2 {
+		t.Fatalf("attempt counter after crash recovery = %d; want 2", got)
+	}
+	if steals := store.Stats().Steals; steals == 0 {
+		t.Fatal("survivor completed without stealing the stale lease")
+	}
+
+	// Exactly-once-effective: the recovered outcome is byte-identical
+	// to a run that never crashed.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/queue/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st queueStateReply
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Result == nil || st.Result.State != "done" {
+		t.Fatalf("queue result after recovery: %+v; want done", st)
+	}
+	reply, status, err := postJob(ts.URL, body, true)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("readback: status %d, err %v", status, err)
+	}
+	if reply.Outcome == nil || reply.Outcome.Text != reference[scenario[0].Name()] {
+		t.Fatalf("recovered outcome diverged from the never-crashed run:\n%s", outcomeText(reply))
+	}
+}

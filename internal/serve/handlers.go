@@ -9,6 +9,8 @@ import (
 	"strconv"
 
 	rca "github.com/climate-rca/rca"
+	"github.com/climate-rca/rca/internal/artifact"
+	"github.com/climate-rca/rca/internal/fault"
 )
 
 // maxScenarioBytes bounds a POST /v1/jobs body.
@@ -25,6 +27,7 @@ type jobJSON struct {
 	Events      []StageEvent `json:"events,omitempty"`
 	Outcome     *Outcome     `json:"outcome,omitempty"`
 	Error       string       `json:"error,omitempty"`
+	Attempts    int          `json:"attempts,omitempty"`
 }
 
 type errorJSON struct {
@@ -121,7 +124,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.submit(sc)
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -148,6 +151,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
+		// Not in the in-process registry: a dead-lettered queue job is
+		// still addressable here, surfacing as a terminal failed job
+		// with its structured error payload.
+		if fj, found := s.deadLettered(r.PathValue("id")); found {
+			writeJSON(w, http.StatusOK, jobJSON{
+				ID:          fj.ID,
+				Fingerprint: fj.ID,
+				State:       StateFailed,
+				Error:       fj.Error,
+				Attempts:    fj.Attempts,
+			})
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
@@ -234,7 +250,7 @@ func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.startSearch(req)
 	if errors.Is(err, ErrClosed) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -291,7 +307,7 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("e=%d;r=%d;k=%d;s=%d", setup.EnsembleSize, setup.ExpSize, setup.TopK, setup.RandomSamples)
 	fl, err := s.table1Flight(key, setup)
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -315,18 +331,55 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	// degraded=true means the artifact store's circuit breaker is open
+	// (disk bypassed, in-memory pass-through serving): alive and
+	// answering, but without durability until the disk recovers.
+	degraded := s.artifacts != nil && s.artifacts.Degraded()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true, "degraded": degraded})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	hits, misses := s.session.CompileCacheStats()
 	var as artifactStats
+	rs := robustStats{FaultInjected: fault.InjectedTotal()}
 	if s.artifacts != nil {
 		st := s.artifacts.Stats()
 		as = artifactStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Steals: st.Steals, Bytes: st.Bytes}
+		rs.Degraded = st.Degraded
+		if q, err := s.jobQueue(); err == nil {
+			rs.DeadLettered = q.FailedCount()
+		}
 	}
-	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses, as)
+	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses, as, rs)
+}
+
+// deadLettered looks an id up in the shared queue's dead-letter
+// directory (nil store or no record: not found).
+func (s *Server) deadLettered(id string) (*artifact.FailedJob, bool) {
+	if s.artifacts == nil {
+		return nil, false
+	}
+	q, err := s.jobQueue()
+	if err != nil {
+		return nil, false
+	}
+	return q.Failed(id)
+}
+
+// retryAfterSecs scales the 503 Retry-After hint with the backlog:
+// an empty queue suggests 1s, a deep one (relative to the worker
+// pool) proportionally more, capped at 60s.
+func (s *Server) retryAfterSecs() string {
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + len(s.queue)/workers
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
 }
 
 // boolParam reads a truthy query parameter ("1", "true", "yes").

@@ -18,6 +18,7 @@ type metrics struct {
 	jobsRejected    atomic.Int64 // submissions rejected (queue full / shutdown)
 	executions      atomic.Int64 // actual underlying pipeline executions
 	flightsCanceled atomic.Int64 // executions aborted because every subscriber left
+	jobRetries      atomic.Int64 // execution attempts retried after transient failures
 
 	searchesStarted        atomic.Int64 // scenario searches accepted
 	searchesCompleted      atomic.Int64 // searches finished with a result
@@ -32,7 +33,7 @@ type metrics struct {
 // Every job series carries the session's execution-engine label
 // (engine="bytecode" or engine="tree"), and the bytecode program
 // cache's hit/miss counters are reported alongside.
-func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, inflight int, compileHits, compileMisses uint64, as artifactStats) {
+func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, inflight int, compileHits, compileMisses uint64, as artifactStats, rs robustStats) {
 	lbl := fmt.Sprintf(`{engine=%q}`, engine)
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP rcad_%s %s\n# TYPE rcad_%s counter\nrcad_%s%s %d\n", name, help, name, name, lbl, v)
@@ -62,10 +63,18 @@ func (m *metrics) write(w io.Writer, engine string, queueDepth, storeSize, infli
 	counter("artifact_store_misses_total", "Artifact store blob reads that missed (or failed integrity).", int64(as.Misses))
 	counter("artifact_store_evictions_total", "Artifact store blobs evicted by the size cap.", int64(as.Evictions))
 	counter("artifact_lock_steals_total", "Stale artifact locks and queue leases stolen from dead holders.", int64(as.Steals))
+	counter("fault_injected_total", "Faults fired by the active chaos plane (0 without -faults).", int64(rs.FaultInjected))
+	counter("job_retries_total", "Execution attempts retried after transient failures.", m.jobRetries.Load())
+	counter("jobs_dead_lettered_total", "Queue jobs retired to the dead-letter directory.", int64(rs.DeadLettered))
 	gauge("queue_depth", "Executions waiting for a worker.", queueDepth)
 	gauge("outcome_store_size", "Outcomes held by the LRU store.", storeSize)
 	gauge("flights_inflight", "Executions queued or running.", inflight)
 	gauge("artifact_store_bytes", "Artifact store on-disk payload bytes.", int(as.Bytes))
+	degraded := 0
+	if rs.Degraded {
+		degraded = 1
+	}
+	gauge("store_degraded", "1 while the artifact store circuit breaker is open (in-memory pass-through).", degraded)
 }
 
 // artifactStats is the slice of artifact.Stats the metrics page
@@ -77,4 +86,14 @@ type artifactStats struct {
 	Evictions uint64
 	Steals    uint64
 	Bytes     int64
+}
+
+// robustStats is the live robustness slice of the metrics page: the
+// chaos plane's injection counter, the dead-letter directory size and
+// the circuit breaker's state; zero-valued without a store or plane so
+// the series always exist.
+type robustStats struct {
+	FaultInjected uint64
+	DeadLettered  int
+	Degraded      bool
 }

@@ -29,11 +29,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
 	rca "github.com/climate-rca/rca"
 	"github.com/climate-rca/rca/internal/artifact"
+	"github.com/climate-rca/rca/internal/fault"
 )
 
 // Config sizes a Server.
@@ -76,7 +79,25 @@ type Config struct {
 	// includes disk I/O; the flusher drains on shutdown within this
 	// deadline.
 	FlushTimeout time.Duration
+	// MaxAttempts is the per-job execution budget (default 3): a
+	// flight whose failure is transient — an injected fault or a job
+	// deadline — retries with exponential backoff up to this many
+	// attempts, and the shared work queue dead-letters jobs after the
+	// same budget.
+	MaxAttempts int
+	// JobTimeout bounds one pipeline execution attempt (0 = none). A
+	// timed-out attempt counts as transient and retries under the
+	// MaxAttempts budget.
+	JobTimeout time.Duration
+	// RetryBase is the first retry's backoff delay (default 250ms),
+	// doubling per attempt with deterministic per-fingerprint jitter.
+	// It also seeds the shared queue's backoff policy.
+	RetryBase time.Duration
 }
+
+// ErrJobTimeout marks an execution attempt aborted by Config.JobTimeout
+// (transient: it retries under the attempt budget).
+var ErrJobTimeout = errors.New("serve: job deadline exceeded")
 
 // Typed submission failures the HTTP layer maps to status codes.
 var (
@@ -131,7 +152,11 @@ type Server struct {
 	qmu sync.Mutex
 	q   *artifact.Queue
 
-	jobsCap int
+	jobsCap     int
+	workers     int
+	maxAttempts int
+	jobTimeout  time.Duration
+	retryBase   time.Duration
 
 	mu       sync.Mutex
 	closed   bool
@@ -191,6 +216,12 @@ func New(cfg Config) *Server {
 	if cfg.FlushTimeout <= 0 {
 		cfg.FlushTimeout = 5 * time.Second
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = artifact.DefaultMaxAttempts
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = artifact.DefaultBackoffBase
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		session:      cfg.Session,
@@ -202,6 +233,10 @@ func New(cfg Config) *Server {
 		artifacts:    cfg.Artifacts,
 		flushTimeout: cfg.FlushTimeout,
 		jobsCap:      cfg.JobsCap,
+		workers:      cfg.Workers,
+		maxAttempts:  cfg.MaxAttempts,
+		jobTimeout:   cfg.JobTimeout,
+		retryBase:    cfg.RetryBase,
 		jobs:         make(map[string]*job),
 		flights:      make(map[string]*flight),
 		t1:           make(map[string]*t1flight),
@@ -452,12 +487,24 @@ func (s *Server) runFlight(fl *flight) {
 	}
 
 	fl.start()
-	s.m.executions.Add(1)
-	if s.hook != nil {
-		s.hook(fl.key)
+	// Execute with a bounded retry budget: failures classified as
+	// transient — injected faults from the chaos plane, per-attempt
+	// deadline hits — back off (exponential, deterministic jitter) and
+	// re-run, as long as a subscriber is still interested. Anything
+	// else (pipeline errors, client cancellation) surfaces immediately.
+	var out *rca.Outcome
+	var err error
+	for attempt := 1; ; attempt++ {
+		out, err = s.runOnce(fl)
+		if err == nil || !transientErr(err) || attempt >= s.maxAttempts || fl.ctx.Err() != nil {
+			break
+		}
+		s.m.jobRetries.Add(1)
+		select {
+		case <-time.After(retryDelay(fl.key, attempt, s.retryBase)):
+		case <-fl.ctx.Done():
+		}
 	}
-	ctx := rca.WithProgress(fl.ctx, fl.setStage)
-	out, err := s.session.Run(ctx, fl.scenario)
 	if err == nil {
 		o := &Outcome{
 			Fingerprint: fl.key,
@@ -478,6 +525,67 @@ func (s *Server) runFlight(fl *flight) {
 		s.m.flightsCanceled.Add(1)
 	}
 	s.finishFlight(fl, nil, err)
+}
+
+// runOnce performs a single execution attempt of a flight under the
+// per-attempt deadline (Config.JobTimeout) and the worker.exec fault
+// point. A deadline hit is converted to ErrJobTimeout — distinguished
+// from client cancellation by the flight context staying alive.
+func (s *Server) runOnce(fl *flight) (*rca.Outcome, error) {
+	runCtx, cancel := fl.ctx, func() {}
+	if s.jobTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(fl.ctx, s.jobTimeout)
+	}
+	defer cancel()
+	if err := fault.Hook(runCtx, fault.PointWorkerExec); err != nil {
+		return nil, err
+	}
+	// A sleep-action fault may have consumed the whole deadline before
+	// the pipeline even starts; classify that as a timeout, not a run.
+	if fl.ctx.Err() == nil && runCtx.Err() != nil {
+		return nil, fmt.Errorf("%w (%v budget)", ErrJobTimeout, s.jobTimeout)
+	}
+	s.m.executions.Add(1)
+	if s.hook != nil {
+		s.hook(fl.key)
+	}
+	ctx := rca.WithProgress(runCtx, fl.setStage)
+	out, err := s.session.Run(ctx, fl.scenario)
+	if err != nil && fl.ctx.Err() == nil && runCtx.Err() != nil {
+		// The attempt's own deadline, not the client, killed the run.
+		// %v (not %w) around the inner error keeps ErrCanceled out of
+		// the chain so finishFlight reports failed, not canceled.
+		err = fmt.Errorf("%w (%v budget): %v", ErrJobTimeout, s.jobTimeout, err)
+	}
+	return out, err
+}
+
+// transientErr classifies failures worth retrying: injected chaos
+// faults and per-attempt deadline hits.
+func transientErr(err error) bool {
+	return fault.IsInjected(err) || errors.Is(err, ErrJobTimeout)
+}
+
+// retryDelay is the backoff before re-running a flight: RetryBase
+// doubled per attempt (capped at 30s) plus a jitter that is a pure
+// function of (fingerprint, attempt), so seeded chaos runs replay the
+// same schedule.
+func retryDelay(key string, attempt int, base time.Duration) time.Duration {
+	if base <= 0 {
+		base = artifact.DefaultBackoffBase
+	}
+	const maxDelay = 30 * time.Second
+	d := base
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte(strconv.Itoa(attempt)))
+	return d + time.Duration(h.Sum64()%uint64(base))
 }
 
 // persistOutcome queues an asynchronous durable write of a completed

@@ -44,6 +44,11 @@ func (s *Server) jobQueue() (*artifact.Queue, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The queue's retry policy follows the server's: one -max-attempts
+		// budget governs both in-process flight retries and cross-process
+		// claim counting.
+		q.MaxAttempts = s.maxAttempts
+		q.BackoffBase = s.retryBase
 		s.q = q
 	}
 	return s.q, nil
@@ -175,9 +180,9 @@ func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
 	}
 	sc, err := rca.ScenarioFromJSON(c.Payload)
 	if err != nil {
-		// Malformed payloads are completed with an error marker rather
-		// than released: retrying cannot fix them.
-		finish(queueResult{State: StateFailed, Error: fmt.Sprintf("bad scenario: %v", err)})
+		// Malformed payloads are permanent failures: dead-letter them
+		// immediately, retrying cannot fix the bytes.
+		_ = c.Reject(fmt.Sprintf("bad scenario: %v", err))
 		return
 	}
 	j, err := s.submit(sc)
@@ -188,7 +193,9 @@ func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
 		return
 	}
 	if err != nil {
-		finish(queueResult{State: StateFailed, Error: err.Error()})
+		// Planner rejection (conflicting injections, unknown parameter):
+		// permanent, straight to the dead-letter directory.
+		_ = c.Reject(err.Error())
 		return
 	}
 	select {
@@ -209,6 +216,14 @@ func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
 		c.Release()
 		return
 	}
+	if state == StateFailed {
+		// Failed after the in-process retry budget. Fail charges the
+		// attempt and either schedules a backoff re-claim or, at the
+		// cross-process budget, retires the job to queue/failed where
+		// GET /v1/jobs/{id} surfaces it as terminal.
+		_, _ = c.Fail(res.Error)
+		return
+	}
 	finish(res)
 }
 
@@ -219,7 +234,7 @@ func (s *Server) runQueued(ctx context.Context, c *artifact.Claimed) {
 func (s *Server) runQueuedSearch(ctx context.Context, c *artifact.Claimed, raw json.RawMessage, finish func(queueResult)) {
 	req, err := rca.SearchRequestFromJSON(raw)
 	if err != nil {
-		finish(queueResult{State: StateFailed, Error: fmt.Sprintf("bad search request: %v", err)})
+		_ = c.Reject(fmt.Sprintf("bad search request: %v", err))
 		return
 	}
 	j, err := s.startSearch(req)
@@ -246,14 +261,29 @@ func (s *Server) runQueuedSearch(ctx context.Context, c *artifact.Claimed, raw j
 	if jerr != nil {
 		res.Error = jerr.Error()
 	}
+	if state == StateFailed {
+		_, _ = c.Fail(res.Error)
+		return
+	}
 	finish(res)
 }
 
-// queueState answers GET /v1/queue/{id}.
+// failedJSON is the wire rendering of a dead-letter record.
+type failedJSON struct {
+	Error    string    `json:"error"`
+	Attempts int       `json:"attempts"`
+	At       time.Time `json:"at"`
+}
+
+// queueState answers GET /v1/queue/{id}. Done reports a terminal
+// state: completed with a result, or dead-lettered with a structured
+// failure record.
 type queueState struct {
-	ID     string       `json:"id"`
-	Done   bool         `json:"done"`
-	Result *queueResult `json:"result,omitempty"`
+	ID       string       `json:"id"`
+	Done     bool         `json:"done"`
+	Attempts int          `json:"attempts,omitempty"`
+	Result   *queueResult `json:"result,omitempty"`
+	Failed   *failedJSON  `json:"failed,omitempty"`
 }
 
 // queueStatus reports a queued job's completion state and result.
@@ -262,15 +292,19 @@ func (s *Server) queueStatus(id string) (queueState, error) {
 	if err != nil {
 		return queueState{}, err
 	}
-	st := queueState{ID: id}
-	data, ok := q.Result(id)
-	if !ok {
+	st := queueState{ID: id, Attempts: q.Attempts(id)}
+	if data, ok := q.Result(id); ok {
+		st.Done = true
+		var res queueResult
+		if err := json.Unmarshal(data, &res); err == nil {
+			st.Result = &res
+		}
 		return st, nil
 	}
-	st.Done = true
-	var res queueResult
-	if err := json.Unmarshal(data, &res); err == nil {
-		st.Result = &res
+	if fj, ok := q.Failed(id); ok {
+		st.Done = true
+		st.Attempts = fj.Attempts
+		st.Failed = &failedJSON{Error: fj.Error, Attempts: fj.Attempts, At: fj.At}
 	}
 	return st, nil
 }
