@@ -66,6 +66,22 @@ func BenchmarkPipelineSixSpecsSession(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSixSpecsSessionUnbatched is the same six-spec
+// session run with batching disabled (WithBatch(1)): every ensemble
+// and experimental member integrates on its own solo VM. The gap to
+// BenchmarkPipelineSixSpecsSession is the lockstep SoA batching win;
+// outputs are pinned bit-identical, so the two benchmarks do exactly
+// the same science.
+func BenchmarkPipelineSixSpecsSessionUnbatched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSession(CorpusConfig{AuxModules: 40, Seed: 2},
+			WithEnsembleSize(30), WithExpSize(8), WithBatch(1))
+		if _, err := s.RunAll(context.Background(), Experiments()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func runSpec(b *testing.B, spec Scenario, print bool) *Outcome {
 	b.Helper()
 	var out *Outcome

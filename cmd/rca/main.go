@@ -84,6 +84,7 @@ func main() {
 		dot       = flag.String("dot", "", "write the induced subgraph (Graphviz) to this file")
 		graded    = flag.Bool("magnitudes", false, "use graded (magnitude-ranked) sampling (§6.3 extension)")
 		parallel  = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
+		batch     = flag.Int("batch", 0, "members per batched lockstep VM (0 = default 8, 1 = solo VMs); results are bit-identical at every width")
 		engine    = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
 		server    = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
 		storeDir  = flag.String("store", "", "artifact store directory: persist corpora, compiled programs and metagraphs so later runs (and rcad daemons) start warm")
@@ -207,6 +208,9 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))
+	}
+	if *batch > 0 {
+		opts = append(opts, rca.WithBatch(*batch))
 	}
 	if *storeDir != "" {
 		store, err := rca.OpenArtifactStore(*storeDir)

@@ -66,6 +66,7 @@ func main() {
 		runs     = flag.Int("runs", 10, "experimental run count")
 		sampler  = flag.String("sampler", "value", "sampler: value | reach | graded")
 		parallel = flag.Int("parallel", 0, "worker pool per investigation (0 = GOMAXPROCS)")
+		batch    = flag.Int("batch", 0, "members per batched lockstep VM (0 = default 8, 1 = solo VMs)")
 		engine   = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle)")
 		workers  = flag.Int("workers", 2, "concurrent pipeline executions")
 		queue    = flag.Int("queue", 64, "bounded job-queue capacity")
@@ -144,6 +145,9 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))
+	}
+	if *batch > 0 {
+		opts = append(opts, rca.WithBatch(*batch))
 	}
 	if store != nil {
 		opts = append(opts, rca.WithArtifacts(store))

@@ -349,3 +349,52 @@ func TestGetCorruptionFaultHealsByRebuild(t *testing.T) {
 		t.Fatalf("rebuild after corruption: got=%q built=%v builds=%d err=%v", got, built, builds, err)
 	}
 }
+
+// TestBackoffZeroValueQueueGrows is the regression test for the
+// zero-value Queue{} backoff bug: with no BackoffMax configured, the
+// doubling loop's `d < q.BackoffMax` guard was false from the first
+// iteration, so every retry waited only the base delay. A directly
+// constructed Queue must now grow exponentially up to the default cap.
+func TestBackoffZeroValueQueueGrows(t *testing.T) {
+	q := &Queue{} // deliberately NOT via NewQueue: no defaults applied
+	jitterless := func(attempt int) time.Duration {
+		d := q.backoff("job-x", attempt)
+		// Strip the deterministic jitter (always < base).
+		return d - d%DefaultBackoffBase
+	}
+	prev := jitterless(1)
+	if prev != DefaultBackoffBase {
+		t.Fatalf("attempt 1 backoff = %v, want %v", prev, DefaultBackoffBase)
+	}
+	for attempt := 2; attempt <= 7; attempt++ {
+		d := jitterless(attempt)
+		if d != 2*prev {
+			t.Fatalf("attempt %d backoff = %v, want %v (exponential growth)", attempt, d, 2*prev)
+		}
+		prev = d
+	}
+	// Far past the doubling range the delay must cap at the default max.
+	if d := jitterless(40); d != DefaultBackoffMax {
+		t.Fatalf("attempt 40 backoff = %v, want capped %v", d, DefaultBackoffMax)
+	}
+}
+
+// TestBackoffHelperDefaults pins the shared helper's contract: both
+// knobs default when non-positive, the cap binds, and the jitter is a
+// deterministic pure function of (id, attempt).
+func TestBackoffHelperDefaults(t *testing.T) {
+	if a, b := Backoff("id", 3, 0, 0), Backoff("id", 3, DefaultBackoffBase, DefaultBackoffMax); a != b {
+		t.Fatalf("zero knobs %v != explicit defaults %v", a, b)
+	}
+	base, max := 100*time.Millisecond, 300*time.Millisecond
+	d := Backoff("id", 10, base, max)
+	if d < max || d >= max+base {
+		t.Fatalf("capped delay %v outside [%v, %v)", d, max, max+base)
+	}
+	if Backoff("id", 5, base, max) != Backoff("id", 5, base, max) {
+		t.Fatal("jitter is not deterministic")
+	}
+	if Backoff("a", 5, base, max) == Backoff("b", 5, base, max) {
+		t.Fatal("jitter ignores the id")
+	}
+}

@@ -279,26 +279,40 @@ func (c *Claimed) Reject(cause string) error {
 	return c.q.deadLetter(c.ID, c.Payload, c.Attempt, cause)
 }
 
-// backoff returns the retry delay after a given failed attempt:
-// BackoffBase doubled per attempt, capped at BackoffMax, plus a
-// deterministic jitter derived from (id, attempt) so co-failing
-// workers spread out identically on every replay of a seeded run.
-func (q *Queue) backoff(id string, attempt int) time.Duration {
-	base := q.BackoffBase
+// Backoff returns the retry delay after a given failed attempt: base
+// doubled per attempt, capped at max, plus a deterministic jitter
+// derived from (id, attempt) so co-failing workers spread out
+// identically on every replay of a seeded run. Non-positive base and
+// max fall back to DefaultBackoffBase and DefaultBackoffMax, so a
+// zero-value caller still gets exponential growth with a sane cap.
+// It is the one backoff schedule shared by the queue's retry plane
+// and rcad's in-process flight retries.
+func Backoff(id string, attempt int, base, max time.Duration) time.Duration {
 	if base <= 0 {
 		base = DefaultBackoffBase
 	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
 	d := base
-	for i := 1; i < attempt && d < q.BackoffMax; i++ {
+	for i := 1; i < attempt && d < max; i++ {
 		d *= 2
 	}
-	if q.BackoffMax > 0 && d > q.BackoffMax {
-		d = q.BackoffMax
+	if d > max {
+		d = max
 	}
 	h := fnv.New64a()
 	h.Write([]byte(id))
 	h.Write([]byte(strconv.Itoa(attempt)))
 	return d + time.Duration(h.Sum64()%uint64(base))
+}
+
+// backoff is the queue's retry delay (see Backoff). A directly
+// constructed Queue{} — no BackoffBase/BackoffMax set — previously
+// never grew past the base delay because the doubling loop compared
+// against a zero cap; the shared helper defaults both knobs.
+func (q *Queue) backoff(id string, attempt int) time.Duration {
+	return Backoff(id, attempt, q.BackoffBase, q.BackoffMax)
 }
 
 // attemptMeta is the per-job retry bookkeeping at queue/attempts/<id>.

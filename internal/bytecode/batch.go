@@ -1,0 +1,543 @@
+package bytecode
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/climate-rca/rca/internal/interp"
+	"github.com/climate-rca/rca/internal/rng"
+)
+
+// BatchVM runs N ensemble members ("lanes") in lockstep over one
+// compiled program: one instruction decode is amortized across the
+// batch, and every register file is struct-of-arrays — scalar register
+// r, lane l lives at the flat index r*nl+l, while array registers are
+// lane-major: lane l's columns form the contiguous block
+// [l*ncol, (l+1)*ncol), so every elementwise vector opcode runs one
+// tight solo-speed loop per lane with its lane scalars hoisted into
+// registers, for any group shape.
+//
+// Divergence is handled by group splitting: execution always acts on a
+// sorted group of live lanes, and a conditional whose lanes disagree
+// partitions the group — the taken subset runs the branch target to
+// the end of the proc recursively while the fall-through subset
+// continues in place, rejoining only in the caller. A lane that raises
+// a runtime error retires from its group with the error recorded
+// (sticky, per lane) and its registers frozen, exactly as a solo run
+// would abort. Per-lane PRNG sources and per-lane capture maps keep
+// every lane bit-identical to a solo VM (and hence tree-walker) run of
+// the same member; see DESIGN.md "Batched execution".
+type BatchVM struct {
+	prog        *Program
+	ncol        int
+	nl          int
+	rngs        []rng.Source
+	kernelWatch string
+	snapshotAll bool
+	fma         []bool
+
+	gscal []float64
+	garr  [][]float64
+	gdrv  []*bdval
+
+	results []interp.Results
+	errs    []error
+
+	depth int
+	pools []sync.Pool
+	all   []int
+}
+
+// bdval is the lane-striped counterpart of dval: the phantom scalar
+// and scalar fields are per-lane (slot-striped); array fields are
+// lane-major like every other array register.
+type bdval struct {
+	t    *dtype
+	f    []float64   // phantom scalar, one per lane
+	scal []float64   // scalar fields, slot s lane l at s*nl+l
+	arr  [][]float64 // array fields, each ncol*nl lane-major
+}
+
+func newBdval(t *dtype, ncol, nl int) *bdval {
+	d := &bdval{t: t, f: make([]float64, nl)}
+	if t.nScal > 0 {
+		d.scal = make([]float64, t.nScal*nl)
+	}
+	if t.nArr > 0 {
+		d.arr = make([][]float64, t.nArr)
+		sz := ncol * nl
+		backing := make([]float64, t.nArr*sz)
+		for i := 0; i < t.nArr; i++ {
+			d.arr[i] = backing[i*sz : (i+1)*sz]
+		}
+	}
+	return d
+}
+
+func (d *bdval) reset() {
+	for i := range d.f {
+		d.f[i] = 0
+	}
+	for i := range d.scal {
+		d.scal[i] = 0
+	}
+	for _, a := range d.arr {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+}
+
+// bframe is one batched activation record. Pointer registers become
+// lane windows: a by-reference scalar argument binds the contiguous
+// nl-float window of the referenced cell, so *ptr reads/writes are
+// ptr[l] per lane.
+type bframe struct {
+	ncol    int
+	nl      int
+	scal    []float64
+	ptrs    [][]float64
+	arr     [][]float64
+	drv     []*bdval
+	ints    []int64
+	touched []bool
+	arena   []float64
+	zero    [][]float64
+	ownD    []*bdval
+}
+
+func newBframe(p *proc, ncol, nl int) *bframe {
+	fr := &bframe{
+		ncol:    ncol,
+		nl:      nl,
+		scal:    make([]float64, p.nScal*nl),
+		ptrs:    make([][]float64, p.nPtr),
+		arr:     make([][]float64, p.nArr),
+		drv:     make([]*bdval, p.nDrv),
+		ints:    make([]int64, p.nInt*nl),
+		touched: make([]bool, p.nTouch*nl),
+		arena:   make([]float64, len(p.ownArr)*ncol*nl),
+	}
+	sz := ncol * nl
+	for i, reg := range p.ownArr {
+		fr.arr[reg] = fr.arena[i*sz : (i+1)*sz]
+	}
+	for _, reg := range p.zeroArr {
+		fr.zero = append(fr.zero, fr.arr[reg])
+	}
+	for _, od := range p.ownDrv {
+		d := newBdval(od.dt, ncol, nl)
+		fr.drv[od.reg] = d
+		fr.ownD = append(fr.ownD, d)
+	}
+	return fr
+}
+
+func (fr *bframe) reset() {
+	for i := range fr.scal {
+		fr.scal[i] = 0
+	}
+	for _, a := range fr.zero {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+	for i := range fr.touched {
+		fr.touched[i] = false
+	}
+	for _, d := range fr.ownD {
+		d.reset()
+	}
+}
+
+// NewBatchVM instantiates the program with len(rngs) lanes, one
+// independent PRNG source per lane (each lane's draw order matches its
+// solo run's). It mirrors NewVM's defaults and failure modes; Trace is
+// unsupported because per-call trace ordering is a solo-run notion.
+func (p *Program) NewBatchVM(cfg interp.Config, rngs []rng.Source) (*BatchVM, error) {
+	if p.initErr != nil {
+		return nil, p.initErr
+	}
+	if cfg.Trace != nil {
+		return nil, errf("batched execution does not support Trace")
+	}
+	nl := len(rngs)
+	if nl < 1 {
+		return nil, errf("batched execution needs at least one lane")
+	}
+	for i, src := range rngs {
+		if src == nil {
+			return nil, errf("batched execution: nil RNG for lane %d", i)
+		}
+	}
+	ncol := cfg.Ncol
+	if ncol <= 0 {
+		ncol = 16
+	}
+	vm := &BatchVM{
+		prog:        p,
+		ncol:        ncol,
+		nl:          nl,
+		rngs:        rngs,
+		kernelWatch: cfg.KernelWatch,
+		snapshotAll: cfg.SnapshotAll,
+		gscal:       make([]float64, p.nGScal*nl),
+		garr:        make([][]float64, p.nGArr),
+		gdrv:        make([]*bdval, len(p.gdrvs)),
+		results:     make([]interp.Results, nl),
+		errs:        make([]error, nl),
+		pools:       make([]sync.Pool, len(p.procs)),
+		all:         make([]int, nl),
+	}
+	sz := ncol * nl
+	backing := make([]float64, p.nGArr*sz)
+	for i := 0; i < p.nGArr; i++ {
+		vm.garr[i] = backing[i*sz : (i+1)*sz]
+	}
+	for i, dt := range p.gdrvs {
+		vm.gdrv[i] = newBdval(dt, ncol, nl)
+	}
+	for _, si := range p.scalInit {
+		base := int(si.idx) * nl
+		for l := 0; l < nl; l++ {
+			vm.gscal[base+l] = si.val
+		}
+	}
+	for _, ai := range p.arrInit {
+		a := vm.garr[ai.idx]
+		for i := range a {
+			a[i] = ai.val
+		}
+	}
+	vm.fma = make([]bool, len(p.modules))
+	if cfg.FMA != nil {
+		for i, m := range p.modules {
+			vm.fma[i] = cfg.FMA(m)
+		}
+	}
+	for l := range vm.all {
+		vm.all[l] = l
+	}
+	for l := range vm.results {
+		vm.results[l] = interp.NewResults()
+	}
+	return vm, nil
+}
+
+// Lanes returns the batch width.
+func (vm *BatchVM) Lanes() int { return vm.nl }
+
+// Ncol returns the column count the batch was configured with.
+func (vm *BatchVM) Ncol() int { return vm.ncol }
+
+// LaneResults exposes one lane's capture maps, bit-identical to the
+// solo VM's Captured() for the same member.
+func (vm *BatchVM) LaneResults(l int) *interp.Results { return &vm.results[l] }
+
+// LaneErrs returns the per-lane sticky errors: once a lane errs, its
+// registers freeze and subsequent CallAll invocations skip it. The
+// slice is live — callers must not mutate it.
+func (vm *BatchVM) LaneErrs() []error { return vm.errs }
+
+// liveLanes returns the sorted group of lanes with no sticky error.
+func (vm *BatchVM) liveLanes() []int {
+	g := make([]int, 0, vm.nl)
+	for l := 0; l < vm.nl; l++ {
+		if vm.errs[l] == nil {
+			g = append(g, l)
+		}
+	}
+	return g
+}
+
+// CallAll invokes a zero-argument entry subroutine on every live lane
+// in lockstep and returns the per-lane sticky errors.
+func (vm *BatchVM) CallAll(module, name string) []error {
+	p, ok := vm.prog.entries[module+"::"+name]
+	if !ok {
+		err := errf("no subroutine %s in %s", name, module)
+		for l := range vm.errs {
+			if vm.errs[l] == nil {
+				vm.errs[l] = err
+			}
+		}
+		return vm.errs
+	}
+	g := vm.liveLanes()
+	if len(g) == 0 {
+		return vm.errs
+	}
+	if vm.depth >= maxDepth {
+		err := errf("call depth exceeded at %s", p.fullName)
+		for _, l := range g {
+			vm.errs[l] = err
+		}
+		return vm.errs
+	}
+	vm.depth++
+	fr := vm.getFrame(p)
+	vm.exec(p, fr, g, 0)
+	vm.exitSnapshotsBatch(p, fr, g)
+	vm.depth--
+	vm.putFrame(p, fr)
+	return vm.errs
+}
+
+// LaneArray resolves a module-level array variable to one lane's
+// contiguous block view — the batched counterpart of
+// Engine.ModuleArray, used by the model's per-member
+// initial-condition perturbations.
+func (vm *BatchVM) LaneArray(lane int, module string, path ...string) (interp.LaneSlice, bool) {
+	if len(path) == 0 || lane < 0 || lane >= vm.nl {
+		return interp.LaneSlice{}, false
+	}
+	g, ok := vm.prog.moduleVars[module][path[0]]
+	if !ok {
+		return interp.LaneSlice{}, false
+	}
+	rest := path[1:]
+	laneBlock := func(a []float64) interp.LaneSlice {
+		n := len(a) / vm.nl
+		return interp.LaneSlice{Data: a[lane*n : (lane+1)*n], Stride: 1, Off: 0}
+	}
+	switch g.kind {
+	case kArr:
+		if len(rest) != 0 {
+			return interp.LaneSlice{}, false
+		}
+		return laneBlock(vm.garr[g.idx]), true
+	case kDrv:
+		if len(rest) != 1 {
+			return interp.LaneSlice{}, false
+		}
+		fi, ok := g.dt.fidx[rest[0]]
+		if !ok || !g.dt.fields[fi].arr {
+			return interp.LaneSlice{}, false
+		}
+		return laneBlock(vm.gdrv[g.idx].arr[g.dt.fields[fi].slot]), true
+	}
+	return interp.LaneSlice{}, false
+}
+
+// SnapshotModuleVarsAll records module-level variables into every live
+// lane's AllValues map, mirroring Engine.SnapshotModuleVars per lane.
+func (vm *BatchVM) SnapshotModuleVarsAll() {
+	for l := 0; l < vm.nl; l++ {
+		if vm.errs[l] != nil {
+			continue
+		}
+		for _, ms := range vm.prog.snapModules {
+			for i := range ms.entries {
+				vm.snapIntoLane(vm.results[l].AllValues, ms.entries[i].key, nil, &ms.entries[i], l)
+			}
+		}
+	}
+}
+
+func (vm *BatchVM) getFrame(p *proc) *bframe {
+	if v := vm.pools[p.id].Get(); v != nil {
+		fr := v.(*bframe)
+		fr.reset()
+		return fr
+	}
+	return newBframe(p, vm.ncol, vm.nl)
+}
+
+func (vm *BatchVM) putFrame(p *proc, fr *bframe) {
+	vm.pools[p.id].Put(fr)
+}
+
+// mergeDone joins the lanes that completed in place with those that
+// completed through recursive branch subgroups, restoring the sorted
+// group invariant.
+func mergeDone(g, merged []int) []int {
+	if len(merged) == 0 {
+		return g
+	}
+	out := make([]int, 0, len(g)+len(merged))
+	out = append(out, g...)
+	out = append(out, merged...)
+	sort.Ints(out)
+	return out
+}
+
+// callBatch runs one activation bound from a call site for a group of
+// lanes, returning the callee frame (for result reads) and the lanes
+// that completed without error. Exit snapshots cover the entire
+// entering group — an erred lane's registers are frozen from its
+// retirement point, so the deferred capture reads exactly the state a
+// solo run would have snapshotted while unwinding.
+func (vm *BatchVM) callBatch(cs *callSite, caller *bframe, g []int) (*bframe, []int) {
+	p := cs.proc
+	if vm.depth >= maxDepth {
+		err := errf("call depth exceeded at %s", p.fullName)
+		for _, l := range g {
+			vm.errs[l] = err
+		}
+		return nil, nil
+	}
+	vm.depth++
+	fr := vm.getFrame(p)
+	nl := vm.nl
+	for i, mv := range cs.args {
+		slot := p.argBind[i]
+		if slot.mode == 'u' || mv.mode == amNone {
+			continue
+		}
+		switch mv.mode {
+		case amRefScalS:
+			a := int(mv.a) * nl
+			fr.ptrs[slot.reg] = caller.scal[a : a+nl]
+		case amRefScalG:
+			a := int(mv.a) * nl
+			fr.ptrs[slot.reg] = vm.gscal[a : a+nl]
+		case amRefScalP:
+			fr.ptrs[slot.reg] = caller.ptrs[mv.a]
+		case amRefScalDF:
+			b := int(mv.b) * nl
+			fr.ptrs[slot.reg] = caller.drv[mv.a].scal[b : b+nl]
+		case amRefArr:
+			fr.arr[slot.reg] = caller.arr[mv.a]
+		case amRefDrv:
+			fr.drv[slot.reg] = caller.drv[mv.a]
+		case amValScalS:
+			a, d := int(mv.a)*nl, int(slot.reg)*nl
+			copy(fr.scal[d:d+nl], caller.scal[a:a+nl])
+		case amValScalG:
+			a, d := int(mv.a)*nl, int(slot.reg)*nl
+			copy(fr.scal[d:d+nl], vm.gscal[a:a+nl])
+		case amValScalP:
+			d := int(slot.reg) * nl
+			copy(fr.scal[d:d+nl], caller.ptrs[mv.a])
+		case amValScalDF:
+			b, d := int(mv.b)*nl, int(slot.reg)*nl
+			copy(fr.scal[d:d+nl], caller.drv[mv.a].scal[b:b+nl])
+		case amValArr:
+			copy(fr.arr[slot.reg], caller.arr[mv.a])
+		case amValDrv:
+			cloneBdval(fr.drv[slot.reg], caller.drv[mv.a])
+		}
+	}
+	done := vm.exec(p, fr, g, 0)
+	vm.exitSnapshotsBatch(p, fr, g)
+	vm.depth--
+	return fr, done
+}
+
+// cloneBdval mirrors cloneDval across all lanes (argument binding into
+// a fresh callee frame — lanes outside the group are never read).
+func cloneBdval(dst, src *bdval) {
+	for i := range dst.f {
+		dst.f[i] = 0
+	}
+	copy(dst.scal, src.scal)
+	for i := range src.arr {
+		copy(dst.arr[i], src.arr[i])
+	}
+}
+
+// cloneBdvalLane mirrors cloneDval for one lane only (function results
+// copied back for surviving lanes).
+func cloneBdvalLane(dst, src *bdval, nl, l int) {
+	dst.f[l] = 0
+	for s := l; s < len(src.scal); s += nl {
+		dst.scal[s] = src.scal[s]
+	}
+	for i := range src.arr {
+		sa, da := src.arr[i], dst.arr[i]
+		n := len(sa) / nl
+		copy(da[l*n:(l+1)*n], sa[l*n:(l+1)*n])
+	}
+}
+
+// retScalLane reads lane l of a function result as a scalar (array
+// results collapse to their first element, as Value.Scalar does).
+func retScalLane(p *proc, fr *bframe, nl, l int) float64 {
+	switch p.ret.kind {
+	case kArr:
+		a := fr.arr[p.ret.reg]
+		return a[l*(len(a)/nl)]
+	default:
+		if p.ret.space == ssPtr {
+			return fr.ptrs[p.ret.reg][l]
+		}
+		return fr.scal[int(p.ret.reg)*nl+l]
+	}
+}
+
+// exitSnapshotsBatch mirrors exitSnapshots per lane over the entire
+// entering group, including lanes that erred inside the activation.
+func (vm *BatchVM) exitSnapshotsBatch(p *proc, fr *bframe, g []int) {
+	watch := vm.kernelWatch != "" && vm.kernelWatch == p.fullName
+	if !watch && !vm.snapshotAll {
+		return
+	}
+	nl := vm.nl
+	for _, l := range g {
+		if watch {
+			for i := range p.snap {
+				e := &p.snap[i]
+				if e.fromDerived {
+					continue // snapshotKernel skips derived variables
+				}
+				if e.touch >= 0 && !fr.touched[int(e.touch)*nl+l] {
+					continue
+				}
+				vm.snapIntoLane(vm.results[l].Kernel, e.name, fr, e, l)
+			}
+		}
+		if vm.snapshotAll {
+			for i := range p.snap {
+				e := &p.snap[i]
+				if e.touch >= 0 && !fr.touched[int(e.touch)*nl+l] {
+					continue
+				}
+				vm.snapIntoLane(vm.results[l].AllValues, e.key, fr, e, l)
+			}
+		}
+	}
+}
+
+// snapIntoLane stores one lane's snapshot with the same
+// overwrite-in-place, last-call-wins contract as snapInto.
+func (vm *BatchVM) snapIntoLane(m map[string][]float64, key string, fr *bframe, e *snapEntry, l int) {
+	nl := vm.nl
+	var src []float64 // lane-major: lane l's elements contiguous
+	var v float64
+	scalar := false
+	switch e.space {
+	case ssScal:
+		v, scalar = fr.scal[int(e.reg)*nl+l], true
+	case ssPtr:
+		v, scalar = fr.ptrs[e.reg][l], true
+	case ssArr:
+		src = fr.arr[e.reg]
+	case ssDrvF:
+		v, scalar = fr.drv[e.reg].scal[int(e.f)*nl+l], true
+	case ssDrvA:
+		src = fr.drv[e.reg].arr[e.f]
+	case ssGScal:
+		v, scalar = vm.gscal[int(e.reg)*nl+l], true
+	case ssGArr:
+		src = vm.garr[e.reg]
+	case ssGDrvF:
+		v, scalar = vm.gdrv[e.reg].scal[int(e.f)*nl+l], true
+	case ssGDrvA:
+		src = vm.gdrv[e.reg].arr[e.f]
+	}
+	if scalar {
+		if dst, ok := m[key]; ok && len(dst) == 1 {
+			dst[0] = v
+			return
+		}
+		m[key] = []float64{v}
+		return
+	}
+	n := len(src) / nl
+	dst, ok := m[key]
+	if !ok || len(dst) != n {
+		dst = make([]float64, n)
+		m[key] = dst
+	}
+	copy(dst, src[l*n:(l+1)*n])
+}

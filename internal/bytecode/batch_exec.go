@@ -1,0 +1,1040 @@
+package bytecode
+
+import "math"
+
+// exec runs one proc's code for a sorted group of live lanes starting
+// at pc. It returns the lanes that completed the proc (reached opRet
+// or fell off the end); lanes that erred retire with vm.errs[l] set
+// and are absent from the return.
+//
+// Divergent conditionals (opJZ, opLoopCond — opBrNoFMA is uniform
+// because the FMA configuration is shared) partition the group: the
+// jumping subset recurses from the branch target to the end of the
+// proc while the staying subset continues in place, and the completed
+// subsets are merged sorted on return. Each split strictly shrinks
+// the recursing group, so the extra Go-stack depth per activation is
+// bounded by the lane count.
+func (vm *BatchVM) exec(p *proc, fr *bframe, g []int, pc int) []int {
+	code := p.code
+	scal := fr.scal
+	nl := vm.nl
+	ncol := vm.ncol
+	var merged []int // lanes completed via recursive branch subgroups
+	for pc < len(code) {
+		in := &code[pc]
+		switch in.op {
+		case opNop:
+		case opJmp:
+			pc = int(in.b)
+			continue
+		case opJZ:
+			base := int(in.a) * nl
+			nz := 0
+			for _, l := range g {
+				if scal[base+l] != 0 {
+					nz++
+				}
+			}
+			if nz == 0 {
+				pc = int(in.b)
+				continue
+			}
+			if nz != len(g) {
+				taken := make([]int, 0, len(g)-nz)
+				stay := make([]int, 0, nz)
+				for _, l := range g {
+					if scal[base+l] == 0 {
+						taken = append(taken, l)
+					} else {
+						stay = append(stay, l)
+					}
+				}
+				merged = append(merged, vm.exec(p, fr, taken, int(in.b))...)
+				g = stay
+			}
+		case opAnyV:
+			a := fr.arr[in.a]
+			n := len(a) / nl
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				v := 0.0
+				for _, x := range a[l*n : l*n+n] {
+					if x != 0 {
+						v = 1
+						break
+					}
+				}
+				scal[dbase+l] = v
+			}
+		case opRet:
+			return mergeDone(g, merged)
+		case opErr:
+			err := vm.prog.errs[in.a]
+			for _, l := range g {
+				vm.errs[l] = err
+			}
+			return mergeDone(nil, merged)
+		case opBrNoFMA:
+			if !vm.fma[p.modIdx] {
+				pc = int(in.b)
+				continue
+			}
+
+		case opConst:
+			v := vm.prog.consts[in.a]
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = v
+			}
+		case opMovS:
+			abase, dbase := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[dbase+l] = scal[abase+l]
+			}
+		case opLoadG:
+			abase, dbase := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[dbase+l] = vm.gscal[abase+l]
+			}
+		case opStoreG:
+			abase, dbase := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				vm.gscal[dbase+l] = scal[abase+l]
+			}
+		case opLoadP:
+			ptr := fr.ptrs[in.a]
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = ptr[l]
+			}
+		case opStoreP:
+			ptr := fr.ptrs[in.d]
+			abase := int(in.a) * nl
+			for _, l := range g {
+				ptr[l] = scal[abase+l]
+			}
+		case opLoadDF:
+			src := fr.drv[in.a].scal
+			bbase, dbase := int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[dbase+l] = src[bbase+l]
+			}
+		case opStoreDF:
+			dst := fr.drv[in.d].scal
+			abase, bbase := int(in.a)*nl, int(in.b)*nl
+			for _, l := range g {
+				dst[bbase+l] = scal[abase+l]
+			}
+		case opLoadDF0:
+			f := fr.drv[in.a].f
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = f[l]
+			}
+		case opStoreDF0:
+			f := fr.drv[in.d].f
+			abase := int(in.a) * nl
+			for _, l := range g {
+				f[l] = scal[abase+l]
+			}
+		case opBindG:
+			fr.arr[in.d] = vm.garr[in.a]
+		case opBindGD:
+			fr.drv[in.d] = vm.gdrv[in.a]
+		case opBindDF:
+			fr.arr[in.d] = fr.drv[in.a].arr[in.b]
+		case opIdx:
+			a := fr.arr[in.a]
+			alen := len(a) / nl
+			bbase, dbase := int(in.b)*nl, int(in.d)*nl
+			bad := false
+			for _, l := range g {
+				idx := int(scal[bbase+l]) - 1
+				if idx < 0 || idx >= alen {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				for _, l := range g {
+					fr.ints[dbase+l] = int64(int(scal[bbase+l]) - 1)
+				}
+			} else {
+				ok := make([]int, 0, len(g))
+				for _, l := range g {
+					idx := int(scal[bbase+l]) - 1
+					if idx < 0 || idx >= alen {
+						vm.errs[l] = errf("index %d out of bounds [1,%d] on %s", idx+1, alen, vm.prog.labels[in.e])
+						continue
+					}
+					fr.ints[dbase+l] = int64(idx)
+					ok = append(ok, l)
+				}
+				g = ok
+				if len(g) == 0 {
+					return mergeDone(nil, merged)
+				}
+			}
+		case opLoadElem:
+			a := fr.arr[in.a]
+			n := len(a) / nl
+			bbase, dbase := int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[dbase+l] = a[l*n+int(fr.ints[bbase+l])]
+			}
+		case opStoreElem:
+			a := fr.arr[in.a]
+			n := len(a) / nl
+			bbase, cbase := int(in.b)*nl, int(in.c)*nl
+			for _, l := range g {
+				a[l*n+int(fr.ints[bbase+l])] = scal[cbase+l]
+			}
+		case opBroadV:
+			out := fr.arr[in.d]
+			n := len(out) / nl
+			abase := int(in.a) * nl
+			for _, l := range g {
+				s := scal[abase+l]
+				ob := out[l*n : l*n+n]
+				for i := range ob {
+					ob[i] = s
+				}
+			}
+		case opCopyV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				copy(out, a)
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					copy(out[l*n:l*n+n], a[l*n:l*n+n])
+				}
+			}
+		case opCollapse:
+			a := fr.arr[in.a]
+			n := len(a) / nl
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = a[l*n]
+			}
+
+		case opAddS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = scal[ab+l] + scal[bb+l]
+			}
+		case opSubS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = scal[ab+l] - scal[bb+l]
+			}
+		case opMulS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = scal[ab+l] * scal[bb+l]
+			}
+		case opDivS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = scal[ab+l] / scal[bb+l]
+			}
+		case opPowS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Pow(scal[ab+l], scal[bb+l])
+			}
+		case opEqS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] == scal[bb+l])
+			}
+		case opNeS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] != scal[bb+l])
+			}
+		case opLtS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] < scal[bb+l])
+			}
+		case opLeS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] <= scal[bb+l])
+			}
+		case opGtS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] > scal[bb+l])
+			}
+		case opGeS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] >= scal[bb+l])
+			}
+		case opAndS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] != 0 && scal[bb+l] != 0)
+			}
+		case opOrS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] != 0 || scal[bb+l] != 0)
+			}
+		case opModS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Mod(scal[ab+l], scal[bb+l])
+			}
+		case opSignS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Copysign(scal[ab+l], scal[bb+l])
+			}
+		case opMinS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Min(scal[ab+l], scal[bb+l])
+			}
+		case opMaxS:
+			ab, bb, db := int(in.a)*nl, int(in.b)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Max(scal[ab+l], scal[bb+l])
+			}
+		case opNegS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = -scal[ab+l]
+			}
+		case opNotS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = b2f(scal[ab+l] == 0)
+			}
+		case opAbsS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Abs(scal[ab+l])
+			}
+		case opSqrtS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Sqrt(scal[ab+l])
+			}
+		case opExpS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Exp(scal[ab+l])
+			}
+		case opLogS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Log(scal[ab+l])
+			}
+		case opFloorS:
+			ab, db := int(in.a)*nl, int(in.d)*nl
+			for _, l := range g {
+				scal[db+l] = math.Floor(scal[ab+l])
+			}
+		case opFMAS:
+			ab, bb, cb, db := int(in.a)*nl, int(in.b)*nl, int(in.c)*nl, int(in.d)*nl
+			sa, sc := 1.0, 1.0
+			if in.e&1 != 0 {
+				sa = -1
+			}
+			if in.e&2 != 0 {
+				sc = -1
+			}
+			for _, l := range g {
+				scal[db+l] = math.FMA(sa*scal[ab+l], scal[bb+l], sc*scal[cb+l])
+			}
+
+		case opAddV:
+			out := fr.arr[in.d]
+			n := len(out) / nl
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				if len(g) == nl {
+					for i := range out {
+						out[i] = a[i] + b[i]
+					}
+				} else {
+					for _, l := range g {
+						ob := out[l*n : l*n+n]
+						ab := a[l*n : l*n+n][:len(ob)]
+						bb := b[l*n : l*n+n][:len(ob)]
+						for i := range ob {
+							ob[i] = ab[i] + bb[i]
+						}
+					}
+				}
+			case 1:
+				a, sb := fr.arr[in.a], int(in.b)*nl
+				for _, l := range g {
+					s := scal[sb+l]
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = ab[i] + s
+					}
+				}
+			default:
+				sa, b := int(in.a)*nl, fr.arr[in.b]
+				for _, l := range g {
+					s := scal[sa+l]
+					ob := out[l*n : l*n+n]
+					ab := b[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = s + ab[i]
+					}
+				}
+			}
+		case opSubV:
+			out := fr.arr[in.d]
+			n := len(out) / nl
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				if len(g) == nl {
+					for i := range out {
+						out[i] = a[i] - b[i]
+					}
+				} else {
+					for _, l := range g {
+						ob := out[l*n : l*n+n]
+						ab := a[l*n : l*n+n][:len(ob)]
+						bb := b[l*n : l*n+n][:len(ob)]
+						for i := range ob {
+							ob[i] = ab[i] - bb[i]
+						}
+					}
+				}
+			case 1:
+				a, sb := fr.arr[in.a], int(in.b)*nl
+				for _, l := range g {
+					s := scal[sb+l]
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = ab[i] - s
+					}
+				}
+			default:
+				sa, b := int(in.a)*nl, fr.arr[in.b]
+				for _, l := range g {
+					s := scal[sa+l]
+					ob := out[l*n : l*n+n]
+					ab := b[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = s - ab[i]
+					}
+				}
+			}
+		case opMulV:
+			out := fr.arr[in.d]
+			n := len(out) / nl
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				if len(g) == nl {
+					for i := range out {
+						out[i] = a[i] * b[i]
+					}
+				} else {
+					for _, l := range g {
+						ob := out[l*n : l*n+n]
+						ab := a[l*n : l*n+n][:len(ob)]
+						bb := b[l*n : l*n+n][:len(ob)]
+						for i := range ob {
+							ob[i] = ab[i] * bb[i]
+						}
+					}
+				}
+			case 1:
+				a, sb := fr.arr[in.a], int(in.b)*nl
+				for _, l := range g {
+					s := scal[sb+l]
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = ab[i] * s
+					}
+				}
+			default:
+				sa, b := int(in.a)*nl, fr.arr[in.b]
+				for _, l := range g {
+					s := scal[sa+l]
+					ob := out[l*n : l*n+n]
+					ab := b[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = s * ab[i]
+					}
+				}
+			}
+		case opDivV:
+			out := fr.arr[in.d]
+			n := len(out) / nl
+			switch in.e {
+			case 0:
+				a, b := fr.arr[in.a], fr.arr[in.b]
+				if len(g) == nl {
+					for i := range out {
+						out[i] = a[i] / b[i]
+					}
+				} else {
+					for _, l := range g {
+						ob := out[l*n : l*n+n]
+						ab := a[l*n : l*n+n][:len(ob)]
+						bb := b[l*n : l*n+n][:len(ob)]
+						for i := range ob {
+							ob[i] = ab[i] / bb[i]
+						}
+					}
+				}
+			case 1:
+				a, sb := fr.arr[in.a], int(in.b)*nl
+				for _, l := range g {
+					s := scal[sb+l]
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = ab[i] / s
+					}
+				}
+			default:
+				sa, b := int(in.a)*nl, fr.arr[in.b]
+				for _, l := range g {
+					s := scal[sa+l]
+					ob := out[l*n : l*n+n]
+					ab := b[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = s / ab[i]
+					}
+				}
+			}
+		case opMinV, opMaxV, opPowV, opEqV, opNeV, opLtV, opLeV, opGtV, opGeV, opAndV, opOrV, opModV, opSignV:
+			vm.batchSlowBinV(in, fr, g)
+		case opNegV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = -a[i]
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = -ab[i]
+					}
+				}
+			}
+		case opNotV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = b2f(a[i] == 0)
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = b2f(ab[i] == 0)
+					}
+				}
+			}
+		case opAbsV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = math.Abs(a[i])
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = math.Abs(ab[i])
+					}
+				}
+			}
+		case opSqrtV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = math.Sqrt(a[i])
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = math.Sqrt(ab[i])
+					}
+				}
+			}
+		case opExpV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = math.Exp(a[i])
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = math.Exp(ab[i])
+					}
+				}
+			}
+		case opLogV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = math.Log(a[i])
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = math.Log(ab[i])
+					}
+				}
+			}
+		case opFloorV:
+			out, a := fr.arr[in.d], fr.arr[in.a]
+			if len(g) == nl {
+				for i := range out {
+					out[i] = math.Floor(a[i])
+				}
+			} else {
+				n := len(out) / nl
+				for _, l := range g {
+					ob := out[l*n : l*n+n]
+					ab := a[l*n : l*n+n][:len(ob)]
+					for i := range ob {
+						ob[i] = math.Floor(ab[i])
+					}
+				}
+			}
+		case opFMAV:
+			out := fr.arr[in.d]
+			var av, bv, cv []float64
+			var ab, bb, cb int
+			if in.e&4 != 0 {
+				av = fr.arr[in.a]
+			} else {
+				ab = int(in.a) * nl
+			}
+			if in.e&8 != 0 {
+				bv = fr.arr[in.b]
+			} else {
+				bb = int(in.b) * nl
+			}
+			if in.e&16 != 0 {
+				cv = fr.arr[in.c]
+			} else {
+				cb = int(in.c) * nl
+			}
+			sa, sc := 1.0, 1.0
+			if in.e&1 != 0 {
+				sa = -1
+			}
+			if in.e&2 != 0 {
+				sc = -1
+			}
+			n := len(out) / nl
+			for _, l := range g {
+				ob := out[l*n : l*n+n]
+				var xa, ya, za []float64
+				var xs, ys, zs float64
+				if av != nil {
+					xa = av[l*n : l*n+n][:len(ob)]
+				} else {
+					xs = scal[ab+l]
+				}
+				if bv != nil {
+					ya = bv[l*n : l*n+n][:len(ob)]
+				} else {
+					ys = scal[bb+l]
+				}
+				if cv != nil {
+					za = cv[l*n : l*n+n][:len(ob)]
+				} else {
+					zs = scal[cb+l]
+				}
+				for i := range ob {
+					x, y, z := xs, ys, zs
+					if xa != nil {
+						x = xa[i]
+					}
+					if ya != nil {
+						y = ya[i]
+					}
+					if za != nil {
+						z = za[i]
+					}
+					ob[i] = math.FMA(sa*x, y, sc*z)
+				}
+			}
+		case opSumV:
+			a := fr.arr[in.a]
+			n := len(a) / nl
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				var s float64
+				for _, x := range a[l*n : l*n+n] {
+					s += x
+				}
+				scal[dbase+l] = s
+			}
+		case opNcol:
+			v := float64(ncol)
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = v
+			}
+		case opShiftV:
+			out, src := fr.arr[in.d], fr.arr[in.a]
+			bbase := int(in.b) * nl
+			n := len(src) / nl
+			for _, l := range g {
+				k := int(scal[bbase+l]) % n
+				if k < 0 {
+					k += n
+				}
+				sv := src[l*n : l*n+n]
+				ob := out[l*n : l*n+n]
+				for i := range ob {
+					ob[i] = sv[(i+k)%n]
+				}
+			}
+
+		case opRandS:
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = vm.rngs[l].Float64()
+			}
+		case opRandV:
+			out := fr.arr[in.d]
+			n := len(out) / nl
+			for _, l := range g {
+				r := vm.rngs[l]
+				ob := out[l*n : l*n+n]
+				for i := range ob {
+					ob[i] = r.Float64()
+				}
+			}
+		case opOutS:
+			lbl := vm.prog.labels[in.a]
+			bbase := int(in.b) * nl
+			for _, l := range g {
+				m := vm.results[l].Outputs
+				if dst, ok := m[lbl]; ok && len(dst) == 1 {
+					dst[0] = scal[bbase+l]
+				} else {
+					m[lbl] = []float64{scal[bbase+l]}
+				}
+			}
+		case opOutV:
+			lbl := vm.prog.labels[in.a]
+			src := fr.arr[in.b]
+			n := len(src) / nl
+			for _, l := range g {
+				m := vm.results[l].Outputs
+				dst, ok := m[lbl]
+				if !ok || len(dst) != n {
+					dst = make([]float64, n)
+					m[lbl] = dst
+				}
+				copy(dst, src[l*n:l*n+n])
+			}
+		case opTouch:
+			abase := int(in.a) * nl
+			for _, l := range g {
+				fr.touched[abase+l] = true
+			}
+
+		case opLoopInit:
+			abase, bbase := int(in.a)*nl, int(in.b)*nl
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				fr.ints[dbase+l] = int64(int(scal[abase+l]))
+				fr.ints[dbase+nl+l] = int64(int(scal[bbase+l]))
+			}
+		case opLoopCond:
+			abase := int(in.a) * nl
+			nex := 0
+			for _, l := range g {
+				if fr.ints[abase+l] > fr.ints[abase+nl+l] {
+					nex++
+				}
+			}
+			if nex == len(g) {
+				pc = int(in.b)
+				continue
+			}
+			if nex > 0 {
+				exit := make([]int, 0, nex)
+				stay := make([]int, 0, len(g)-nex)
+				for _, l := range g {
+					if fr.ints[abase+l] > fr.ints[abase+nl+l] {
+						exit = append(exit, l)
+					} else {
+						stay = append(stay, l)
+					}
+				}
+				merged = append(merged, vm.exec(p, fr, exit, int(in.b))...)
+				g = stay
+			}
+			dbase := int(in.d) * nl
+			for _, l := range g {
+				scal[dbase+l] = float64(fr.ints[abase+l])
+			}
+		case opLoopInc:
+			abase := int(in.a) * nl
+			for _, l := range g {
+				fr.ints[abase+l]++
+			}
+			pc = int(in.b)
+			continue
+
+		case opCallSub:
+			cs := vm.prog.calls[in.a]
+			cf, done := vm.callBatch(cs, fr, g)
+			if cf != nil {
+				vm.putFrame(cs.proc, cf)
+			}
+			if len(done) != len(g) {
+				g = done
+				if len(g) == 0 {
+					return mergeDone(nil, merged)
+				}
+			}
+		case opCallFunS:
+			cs := vm.prog.calls[in.a]
+			cf, done := vm.callBatch(cs, fr, g)
+			if cf != nil {
+				dbase := int(in.d) * nl
+				for _, l := range done {
+					scal[dbase+l] = retScalLane(cs.proc, cf, nl, l)
+				}
+				vm.putFrame(cs.proc, cf)
+			}
+			if len(done) != len(g) {
+				g = done
+				if len(g) == 0 {
+					return mergeDone(nil, merged)
+				}
+			}
+		case opCallFunV:
+			cs := vm.prog.calls[in.a]
+			cf, done := vm.callBatch(cs, fr, g)
+			if cf != nil {
+				src := cf.arr[cs.proc.ret.reg]
+				dst := fr.arr[in.d]
+				if len(done) == nl {
+					copy(dst, src)
+				} else {
+					n := len(dst) / nl
+					for _, l := range done {
+						copy(dst[l*n:l*n+n], src[l*n:l*n+n])
+					}
+				}
+				vm.putFrame(cs.proc, cf)
+			}
+			if len(done) != len(g) {
+				g = done
+				if len(g) == 0 {
+					return mergeDone(nil, merged)
+				}
+			}
+		case opCallFunD:
+			cs := vm.prog.calls[in.a]
+			cf, done := vm.callBatch(cs, fr, g)
+			if cf != nil {
+				src := cf.drv[cs.proc.ret.reg]
+				dst := fr.drv[in.d]
+				if len(done) == nl {
+					cloneBdval(dst, src)
+				} else {
+					for _, l := range done {
+						cloneBdvalLane(dst, src, nl, l)
+					}
+				}
+				vm.putFrame(cs.proc, cf)
+			}
+			if len(done) != len(g) {
+				g = done
+				if len(g) == 0 {
+					return mergeDone(nil, merged)
+				}
+			}
+		case opCallElem:
+			done := vm.elemBroadcastBatch(vm.prog.calls[in.a], fr, fr.arr[in.d], g)
+			if len(done) != len(g) {
+				g = done
+				if len(g) == 0 {
+					return mergeDone(nil, merged)
+				}
+			}
+
+		default:
+			err := errf("bad opcode %d", in.op)
+			for _, l := range g {
+				vm.errs[l] = err
+			}
+			return mergeDone(nil, merged)
+		}
+		pc++
+	}
+	return mergeDone(g, merged)
+}
+
+// batchSlowBinV covers the colder elementwise binaries with one
+// generic lane loop per shape, mirroring slowBinV.
+func (vm *BatchVM) batchSlowBinV(in *instr, fr *bframe, g []int) {
+	var fn func(a, b float64) float64
+	switch in.op {
+	case opMinV:
+		fn = math.Min
+	case opMaxV:
+		fn = math.Max
+	case opPowV:
+		fn = math.Pow
+	case opEqV:
+		fn = func(a, b float64) float64 { return b2f(a == b) }
+	case opNeV:
+		fn = func(a, b float64) float64 { return b2f(a != b) }
+	case opLtV:
+		fn = func(a, b float64) float64 { return b2f(a < b) }
+	case opLeV:
+		fn = func(a, b float64) float64 { return b2f(a <= b) }
+	case opGtV:
+		fn = func(a, b float64) float64 { return b2f(a > b) }
+	case opGeV:
+		fn = func(a, b float64) float64 { return b2f(a >= b) }
+	case opAndV:
+		fn = func(a, b float64) float64 { return b2f(a != 0 && b != 0) }
+	case opOrV:
+		fn = func(a, b float64) float64 { return b2f(a != 0 || b != 0) }
+	case opModV:
+		fn = math.Mod
+	case opSignV:
+		fn = math.Copysign
+	}
+	nl := vm.nl
+	out := fr.arr[in.d]
+	n := len(out) / nl
+	switch in.e {
+	case 0:
+		a, b := fr.arr[in.a], fr.arr[in.b]
+		if len(g) == nl {
+			for i := range out {
+				out[i] = fn(a[i], b[i])
+			}
+		} else {
+			for _, l := range g {
+				ob := out[l*n : l*n+n]
+				ab := a[l*n : l*n+n][:len(ob)]
+				bb := b[l*n : l*n+n][:len(ob)]
+				for i := range ob {
+					ob[i] = fn(ab[i], bb[i])
+				}
+			}
+		}
+	case 1:
+		a, sb := fr.arr[in.a], int(in.b)*nl
+		for _, l := range g {
+			s := fr.scal[sb+l]
+			ob := out[l*n : l*n+n]
+			ab := a[l*n : l*n+n][:len(ob)]
+			for i := range ob {
+				ob[i] = fn(ab[i], s)
+			}
+		}
+	default:
+		sa, b := int(in.a)*nl, fr.arr[in.b]
+		for _, l := range g {
+			s := fr.scal[sa+l]
+			ob := out[l*n : l*n+n]
+			ab := b[l*n : l*n+n][:len(ob)]
+			for i := range ob {
+				ob[i] = fn(s, ab[i])
+			}
+		}
+	}
+}
+
+// elemBroadcastBatch invokes an elemental function once per column for
+// a group of lanes, binding per-lane scalar views read live per column
+// exactly as elemBroadcast does, and returns the surviving lanes.
+func (vm *BatchVM) elemBroadcastBatch(cs *callSite, caller *bframe, out []float64, g []int) []int {
+	p := cs.proc
+	nl := vm.nl
+	for col := 0; col < vm.ncol && len(g) > 0; col++ {
+		if vm.depth >= maxDepth {
+			err := errf("call depth exceeded at %s", p.fullName)
+			for _, l := range g {
+				vm.errs[l] = err
+			}
+			return nil
+		}
+		vm.depth++
+		fr := vm.getFrame(p)
+		for ai, ea := range cs.elem {
+			if ai >= len(p.argBind) {
+				break
+			}
+			slot := p.argBind[ai]
+			if slot.mode == 'u' {
+				continue
+			}
+			d := int(slot.reg) * nl
+			dst := fr.scal[d : d+nl]
+			switch ea.space {
+			case esTempS:
+				a := int(ea.a) * nl
+				copy(dst, caller.scal[a:a+nl])
+			case esGlobS:
+				a := int(ea.a) * nl
+				copy(dst, vm.gscal[a:a+nl])
+			case esPtrS:
+				copy(dst, caller.ptrs[ea.a])
+			case esFieldS:
+				b := int(ea.b) * nl
+				copy(dst, caller.drv[ea.a].scal[b:b+nl])
+			case esDrvF:
+				copy(dst, caller.drv[ea.a].f)
+			case esArr:
+				a := caller.arr[ea.a]
+				an := len(a) / nl
+				for l := 0; l < nl; l++ {
+					dst[l] = a[l*an+col]
+				}
+			}
+		}
+		done := vm.exec(p, fr, g, 0)
+		vm.exitSnapshotsBatch(p, fr, g)
+		vm.depth--
+		on := len(out) / nl
+		for _, l := range done {
+			out[l*on+col] = retScalLane(p, fr, nl, l)
+		}
+		vm.putFrame(p, fr)
+		g = done
+	}
+	return g
+}

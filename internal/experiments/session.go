@@ -43,6 +43,7 @@ type Session struct {
 	base     context.Context // deprecated WithContext, checked alongside per-call contexts
 	workers  int
 	parallel int
+	batch    int
 	engine   model.EngineKind
 	store    *artifact.Store // optional on-disk artifact layer (WithArtifacts)
 
@@ -219,6 +220,25 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// DefaultBatch is the ensemble batching width sessions use unless
+// WithBatch overrides it: members fan into lockstep groups of this
+// many SIMD-style lanes on the batched bytecode VM.
+const DefaultBatch = 8
+
+// WithBatch sets how many ensemble/experimental members integrate in
+// lockstep on one batched VM (default DefaultBatch). WithBatch(1)
+// disables batching — every member runs on its own solo VM, the
+// differential reference. Outputs are pinned bit-identical at every
+// batch width, so like WithParallelism this is purely a throughput
+// knob.
+func WithBatch(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.batch = n
+		}
+	}
+}
+
 // NewSession builds a Session for one corpus configuration. Nothing is
 // generated until a stage needs it. The configuration's Bug field is
 // ignored: the control build is always clean and each scenario's
@@ -247,6 +267,9 @@ func NewSession(cfg corpus.Config, opts ...Option) *Session {
 	}
 	if s.parallel <= 0 {
 		s.parallel = runtime.GOMAXPROCS(0)
+	}
+	if s.batch <= 0 {
+		s.batch = DefaultBatch
 	}
 	if s.refine.Parallelism <= 0 {
 		s.refine.Parallelism = s.parallel
@@ -375,21 +398,27 @@ func (s *Session) Sources(ctx context.Context, sc Scenario) ([]corpus.File, erro
 }
 
 // runSet integrates members offset..offset+n-1 across a bounded pool
-// of par workers (par 1 degenerates to one worker draining the set in
-// order), checking the context between members so a canceled
-// investigation stops promptly instead of finishing the whole set.
-// Each member is an independent integration (Runner.Run builds a fresh
-// Machine) and outputs are stored by member index, so the result is
-// identical at every parallelism level.
-func runSet(ctx context.Context, r *model.Runner, n, offset, par int, base model.RunConfig) ([]ect.RunOutput, error) {
-	if par > n {
-		par = n
+// of par workers, checking the context between work units so a
+// canceled investigation stops promptly instead of finishing the
+// whole set. The set is cut into fixed contiguous chunks of batch
+// members — each chunk runs in lockstep on one batched VM
+// (Runner.RunBatchMeans; batch 1 degenerates to solo integrations) —
+// and the chunk boundaries depend only on n and batch, never on par,
+// so outputs are stored by member index and the result is identical
+// at every parallelism level.
+func runSet(ctx context.Context, r *model.Runner, n, offset, par, batch int, base model.RunConfig) ([]ect.RunOutput, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	nc := (n + batch - 1) / batch
+	if par > nc {
+		par = nc
 	}
 	if par < 1 {
 		par = 1
 	}
 	out := make([]ect.RunOutput, n)
-	errs := make([]error, n)
+	errs := make([]error, nc)
 	var failed atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -398,29 +427,37 @@ func runSet(ctx context.Context, r *model.Runner, n, offset, par int, base model
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				c := int(next.Add(1)) - 1
+				if c >= nc || failed.Load() {
 					return
 				}
 				if err := ctxErr(ctx); err != nil {
-					errs[i] = err
+					errs[c] = err
 					failed.Store(true)
 					return
 				}
-				cfg := base
-				cfg.Member = offset + i
-				res, err := r.Run(cfg)
+				lo := c * batch
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				members := make([]int, hi-lo)
+				for i := range members {
+					members[i] = offset + lo + i
+				}
+				res, err := r.RunBatchMeans(base, members)
 				if err != nil {
-					errs[i] = err
+					errs[c] = err
 					failed.Store(true)
 					return
 				}
-				out[i] = res.Means
+				copy(out[lo:hi], res)
 			}
 		}()
 	}
 	wg.Wait()
-	// Deterministic error selection: lowest failing member wins.
+	// Deterministic error selection: the lowest failing chunk wins, and
+	// RunBatchMeans already surfaces its lowest failing member.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -440,7 +477,7 @@ func (s *Session) Fingerprint(ctx context.Context) (*Fingerprint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: control: %w", err)
 		}
-		ens, err := runSet(ctx, control, s.ensemble, 0, s.parallel, model.RunConfig{})
+		ens, err := runSet(ctx, control, s.ensemble, 0, s.parallel, s.batch, model.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -475,7 +512,7 @@ func (s *Session) Verdict(ctx context.Context, sc Scenario) (*Verdict, error) {
 		if err != nil {
 			return nil, err
 		}
-		return verdictStage(ctx, fp, b, s.expSize, s.parallel)
+		return verdictStage(ctx, fp, b, s.expSize, s.parallel, s.batch)
 	})
 }
 
@@ -704,7 +741,7 @@ func (s *Session) ExperimentalOutputs(ctx context.Context, sc Scenario, n, offse
 	if err != nil {
 		return nil, err
 	}
-	return runSet(ctx, b.Exper, n, offset, s.parallel, b.ExpRunCfg)
+	return runSet(ctx, b.Exper, n, offset, s.parallel, s.batch, b.ExpRunCfg)
 }
 
 // Keys are the layered cache fingerprints of one scenario over the
@@ -764,7 +801,7 @@ func (s *Session) Table1(ctx context.Context, setup Table1Setup) ([]Table1Row, e
 		}
 		test = fp.Test
 	} else {
-		ens, err := runSet(ctx, runner, setup.EnsembleSize, 0, s.parallel, model.RunConfig{})
+		ens, err := runSet(ctx, runner, setup.EnsembleSize, 0, s.parallel, s.batch, model.RunConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -777,5 +814,5 @@ func (s *Session) Table1(ctx context.Context, setup Table1Setup) ([]Table1Row, e
 	if err != nil {
 		return nil, err
 	}
-	return table1Rows(ctx, runner, test, mg, setup, s.parallel)
+	return table1Rows(ctx, runner, test, mg, setup, s.parallel, s.batch)
 }

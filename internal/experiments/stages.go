@@ -80,8 +80,8 @@ type Sliced struct {
 // verdictStage runs the experimental set and scores it against the
 // ensemble fingerprint: members fan out across the session's bounded
 // worker pool, honoring the context between members.
-func verdictStage(ctx context.Context, fp *Fingerprint, b *Builds, expSize, par int) (*Verdict, error) {
-	runs, err := runSet(ctx, b.Exper, expSize, 1000, par, b.ExpRunCfg)
+func verdictStage(ctx context.Context, fp *Fingerprint, b *Builds, expSize, par, batch int) (*Verdict, error) {
+	runs, err := runSet(ctx, b.Exper, expSize, 1000, par, batch, b.ExpRunCfg)
 	if err != nil {
 		return nil, err
 	}

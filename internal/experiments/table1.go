@@ -107,7 +107,7 @@ func Table1(setup Table1Setup) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return table1Rows(context.Background(), runner, test, mg, setup, 1)
+	return table1Rows(context.Background(), runner, test, mg, setup, 1, DefaultBatch)
 }
 
 // table1Rows runs the five disablement strategies against
@@ -116,11 +116,11 @@ func Table1(setup Table1Setup) ([]Table1Row, error) {
 // context is honored between ensemble members, so a canceled study
 // stops mid-strategy rather than running all five sweeps.
 func table1Rows(ctx context.Context, runner *model.Runner, test *ect.Test, mg *metagraph.Metagraph,
-	setup Table1Setup, par int) ([]Table1Row, error) {
+	setup Table1Setup, par, batch int) ([]Table1Row, error) {
 	c := runner.Corpus
 	rate := func(disabled map[string]bool) (float64, error) {
 		fma := func(module string) bool { return !disabled[module] }
-		runs, err := runSet(ctx, runner, setup.ExpSize, 1000, par, model.RunConfig{FMA: fma})
+		runs, err := runSet(ctx, runner, setup.ExpSize, 1000, par, batch, model.RunConfig{FMA: fma})
 		if err != nil {
 			return 0, err
 		}

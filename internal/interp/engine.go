@@ -27,6 +27,31 @@ type Engine interface {
 	Ncol() int
 }
 
+// LaneSlice is a strided view of one lane's elements inside a batched
+// engine's struct-of-arrays storage: element i lives at
+// Data[i*Stride+Off]. It is the batched counterpart of the mutable
+// []float64 Engine.ModuleArray returns — the model's per-member
+// initial-condition perturbations write through it.
+type LaneSlice struct {
+	Data   []float64
+	Stride int
+	Off    int
+}
+
+// Len returns the number of lane elements.
+func (s LaneSlice) Len() int {
+	if s.Stride <= 0 {
+		return 0
+	}
+	return len(s.Data) / s.Stride
+}
+
+// At reads element i of the lane.
+func (s LaneSlice) At(i int) float64 { return s.Data[i*s.Stride+s.Off] }
+
+// Add adds dv to element i of the lane in place.
+func (s LaneSlice) Add(i int, dv float64) { s.Data[i*s.Stride+s.Off] += dv }
+
 // Results collects everything one integration captures, shared by both
 // engines. The maps are keyed exactly alike so downstream consumers
 // (ECT means, KGen kernel comparison, runtime-sampling refinement)

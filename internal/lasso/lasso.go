@@ -89,17 +89,25 @@ func Fit(p Problem, lambda float64, maxIter int, tol float64) (*Result, error) {
 	return fitStandardized(z, p.Y, p.N, p.D, lambda, maxIter, tol, false), nil
 }
 
-// fitStandardized is the ISTA loop over an already-standardized design
-// (SelectK's path search shares one standardization across every
-// lambda). The inner loops are tuned — sparse dot products over the
-// iterate's support, one sigmoid per distinct dot, an unrolled
-// gradient update — but every floating-point operation and its order
-// is exactly the original dense loop's, so fitted weights are
-// bit-identical (TestSparseDotMatchesDense pins this).
+// fitStandardized starts the ISTA loop from the zero iterate.
 func fitStandardized(z, y []float64, n, d int, lambda float64, maxIter int, tol float64, forceDense bool) *Result {
-	w := make([]float64, d)
+	return fitFrom(z, y, n, d, lambda, maxIter, tol, forceDense, make([]float64, d), 0, 0)
+}
+
+// fitFrom is the ISTA loop over an already-standardized design
+// (SelectK's path search shares one standardization across every
+// lambda), continuing from iterate (w, b) at iteration count start —
+// the warm path resumes here after skipping the shared pure-intercept
+// prefix, and because the loop body is byte-for-byte the cold path's,
+// a continuation from a bit-exact cold iterate reproduces the cold
+// trajectory bit-for-bit. The inner loops are tuned — sparse dot
+// products over the iterate's support, one sigmoid per distinct dot,
+// an unrolled gradient update — but every floating-point operation and
+// its order is exactly the original dense loop's, so fitted weights
+// are bit-identical (TestSparseDotMatchesDense pins this). w is
+// retained as the result's weight slice.
+func fitFrom(z, y []float64, n, d int, lambda float64, maxIter int, tol float64, forceDense bool, w []float64, b float64, start int) *Result {
 	grad := make([]float64, d)
-	var b float64
 	// Sparse dot products: skipping exact-zero weights is bit-identical
 	// to the dense sum — a +0 weight contributes a signed-zero product,
 	// and x + ±0 == x for every accumulator this loop can produce (it
@@ -132,7 +140,7 @@ func fitStandardized(z, y []float64, n, d int, lambda float64, maxIter int, tol 
 	step := 1 / lip
 	inv := 1 / float64(n)
 	var iters int
-	for iters = 0; iters < maxIter; iters++ {
+	for iters = start; iters < maxIter; iters++ {
 		for j := range grad {
 			grad[j] = 0
 		}
@@ -244,13 +252,165 @@ func (r *Result) Support() []int {
 	return idx
 }
 
+// pathCache shares the pure-intercept prefix of the cold ISTA
+// trajectory across every lambda on the regularization path. While the
+// weight iterate is all-zero, the trajectory is lambda-independent:
+// every row's dot is exactly b, the full gradient at iterate t depends
+// only on b_t, and the intercept update never touches lambda. So the
+// cache computes, once per SelectK, the sequence of (b_t, gradient_t)
+// pairs — bit-for-bit the iterates the cold loop would produce — and
+// each lambda's fit fast-forwards along it until the exact KKT
+// condition softThreshold(w_j - step·grad_j/n, step·λ) ≠ 0 admits its
+// first coordinate (the same proximal expression the dense update
+// applies, so the departure iteration is exactly where the cold
+// trajectory's support first becomes nonempty). From that bit-exact
+// iterate the ordinary ISTA loop (fitFrom) finishes the fit, making
+// every warm fit bit-identical to its cold counterpart while the
+// shared prefix — the long stretch the cold path burns re-deriving the
+// same intercept for every lambda — is paid once instead of ~30 times.
+type pathCache struct {
+	z, y      []float64
+	n, d      int
+	step, inv float64
+	finite    bool
+	bs        []float64   // bs[t] = intercept entering iteration t (bs[0] = 0)
+	grads     [][]float64 // grads[t][j] = full gradient at iterate t
+	gradBs    []float64   // intercept gradient at iterate t
+}
+
+func newPathCache(z, y []float64, n, d int) *pathCache {
+	c := &pathCache{z: z, y: y, n: n, d: d, finite: true}
+	for _, v := range z {
+		if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
+			c.finite = false
+			break
+		}
+	}
+	// The same Lipschitz step the cold loop derives.
+	var lip float64
+	for i := 0; i < n; i++ {
+		var rn float64
+		for _, xv := range z[i*d : (i+1)*d] {
+			rn += xv * xv
+		}
+		rn = (rn + 1) / 4
+		if rn > lip {
+			lip = rn
+		}
+	}
+	if lip == 0 {
+		lip = 1
+	}
+	c.step = 1 / lip
+	c.inv = 1 / float64(n)
+	c.bs = append(c.bs, 0)
+	return c
+}
+
+// ensure extends the cached trajectory through iteration t. The
+// gradient accumulation mirrors the cold loop's arithmetic exactly:
+// one sigmoid serves all rows (every dot equals b), residuals
+// accumulate per column in row order (each grad[j] is an independent
+// accumulator, so the cold loop's unrolling changes nothing), and the
+// intercept update is the same expression.
+func (c *pathCache) ensure(t int) {
+	for len(c.grads) <= t {
+		b := c.bs[len(c.grads)]
+		grad := make([]float64, c.d)
+		var gradB float64
+		sig := sigmoid(b)
+		for i := 0; i < c.n; i++ {
+			resid := sig - c.y[i]
+			row := c.z[i*c.d : (i+1)*c.d]
+			for j, xv := range row {
+				grad[j] += resid * xv
+			}
+			gradB += resid
+		}
+		c.grads = append(c.grads, grad)
+		c.gradBs = append(c.gradBs, gradB)
+		c.bs = append(c.bs, b-c.step*gradB*c.inv)
+	}
+}
+
+// fit runs one lambda's cold-equivalent fit, fast-forwarding through
+// the shared prefix.
+func (c *pathCache) fit(lambda float64, maxIter int, tol float64) *Result {
+	lamStep := c.step * lambda
+	t := 0
+	for t < maxIter {
+		c.ensure(t)
+		g := c.grads[t]
+		activated := false
+		for j := 0; j < c.d; j++ {
+			if softThreshold(0-c.step*g[j]*c.inv, lamStep) != 0 {
+				activated = true
+				break
+			}
+		}
+		if activated {
+			break
+		}
+		// No weight moves this iteration, so the cold loop's maxDelta
+		// is exactly the intercept move.
+		if math.Abs(c.bs[t+1]-c.bs[t]) < tol {
+			return &Result{Weights: make([]float64, c.d), Intercept: c.bs[t+1], Lambda: lambda, Iters: t}
+		}
+		t++
+	}
+	if t >= maxIter {
+		return &Result{Weights: make([]float64, c.d), Intercept: c.bs[t], Lambda: lambda, Iters: t}
+	}
+	// Iteration t activates the support: apply the cold loop's own
+	// update expressions to the cached iterate, then hand the state to
+	// the shared ISTA loop.
+	g := c.grads[t]
+	w := make([]float64, c.d)
+	var maxDelta float64
+	for j := 0; j < c.d; j++ {
+		nw := softThreshold(w[j]-c.step*g[j]*c.inv, lamStep)
+		if dd := math.Abs(nw - w[j]); dd > maxDelta {
+			maxDelta = dd
+		}
+		w[j] = nw
+	}
+	nb := c.bs[t] - c.step*c.gradBs[t]*c.inv
+	if dd := math.Abs(nb - c.bs[t]); dd > maxDelta {
+		maxDelta = dd
+	}
+	if maxDelta < tol {
+		return &Result{Weights: w, Intercept: nb, Lambda: lambda, Iters: t}
+	}
+	return fitFrom(c.z, c.y, c.n, c.d, lambda, maxIter, tol, false, w, nb, t+1)
+}
+
 // SelectK tunes lambda by bisection on the regularization path so that
 // the fitted support has approximately k variables (the paper tunes to
 // "about five"). It returns the selected indices ranked by |weight| and
 // the final fit. If the support cannot be driven exactly to k (the path
 // may jump, as in the GOFFGRATCH experiment where 10 variables come out)
 // the closest achievable support with size >= k is returned.
+//
+// The path search is warm-started: the lambda-independent
+// pure-intercept prefix of the ISTA trajectory is computed once and
+// shared across every bisection fit, each of which fast-forwards along
+// it to its exact KKT departure point (see pathCache). SelectKCold
+// runs the same search with cold from-zero fits and is the
+// differential oracle the tests compare against — fits, supports and
+// the tuned lambda are all bit-identical between the two.
 func SelectK(p Problem, k int, maxIter int) ([]int, *Result, error) {
+	return selectK(p, k, maxIter, true)
+}
+
+// SelectKCold is SelectK without warm starts: every lambda on the
+// bisection path is fitted from the zero iterate by the dense ISTA
+// loop. It exists as the differential oracle for the warm-started
+// path — selections must agree bit-for-bit.
+func SelectKCold(p Problem, k int, maxIter int) ([]int, *Result, error) {
+	return selectK(p, k, maxIter, false)
+}
+
+func selectK(p Problem, k int, maxIter int, warm bool) ([]int, *Result, error) {
 	if k <= 0 {
 		return nil, nil, errors.New("lasso: k must be positive")
 	}
@@ -280,15 +440,29 @@ func SelectK(p Problem, k int, maxIter int) ([]int, *Result, error) {
 	}
 	lo, hi := lamMax*1e-4, lamMax
 	var best *Result
+	var bestSup []int
 	bestGap := math.MaxInt32
+	var cache *pathCache
+	if warm {
+		if c := newPathCache(z, p.Y, p.N, p.D); c.finite {
+			cache = c // non-finite designs keep the dense cold path
+		}
+	}
 	for iter := 0; iter < 30; iter++ {
 		mid := math.Sqrt(lo * hi) // geometric bisection
-		// The standardized design and the ISTA trajectory per lambda are
-		// identical to a fresh Fit call; only the standardization work is
-		// shared across the path.
-		res := fitStandardized(z, p.Y, p.N, p.D, mid, maxIter, 1e-7, false)
-		sup := len(res.Support())
-		gap := sup - k
+		var res *Result
+		if cache != nil {
+			res = cache.fit(mid, maxIter, 1e-7)
+		} else {
+			// The standardized design and the ISTA trajectory per lambda
+			// are identical to a fresh Fit call; only the standardization
+			// work is shared across the path.
+			res = fitStandardized(z, p.Y, p.N, p.D, mid, maxIter, 1e-7, false)
+		}
+		// Each fit's support is computed (and sorted) once; the ranked
+		// slice is reused for the gap comparisons and the final return.
+		sup := res.Support()
+		gap := len(sup) - k
 		if gap < 0 {
 			gap = -gap
 		}
@@ -298,25 +472,26 @@ func SelectK(p Problem, k int, maxIter int) ([]int, *Result, error) {
 		switch {
 		case best == nil:
 			better = true
-		case sup == k:
+		case len(sup) == k:
 			better = true
-		case len(best.Support()) < k && sup > len(best.Support()):
+		case len(bestSup) < k && len(sup) > len(bestSup):
 			better = true
-		case sup >= k && gap < bestGap:
+		case len(sup) >= k && gap < bestGap:
 			better = true
 		}
 		if better {
 			best = res
+			bestSup = sup
 			bestGap = gap
 		}
-		if sup == k {
+		if len(sup) == k {
 			break
 		}
-		if sup > k {
+		if len(sup) > k {
 			lo = mid // need more penalty
 		} else {
 			hi = mid
 		}
 	}
-	return best.Support(), best, nil
+	return bestSup, best, nil
 }

@@ -133,3 +133,71 @@ func TestFitMonotoneSupportInLambda(t *testing.T) {
 		}
 	}
 }
+
+// TestSelectKWarmMatchesCold sweeps randomized designs — including
+// ill-posed ones where k exceeds the informative feature count, so
+// noise picks sit right at the activation threshold — and checks the
+// warm-started path search is bit-identical to the cold oracle in
+// every respect: ranked selection, tuned lambda, fitted weights,
+// intercept and iteration count. Warm fits fast-forward through the
+// shared pure-intercept prefix but reproduce the cold trajectory
+// exactly, so nothing may differ.
+func TestSelectKWarmMatchesCold(t *testing.T) {
+	rng := uint64(12345)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / (1 << 53)
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + trial
+		d := 5 + trial%12
+		informative := 1 + trial%4
+		x := make([]float64, n*d)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if i >= n/2 {
+				y[i] = 1
+			}
+			for j := 0; j < d; j++ {
+				v := next() - 0.5
+				if j < informative {
+					v += y[i] * (0.5 + float64(j)*0.3)
+				}
+				x[i*d+j] = v
+			}
+		}
+		p := Problem{X: x, Y: y, N: n, D: d}
+		k := 1 + trial%5
+		warmSel, warmRes, err := SelectK(p, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldSel, coldRes, err := SelectKCold(p, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warmSel) != len(coldSel) {
+			t.Fatalf("trial %d: warm %v cold %v", trial, warmSel, coldSel)
+		}
+		for i := range warmSel {
+			if warmSel[i] != coldSel[i] {
+				t.Fatalf("trial %d rank %d: warm %v cold %v", trial, i, warmSel, coldSel)
+			}
+		}
+		if math.Float64bits(warmRes.Lambda) != math.Float64bits(coldRes.Lambda) {
+			t.Fatalf("trial %d: lambda warm %v cold %v", trial, warmRes.Lambda, coldRes.Lambda)
+		}
+		if math.Float64bits(warmRes.Intercept) != math.Float64bits(coldRes.Intercept) {
+			t.Fatalf("trial %d: intercept warm %v cold %v", trial, warmRes.Intercept, coldRes.Intercept)
+		}
+		if warmRes.Iters != coldRes.Iters {
+			t.Fatalf("trial %d: iters warm %d cold %d", trial, warmRes.Iters, coldRes.Iters)
+		}
+		for j := range warmRes.Weights {
+			if math.Float64bits(warmRes.Weights[j]) != math.Float64bits(coldRes.Weights[j]) {
+				t.Fatalf("trial %d: weight %d warm %v cold %v",
+					trial, j, warmRes.Weights[j], coldRes.Weights[j])
+			}
+		}
+	}
+}

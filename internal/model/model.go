@@ -308,6 +308,112 @@ func (r *Runner) Run(cfg RunConfig) (*Result, error) {
 	return &Result{Means: eng.Captured().OutputMeans(), Engine: eng}, nil
 }
 
+// RunBatchMeans integrates a set of members in lockstep on one
+// batched VM (internal/bytecode.BatchVM) and returns their step-9
+// output means in member order — bit-identical to running each member
+// through Run. Members share everything except the perturbation seed,
+// so the lanes execute the same instruction stream and diverge only at
+// data-dependent branches. Configurations the batched engine cannot
+// express (the tree engine, Trace callbacks) and single-member sets
+// fall back to solo runs. On failure the error of the lowest failing
+// member is returned, wrapped exactly as Run wraps it.
+func (r *Runner) RunBatchMeans(base RunConfig, members []int) ([]ect.RunOutput, error) {
+	if len(members) == 0 {
+		return nil, nil
+	}
+	kind := base.Engine
+	if kind == EngineDefault {
+		kind = r.Engine()
+	}
+	if kind == EngineTree || base.Trace != nil || len(members) == 1 {
+		out := make([]ect.RunOutput, len(members))
+		for i, m := range members {
+			cfg := base
+			cfg.Member = m
+			res, err := r.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Means
+		}
+		return out, nil
+	}
+	cfg := base
+	if cfg.Ncol == 0 {
+		cfg.Ncol = 16
+	}
+	if cfg.PertScale == 0 {
+		cfg.PertScale = 1e-9
+	}
+	if cfg.RNGSeed == 0 {
+		cfg.RNGSeed = 777
+	}
+	nl := len(members)
+	rngs := make([]rng.Source, nl)
+	for i := range rngs {
+		switch cfg.RNG {
+		case RNGMersenne:
+			rngs[i] = rng.NewMT19937(cfg.RNGSeed)
+		default:
+			rngs[i] = rng.NewKISS(cfg.RNGSeed)
+		}
+	}
+	vm, err := r.Program().NewBatchVM(interp.Config{
+		Ncol:        cfg.Ncol,
+		FMA:         cfg.FMA,
+		KernelWatch: cfg.KernelWatch,
+		SnapshotAll: cfg.SnapshotAll,
+	}, rngs)
+	if err != nil {
+		return nil, err
+	}
+	// wrap holds each lane's first error with Run's phase wrapping; a
+	// lane's sticky VM error freezes it, so later phases cannot
+	// overwrite an earlier failure.
+	wrap := make([]error, nl)
+	mark := func(f func(error) error) {
+		for l, e := range vm.LaneErrs() {
+			if e != nil && wrap[l] == nil {
+				wrap[l] = f(e)
+			}
+		}
+	}
+	vm.CallAll(r.Corpus.DriverModule, r.Corpus.InitSub)
+	mark(func(e error) error { return fmt.Errorf("model: init: %w", e) })
+	for l, m := range members {
+		if wrap[l] != nil {
+			continue
+		}
+		c := cfg
+		c.Member = m
+		if err := perturbLane(vm, l, c); err != nil {
+			wrap[l] = err
+		}
+	}
+	steps := Steps
+	if cfg.StopAfter > 0 && cfg.StopAfter < Steps {
+		steps = cfg.StopAfter
+	}
+	for s := 0; s < steps; s++ {
+		vm.CallAll(r.Corpus.DriverModule, r.Corpus.StepSub)
+		step := s + 1
+		mark(func(e error) error { return fmt.Errorf("model: step %d: %w", step, e) })
+	}
+	if cfg.SnapshotAll {
+		vm.SnapshotModuleVarsAll()
+	}
+	for _, e := range wrap {
+		if e != nil {
+			return nil, e
+		}
+	}
+	out := make([]ect.RunOutput, nl)
+	for l := range members {
+		out[l] = vm.LaneResults(l).OutputMeans()
+	}
+	return out, nil
+}
+
 // perturb applies the member-specific initial-condition perturbation:
 // a random temperature field perturbation (CESM pertlim-style) plus a
 // small perturbation of the near-isolated wpert aerosol field so every
@@ -324,6 +430,27 @@ func perturb(eng interp.Engine, cfg RunConfig) error {
 	if wp, ok := eng.ModuleArray("microp_aero", "wpert"); ok {
 		for i := range wp {
 			wp[i] += 1e-3 * gauss(gen)
+		}
+	}
+	return nil
+}
+
+// perturbLane applies perturb's member-specific perturbation to one
+// lane of a batched VM through strided LaneSlice views — the same LCG
+// stream, draw order and target fields, so the lane's initial state is
+// bit-identical to a solo run of that member.
+func perturbLane(vm *bytecode.BatchVM, lane int, cfg RunConfig) error {
+	gen := rng.NewLCG(uint64(cfg.Member)*2654435761 + 97)
+	t, ok := vm.LaneArray(lane, "physics_types", "state", "t")
+	if !ok {
+		return fmt.Errorf("model: state variable missing")
+	}
+	for i, n := 0, t.Len(); i < n; i++ {
+		t.Add(i, cfg.PertScale*gauss(gen))
+	}
+	if wp, ok := vm.LaneArray(lane, "microp_aero", "wpert"); ok {
+		for i, n := 0, wp.Len(); i < n; i++ {
+			wp.Add(i, 1e-3*gauss(gen))
 		}
 	}
 	return nil

@@ -204,3 +204,81 @@ func TestFMAChangesMicroMGKernel(t *testing.T) {
 		t.Fatalf("tlat normalized RMS diff = %v; want > 1e-12", diff)
 	}
 }
+
+func TestRunBatchMeansMatchesSolo(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 25, Seed: 4})
+	members := []int{0, 1, 2, 3, 4, 5, 1000, 1001}
+	batched, err := r.RunBatchMeans(RunConfig{}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(members) {
+		t.Fatalf("got %d outputs, want %d", len(batched), len(members))
+	}
+	for i, m := range members {
+		solo, err := r.Run(RunConfig{Member: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batched[i]) != len(solo.Means) {
+			t.Fatalf("member %d: %d outputs vs solo %d", m, len(batched[i]), len(solo.Means))
+		}
+		for k, v := range solo.Means {
+			bv, ok := batched[i][k]
+			if !ok {
+				t.Fatalf("member %d: output %s missing from batch", m, k)
+			}
+			if math.Float64bits(bv) != math.Float64bits(v) {
+				t.Fatalf("member %d output %s: batch %v solo %v", m, k, bv, v)
+			}
+		}
+	}
+}
+
+func TestRunBatchMeansVariants(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 25, Seed: 4})
+	cfgs := map[string]RunConfig{
+		"mersenne":  {RNG: RNGMersenne},
+		"stopafter": {StopAfter: 2},
+		"fma":       {FMA: func(string) bool { return true }},
+	}
+	for name, cfg := range cfgs {
+		members := []int{2, 7, 11}
+		batched, err := r.RunBatchMeans(cfg, members)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, m := range members {
+			c := cfg
+			c.Member = m
+			solo, err := r.Run(c)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for k, v := range solo.Means {
+				if math.Float64bits(batched[i][k]) != math.Float64bits(v) {
+					t.Fatalf("%s member %d output %s: batch %v solo %v", name, m, k, batched[i][k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBatchMeansTreeFallback(t *testing.T) {
+	r := runnerFor(t, corpus.Config{AuxModules: 20, Seed: 2})
+	batched, err := r.RunBatchMeans(RunConfig{Engine: EngineTree}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []int{0, 1} {
+		solo, err := r.Run(RunConfig{Member: m, Engine: EngineTree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range solo.Means {
+			if math.Float64bits(batched[i][k]) != math.Float64bits(v) {
+				t.Fatalf("member %d output %s differs under tree fallback", m, k)
+			}
+		}
+	}
+}

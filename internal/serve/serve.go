@@ -29,8 +29,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"strconv"
 	"sync"
 	"time"
 
@@ -93,6 +91,9 @@ type Config struct {
 	// doubling per attempt with deterministic per-fingerprint jitter.
 	// It also seeds the shared queue's backoff policy.
 	RetryBase time.Duration
+	// RetryMax caps the doubled backoff delay (default 30s, the shared
+	// queue's cap).
+	RetryMax time.Duration
 }
 
 // ErrJobTimeout marks an execution attempt aborted by Config.JobTimeout
@@ -157,6 +158,7 @@ type Server struct {
 	maxAttempts int
 	jobTimeout  time.Duration
 	retryBase   time.Duration
+	retryMax    time.Duration
 
 	mu       sync.Mutex
 	closed   bool
@@ -222,6 +224,9 @@ func New(cfg Config) *Server {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = artifact.DefaultBackoffBase
 	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = artifact.DefaultBackoffMax
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		session:      cfg.Session,
@@ -237,6 +242,7 @@ func New(cfg Config) *Server {
 		maxAttempts:  cfg.MaxAttempts,
 		jobTimeout:   cfg.JobTimeout,
 		retryBase:    cfg.RetryBase,
+		retryMax:     cfg.RetryMax,
 		jobs:         make(map[string]*job),
 		flights:      make(map[string]*flight),
 		t1:           make(map[string]*t1flight),
@@ -501,7 +507,7 @@ func (s *Server) runFlight(fl *flight) {
 		}
 		s.m.jobRetries.Add(1)
 		select {
-		case <-time.After(retryDelay(fl.key, attempt, s.retryBase)):
+		case <-time.After(s.retryDelay(fl.key, attempt)):
 		case <-fl.ctx.Done():
 		}
 	}
@@ -567,25 +573,14 @@ func transientErr(err error) bool {
 }
 
 // retryDelay is the backoff before re-running a flight: RetryBase
-// doubled per attempt (capped at 30s) plus a jitter that is a pure
-// function of (fingerprint, attempt), so seeded chaos runs replay the
-// same schedule.
-func retryDelay(key string, attempt int, base time.Duration) time.Duration {
-	if base <= 0 {
-		base = artifact.DefaultBackoffBase
-	}
-	const maxDelay = 30 * time.Second
-	d := base
-	for i := 1; i < attempt && d < maxDelay; i++ {
-		d *= 2
-	}
-	if d > maxDelay {
-		d = maxDelay
-	}
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	h.Write([]byte(strconv.Itoa(attempt)))
-	return d + time.Duration(h.Sum64()%uint64(base))
+// doubled per attempt, capped at RetryMax, plus a jitter that is a
+// pure function of (fingerprint, attempt), so seeded chaos runs
+// replay the same schedule. It delegates to the queue's shared
+// artifact.Backoff — one schedule for both retry planes (a local
+// duplicate used to hardcode the 30s cap, ignoring any configured
+// maximum).
+func (s *Server) retryDelay(key string, attempt int) time.Duration {
+	return artifact.Backoff(key, attempt, s.retryBase, s.retryMax)
 }
 
 // persistOutcome queues an asynchronous durable write of a completed

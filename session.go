@@ -152,6 +152,14 @@ func WithEngine(k EngineKind) Option { return experiments.WithEngine(k) }
 // wall-clock knob. Contexts are honored between work units.
 func WithParallelism(n int) Option { return experiments.WithParallelism(n) }
 
+// WithBatch sets how many ensemble/experimental members integrate in
+// lockstep on one batched struct-of-arrays VM (default 8). One
+// instruction decode drives all lanes; lanes split off only at
+// data-dependent branches. WithBatch(1) runs every member on its own
+// solo VM — the differential reference. Outputs are bit-identical at
+// every batch width, so this too is purely a wall-clock knob.
+func WithBatch(n int) Option { return experiments.WithBatch(n) }
+
 // ValueSampling instruments refinement nodes with real runtime value
 // snapshots; tol <= 0 selects the default normalized-RMS tolerance.
 func ValueSampling(tol float64) Sampler { return experiments.ValueSampling(tol) }
