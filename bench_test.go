@@ -59,11 +59,40 @@ func BenchmarkPipelineSixSpecsOneShot(b *testing.B) {
 // out concurrently — the compile-once, run-many speedup the Session
 // API exists for.
 func BenchmarkPipelineSixSpecsSession(b *testing.B) {
+	var fits, iters uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := benchSession().RunAll(context.Background(), Experiments()); err != nil {
+		s := benchSession()
+		if _, err := s.RunAll(context.Background(), Experiments()); err != nil {
 			b.Fatal(err)
 		}
+		f, it := s.LassoStats()
+		fits += f
+		iters += it
 	}
+	b.ReportMetric(float64(fits)/float64(b.N), "lassofits")
+	b.ReportMetric(float64(iters)/float64(b.N), "lassoiters")
+}
+
+// BenchmarkPipelineSixSpecsSessionISTA is the same six-spec session
+// with the §3 selection stage pinned to the dense ISTA reference
+// solver instead of the coordinate-screened default. The gap to
+// BenchmarkPipelineSixSpecsSession is the lasso-engine win; outputs
+// are pinned bit-identical, so the two benchmarks do exactly the same
+// science.
+func BenchmarkPipelineSixSpecsSessionISTA(b *testing.B) {
+	var fits, iters uint64
+	for i := 0; i < b.N; i++ {
+		s := NewSession(CorpusConfig{AuxModules: 40, Seed: 2},
+			WithEnsembleSize(30), WithExpSize(8), WithLassoSolver(SolverISTA))
+		if _, err := s.RunAll(context.Background(), Experiments()); err != nil {
+			b.Fatal(err)
+		}
+		f, it := s.LassoStats()
+		fits += f
+		iters += it
+	}
+	b.ReportMetric(float64(fits)/float64(b.N), "lassofits")
+	b.ReportMetric(float64(iters)/float64(b.N), "lassoiters")
 }
 
 // BenchmarkPipelineSixSpecsSessionUnbatched is the same six-spec

@@ -26,9 +26,10 @@ import (
 )
 
 // benchLine matches one -benchmem result row. The -N GOMAXPROCS suffix
-// is stripped so snapshots compare across machines.
+// is stripped so snapshots compare across machines, and custom
+// b.ReportMetric units may sit between ns/op and the -benchmem pair.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // coldWarm match the custom b.ReportMetric units the warm-restart
 // benchmark emits alongside ns/op.
@@ -43,6 +44,15 @@ var (
 var (
 	searchNodes = regexp.MustCompile(`([\d.]+) searchnodes`)
 	searchMS    = regexp.MustCompile(`([\d.]+) searchms`)
+)
+
+// lassoMS/lassoIters match the lasso benchmarks' custom units: wall
+// milliseconds per SelectK path search and solver iterations consumed
+// (per search for the lasso benches, per pipeline run for the
+// six-spec benches).
+var (
+	lassoMS    = regexp.MustCompile(`([\d.]+) lassoms`)
+	lassoIters = regexp.MustCompile(`([\d.]+) lassoiters`)
 )
 
 // Result is one benchmark's averaged numbers. ColdMS/WarmMS carry a
@@ -60,6 +70,10 @@ type Result struct {
 	// pruning and latency metrics when the producer measured them.
 	SearchNodes float64 `json:"searchnodes,omitempty"`
 	SearchMS    float64 `json:"searchms,omitempty"`
+	// LassoMS/LassoIters carry the lasso benchmarks' per-search wall
+	// time and solver iteration counts when the producer measured them.
+	LassoMS    float64 `json:"lassoms,omitempty"`
+	LassoIters float64 `json:"lassoiters,omitempty"`
 }
 
 func main() {
@@ -107,6 +121,14 @@ func main() {
 			v, _ := strconv.ParseFloat(sm[1], 64)
 			r.SearchMS += v
 		}
+		if lm := lassoMS.FindStringSubmatch(sc.Text()); lm != nil {
+			v, _ := strconv.ParseFloat(lm[1], 64)
+			r.LassoMS += v
+		}
+		if li := lassoIters.FindStringSubmatch(sc.Text()); li != nil {
+			v, _ := strconv.ParseFloat(li[1], 64)
+			r.LassoIters += v
+		}
 		r.Runs++
 	}
 	if err := sc.Err(); err != nil {
@@ -122,6 +144,8 @@ func main() {
 		r.WarmMS /= n
 		r.SearchNodes /= n
 		r.SearchMS /= n
+		r.LassoMS /= n
+		r.LassoIters /= n
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

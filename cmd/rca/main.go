@@ -86,6 +86,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool per investigation: ensemble members and graph kernels (0 = GOMAXPROCS); results are identical at every setting")
 		batch     = flag.Int("batch", 0, "members per batched lockstep VM (0 = default 8, 1 = solo VMs); results are bit-identical at every width")
 		engine    = flag.String("engine", "bytecode", "execution engine: bytecode (compiled register VM, default) | tree (AST-walking oracle); outputs are bit-identical")
+		lassoSv   = flag.String("lasso", "cd", "lasso solver: cd (coordinate-screened, default) | ista (dense reference oracle); outputs are bit-identical")
 		server    = flag.String("server", "", "rcad base URL: run scenarios on a daemon instead of in-process (corpus/ensemble sizing then comes from the daemon's flags)")
 		storeDir  = flag.String("store", "", "artifact store directory: persist corpora, compiled programs and metagraphs so later runs (and rcad daemons) start warm")
 		faults    = flag.String("faults", os.Getenv("RCAD_FAULTS"), "deterministic fault-injection spec for -store I/O, e.g. 'artifact.put:eio@0.1' (default $RCAD_FAULTS)")
@@ -196,6 +197,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	solver, err := rca.ParseLassoSolver(*lassoSv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rca:", err)
+		os.Exit(2)
+	}
+
 	ccfg := rca.DefaultCorpus()
 	ccfg.AuxModules = *aux
 	ccfg.Seed = *seed
@@ -205,6 +212,7 @@ func main() {
 		rca.WithExpSize(*runs),
 		rca.WithSampler(strategy),
 		rca.WithEngine(engKind),
+		rca.WithLassoSolver(solver),
 	}
 	if *parallel > 0 {
 		opts = append(opts, rca.WithParallelism(*parallel))

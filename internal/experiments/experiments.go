@@ -235,7 +235,7 @@ func group(runs []ect.RunOutput) map[string][]float64 {
 // K; when the problem is degenerate (e.g. a single wildly affected
 // variable) fall back to the median-distance ranking.
 func selectOutputs(k int, vars []string, ens, exp []ect.RunOutput,
-	ranking []stats.VariableDistance) ([]string, error) {
+	ranking []stats.VariableDistance, solver lasso.Solver) ([]string, lasso.PathStats, error) {
 	if k <= 0 {
 		k = 5
 	}
@@ -255,7 +255,7 @@ func selectOutputs(k int, vars []string, ens, exp []ect.RunOutput,
 			x[row*d+j] = r[v]
 		}
 	}
-	sel, _, err := lasso.SelectK(lasso.Problem{X: x, Y: y, N: n, D: d}, k, 1500)
+	sel, _, st, err := lasso.SelectKSolver(lasso.Problem{X: x, Y: y, N: n, D: d}, k, 1500, solver)
 	if err == nil && len(sel) > 0 {
 		var labels []string
 		for _, j := range sel {
@@ -274,17 +274,17 @@ func selectOutputs(k int, vars []string, ens, exp []ect.RunOutput,
 		if len(labels) > 10 {
 			labels = labels[:10]
 		}
-		return labels, nil
+		return labels, st, nil
 	}
 	// Fallback: median-distance selection.
 	names := stats.SelectAffected(ranking, 10)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("experiments: variable selection found nothing")
+		return nil, st, fmt.Errorf("experiments: variable selection found nothing")
 	}
 	if len(names) > k {
 		names = names[:k]
 	}
-	return names, nil
+	return names, st, nil
 }
 
 func contains(xs []string, want string) bool {

@@ -12,6 +12,7 @@ import (
 	"github.com/climate-rca/rca/internal/core"
 	"github.com/climate-rca/rca/internal/corpus"
 	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/lasso"
 	"github.com/climate-rca/rca/internal/metagraph"
 	"github.com/climate-rca/rca/internal/model"
 )
@@ -45,7 +46,15 @@ type Session struct {
 	parallel int
 	batch    int
 	engine   model.EngineKind
+	solver   lasso.Solver
 	store    *artifact.Store // optional on-disk artifact layer (WithArtifacts)
+
+	// lassoFits/lassoIters count §3 selection-stage lasso fits and
+	// their proximal-gradient iterations across the session — the
+	// /metrics counters behind lasso_fits_total and
+	// lasso_fit_iterations_total.
+	lassoFits  atomic.Uint64
+	lassoIters atomic.Uint64
 
 	// runnerList tracks built runners for compile-cache statistics.
 	runnerMu   sync.Mutex
@@ -202,6 +211,15 @@ func WithEngine(k model.EngineKind) Option {
 	return func(s *Session) { s.engine = k }
 }
 
+// WithLassoSolver selects the solver engine behind the §3 lasso
+// selection stage: the coordinate-screened engine (the default) or the
+// dense ISTA reference oracle. The engines emit bit-identical iterates
+// — fitted weights, supports and iteration counts all match — so like
+// WithEngine this is purely a throughput knob.
+func WithLassoSolver(sv lasso.Solver) Option {
+	return func(s *Session) { s.solver = sv }
+}
+
 // WithParallelism bounds the worker pool used *inside* one
 // investigation (default GOMAXPROCS): ensemble and experimental-set
 // members integrate concurrently, and the refinement loop's graph
@@ -322,6 +340,17 @@ func (s *Session) runnerFor(ctx context.Context, key string, cfg corpus.Config, 
 // Engine reports the session's execution engine name ("bytecode" or
 // "tree") — the label rcad's metrics attach to its job counters.
 func (s *Session) Engine() string { return s.engine.String() }
+
+// LassoSolver reports the session's lasso engine name ("cd" or
+// "ista") — the label rcad's metrics attach to the lasso counters.
+func (s *Session) LassoSolver() string { return s.solver.String() }
+
+// LassoStats reports how many §3 selection-stage lasso fits the
+// session has run and the total proximal-gradient iterations they
+// consumed. rcad reports both at /metrics.
+func (s *Session) LassoStats() (fits, iters uint64) {
+	return s.lassoFits.Load(), s.lassoIters.Load()
+}
 
 // Sizes reports the session's control-ensemble and experimental-set
 // sizes. A scenario's UF-ECT failure rate depends on both, so durable
@@ -540,7 +569,15 @@ func (s *Session) SelectVariables(ctx context.Context, sc Scenario) (*Selection,
 		if err != nil {
 			return nil, err
 		}
-		return selectStage(sc, fp, b, v)
+		sel, st, err := selectStage(sc, fp, b, v, s.solver)
+		if err != nil {
+			return nil, err
+		}
+		if st.Fits > 0 {
+			s.lassoFits.Add(uint64(st.Fits))
+			s.lassoIters.Add(uint64(st.Iters))
+		}
+		return sel, nil
 	})
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/climate-rca/rca/internal/core"
 	"github.com/climate-rca/rca/internal/coverage"
 	"github.com/climate-rca/rca/internal/ect"
+	"github.com/climate-rca/rca/internal/lasso"
 	"github.com/climate-rca/rca/internal/metagraph"
 	"github.com/climate-rca/rca/internal/model"
 	"github.com/climate-rca/rca/internal/slicing"
@@ -92,8 +93,9 @@ func verdictStage(ctx context.Context, fp *Fingerprint, b *Builds, expSize, par,
 // first (the paper's recommendation); when it is inconclusive — the
 // common case, since changes propagate to most variables — the
 // distribution methods (lasso, median distances) take over.
-func selectStage(sc Scenario, fp *Fingerprint, b *Builds, v *Verdict) (*Selection, error) {
+func selectStage(sc Scenario, fp *Fingerprint, b *Builds, v *Verdict, solver lasso.Solver) (*Selection, lasso.PathStats, error) {
 	sel := &Selection{}
+	var st lasso.PathStats
 	sel.MedianRanking = stats.MedianDistanceRanking(group(fp.Ensemble), group(v.ExpRuns))
 	sel.FirstStep, _ = FirstStepDiff(b.Control, b.Exper, b.ExpRunCfg, 1e-12)
 	if sel.FirstStep != nil && sel.FirstStep.Conclusive() {
@@ -101,14 +103,14 @@ func selectStage(sc Scenario, fp *Fingerprint, b *Builds, v *Verdict) (*Selectio
 		if max := sc.Options().SelectK; max > 0 && len(sel.Outputs) > max {
 			sel.Outputs = sel.Outputs[:max]
 		}
-		return sel, nil
+		return sel, st, nil
 	}
 	var err error
-	sel.Outputs, err = selectOutputs(sc.Options().SelectK, fp.Test.Vars(), fp.Ensemble, v.ExpRuns, sel.MedianRanking)
+	sel.Outputs, st, err = selectOutputs(sc.Options().SelectK, fp.Test.Vars(), fp.Ensemble, v.ExpRuns, sel.MedianRanking, solver)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return sel, nil
+	return sel, st, nil
 }
 
 // compileStage runs the two-step coverage trace (§2.1) on the

@@ -1,8 +1,11 @@
 package lasso
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"testing"
+	"time"
 )
 
 // pipelineShapedProblem mirrors the selection-stage design the §3
@@ -35,6 +38,44 @@ func BenchmarkSelectK(b *testing.B) {
 		}
 	}
 }
+
+// catalogProblem loads the real GOFFGRATCH selection design exported
+// from internal/experiments (see TestExportLassoFixture there): the
+// exact (X, y) the §3 selection stage hands the lasso, with the small
+// true support and near-duplicate columns the synthetic design lacks.
+func catalogProblem(tb testing.TB) (Problem, int) {
+	buf, err := os.ReadFile("testdata/goffgratch.json")
+	if err != nil {
+		tb.Fatalf("catalog fixture (regenerate with RCA_EXPORT_FIXTURE=1 go test ./internal/experiments -run TestExportLassoFixture): %v", err)
+	}
+	var fix struct {
+		N, D, K int
+		X, Y    []float64
+	}
+	if err := json.Unmarshal(buf, &fix); err != nil {
+		tb.Fatal(err)
+	}
+	return Problem{X: fix.X, Y: fix.Y, N: fix.N, D: fix.D}, fix.K
+}
+
+func benchSelectKSolver(b *testing.B, solver Solver) {
+	p, k := catalogProblem(b)
+	b.ReportAllocs()
+	var iters int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		_, _, st, err := SelectKSolver(p, k, 1500, solver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += st.Iters
+	}
+	b.ReportMetric(float64(time.Since(start).Milliseconds())/float64(b.N), "lassoms")
+	b.ReportMetric(float64(iters)/float64(b.N), "lassoiters")
+}
+
+func BenchmarkSelectKCD(b *testing.B)   { benchSelectKSolver(b, SolverCD) }
+func BenchmarkSelectKISTA(b *testing.B) { benchSelectKSolver(b, SolverISTA) }
 
 // TestSparseDotMatchesDense pins the bit-identity of the sparse-dot
 // fast path against a dense reference fit.

@@ -89,39 +89,39 @@ func Fit(p Problem, lambda float64, maxIter int, tol float64) (*Result, error) {
 	return fitStandardized(z, p.Y, p.N, p.D, lambda, maxIter, tol, false), nil
 }
 
-// fitStandardized starts the ISTA loop from the zero iterate.
-func fitStandardized(z, y []float64, n, d int, lambda float64, maxIter int, tol float64, forceDense bool) *Result {
-	return fitFrom(z, y, n, d, lambda, maxIter, tol, forceDense, make([]float64, d), 0, 0)
+// design is the per-path state every fit over one standardized design
+// shares: the design itself plus the two O(n·d) scans — the finiteness
+// check gating the sparse-dot fast path and the Lipschitz row-norm
+// bound fixing the ISTA step — that used to be recomputed inside every
+// one of SelectK's ~30 bisection probes. Hoisting them is a pure move:
+// the loops are byte-for-byte the ones fitFrom ran, so the computed
+// step and finiteness flag (and therefore every fit) are bit-identical
+// (TestDesignHoistBitIdentical pins this).
+type design struct {
+	z, y      []float64
+	n, d      int
+	step, inv float64
+	finite    bool
 }
 
-// fitFrom is the ISTA loop over an already-standardized design
-// (SelectK's path search shares one standardization across every
-// lambda), continuing from iterate (w, b) at iteration count start —
-// the warm path resumes here after skipping the shared pure-intercept
-// prefix, and because the loop body is byte-for-byte the cold path's,
-// a continuation from a bit-exact cold iterate reproduces the cold
-// trajectory bit-for-bit. The inner loops are tuned — sparse dot
-// products over the iterate's support, one sigmoid per distinct dot,
-// an unrolled gradient update — but every floating-point operation and
-// its order is exactly the original dense loop's, so fitted weights
-// are bit-identical (TestSparseDotMatchesDense pins this). w is
-// retained as the result's weight slice.
-func fitFrom(z, y []float64, n, d int, lambda float64, maxIter int, tol float64, forceDense bool, w []float64, b float64, start int) *Result {
-	grad := make([]float64, d)
+// newDesign runs the hoisted scans once. forceDense pins the dense
+// gradient path regardless of finiteness (the differential knob
+// TestSparseDotMatchesDense uses).
+func newDesign(z, y []float64, n, d int, forceDense bool) *design {
+	ds := &design{z: z, y: y, n: n, d: d}
 	// Sparse dot products: skipping exact-zero weights is bit-identical
 	// to the dense sum — a +0 weight contributes a signed-zero product,
 	// and x + ±0 == x for every accumulator this loop can produce (it
 	// starts at +0 and signed-zero additions keep it there) — except
 	// when a non-finite feature would turn 0·±Inf or 0·NaN into NaN, so
 	// non-finite designs take the dense path.
-	finite := !forceDense
+	ds.finite = !forceDense
 	for _, v := range z {
 		if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
-			finite = false
+			ds.finite = false
 			break
 		}
 	}
-	nz := make([]int, 0, d)
 	// Lipschitz constant of the logistic gradient: L <= max row norm² / 4.
 	var lip float64
 	for i := 0; i < n; i++ {
@@ -137,8 +137,33 @@ func fitFrom(z, y []float64, n, d int, lambda float64, maxIter int, tol float64,
 	if lip == 0 {
 		lip = 1
 	}
-	step := 1 / lip
-	inv := 1 / float64(n)
+	ds.step = 1 / lip
+	ds.inv = 1 / float64(n)
+	return ds
+}
+
+// fitStandardized starts the ISTA loop from the zero iterate.
+func fitStandardized(z, y []float64, n, d int, lambda float64, maxIter int, tol float64, forceDense bool) *Result {
+	return fitFrom(newDesign(z, y, n, d, forceDense), lambda, maxIter, tol, make([]float64, d), 0, 0)
+}
+
+// fitFrom is the ISTA loop over an already-standardized design
+// (SelectK's path search shares one standardization across every
+// lambda), continuing from iterate (w, b) at iteration count start —
+// the warm path resumes here after skipping the shared pure-intercept
+// prefix, and because the loop body is byte-for-byte the cold path's,
+// a continuation from a bit-exact cold iterate reproduces the cold
+// trajectory bit-for-bit. The inner loops are tuned — sparse dot
+// products over the iterate's support, one sigmoid per distinct dot,
+// an unrolled gradient update — but every floating-point operation and
+// its order is exactly the original dense loop's, so fitted weights
+// are bit-identical (TestSparseDotMatchesDense pins this). w is
+// retained as the result's weight slice.
+func fitFrom(ds *design, lambda float64, maxIter int, tol float64, w []float64, b float64, start int) *Result {
+	z, y, n, d := ds.z, ds.y, ds.n, ds.d
+	finite, step, inv := ds.finite, ds.step, ds.inv
+	grad := make([]float64, d)
+	nz := make([]int, 0, d)
 	var iters int
 	for iters = start; iters < maxIter; iters++ {
 		for j := range grad {
@@ -269,40 +294,17 @@ func (r *Result) Support() []int {
 // shared prefix — the long stretch the cold path burns re-deriving the
 // same intercept for every lambda — is paid once instead of ~30 times.
 type pathCache struct {
-	z, y      []float64
-	n, d      int
-	step, inv float64
-	finite    bool
-	bs        []float64   // bs[t] = intercept entering iteration t (bs[0] = 0)
-	grads     [][]float64 // grads[t][j] = full gradient at iterate t
-	gradBs    []float64   // intercept gradient at iterate t
+	ds     *design
+	bs     []float64   // bs[t] = intercept entering iteration t (bs[0] = 0)
+	grads  [][]float64 // grads[t][j] = full gradient at iterate t
+	gradBs []float64   // intercept gradient at iterate t
 }
 
-func newPathCache(z, y []float64, n, d int) *pathCache {
-	c := &pathCache{z: z, y: y, n: n, d: d, finite: true}
-	for _, v := range z {
-		if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
-			c.finite = false
-			break
-		}
-	}
-	// The same Lipschitz step the cold loop derives.
-	var lip float64
-	for i := 0; i < n; i++ {
-		var rn float64
-		for _, xv := range z[i*d : (i+1)*d] {
-			rn += xv * xv
-		}
-		rn = (rn + 1) / 4
-		if rn > lip {
-			lip = rn
-		}
-	}
-	if lip == 0 {
-		lip = 1
-	}
-	c.step = 1 / lip
-	c.inv = 1 / float64(n)
+// newPathCache wraps the shared per-path design state (finiteness and
+// the Lipschitz step are the hoisted scans, computed once in
+// newDesign — the same values the cold loop used to derive per fit).
+func newPathCache(ds *design) *pathCache {
+	c := &pathCache{ds: ds}
 	c.bs = append(c.bs, 0)
 	return c
 }
@@ -314,14 +316,15 @@ func newPathCache(z, y []float64, n, d int) *pathCache {
 // accumulator, so the cold loop's unrolling changes nothing), and the
 // intercept update is the same expression.
 func (c *pathCache) ensure(t int) {
+	ds := c.ds
 	for len(c.grads) <= t {
 		b := c.bs[len(c.grads)]
-		grad := make([]float64, c.d)
+		grad := make([]float64, ds.d)
 		var gradB float64
 		sig := sigmoid(b)
-		for i := 0; i < c.n; i++ {
-			resid := sig - c.y[i]
-			row := c.z[i*c.d : (i+1)*c.d]
+		for i := 0; i < ds.n; i++ {
+			resid := sig - ds.y[i]
+			row := ds.z[i*ds.d : (i+1)*ds.d]
 			for j, xv := range row {
 				grad[j] += resid * xv
 			}
@@ -329,21 +332,36 @@ func (c *pathCache) ensure(t int) {
 		}
 		c.grads = append(c.grads, grad)
 		c.gradBs = append(c.gradBs, gradB)
-		c.bs = append(c.bs, b-c.step*gradB*c.inv)
+		c.bs = append(c.bs, b-ds.step*gradB*ds.inv)
 	}
 }
 
 // fit runs one lambda's cold-equivalent fit, fast-forwarding through
 // the shared prefix.
 func (c *pathCache) fit(lambda float64, maxIter int, tol float64) *Result {
-	lamStep := c.step * lambda
+	res, w, nb, t := c.prefix(lambda, maxIter, tol)
+	if res != nil {
+		return res
+	}
+	return fitFrom(c.ds, lambda, maxIter, tol, w, nb, t+1)
+}
+
+// prefix fast-forwards one lambda through the shared pure-intercept
+// trajectory. When the fit completes inside the prefix (tolerance or
+// maxIter hit before any coordinate activates) it returns the finished
+// Result; otherwise it returns a nil Result plus the bit-exact iterate
+// (w, b) after the activating iteration t — the state both engine
+// tails (the dense ISTA loop and the screened loop) resume from.
+func (c *pathCache) prefix(lambda float64, maxIter int, tol float64) (*Result, []float64, float64, int) {
+	ds := c.ds
+	lamStep := ds.step * lambda
 	t := 0
 	for t < maxIter {
 		c.ensure(t)
 		g := c.grads[t]
 		activated := false
-		for j := 0; j < c.d; j++ {
-			if softThreshold(0-c.step*g[j]*c.inv, lamStep) != 0 {
+		for j := 0; j < ds.d; j++ {
+			if softThreshold(0-ds.step*g[j]*ds.inv, lamStep) != 0 {
 				activated = true
 				break
 			}
@@ -354,34 +372,44 @@ func (c *pathCache) fit(lambda float64, maxIter int, tol float64) *Result {
 		// No weight moves this iteration, so the cold loop's maxDelta
 		// is exactly the intercept move.
 		if math.Abs(c.bs[t+1]-c.bs[t]) < tol {
-			return &Result{Weights: make([]float64, c.d), Intercept: c.bs[t+1], Lambda: lambda, Iters: t}
+			return &Result{Weights: make([]float64, ds.d), Intercept: c.bs[t+1], Lambda: lambda, Iters: t}, nil, 0, 0
 		}
 		t++
 	}
 	if t >= maxIter {
-		return &Result{Weights: make([]float64, c.d), Intercept: c.bs[t], Lambda: lambda, Iters: t}
+		return &Result{Weights: make([]float64, ds.d), Intercept: c.bs[t], Lambda: lambda, Iters: t}, nil, 0, 0
 	}
 	// Iteration t activates the support: apply the cold loop's own
 	// update expressions to the cached iterate, then hand the state to
-	// the shared ISTA loop.
+	// the engine's tail loop.
 	g := c.grads[t]
-	w := make([]float64, c.d)
+	w := make([]float64, ds.d)
 	var maxDelta float64
-	for j := 0; j < c.d; j++ {
-		nw := softThreshold(w[j]-c.step*g[j]*c.inv, lamStep)
+	for j := 0; j < ds.d; j++ {
+		nw := softThreshold(w[j]-ds.step*g[j]*ds.inv, lamStep)
 		if dd := math.Abs(nw - w[j]); dd > maxDelta {
 			maxDelta = dd
 		}
 		w[j] = nw
 	}
-	nb := c.bs[t] - c.step*c.gradBs[t]*c.inv
+	nb := c.bs[t] - ds.step*c.gradBs[t]*ds.inv
 	if dd := math.Abs(nb - c.bs[t]); dd > maxDelta {
 		maxDelta = dd
 	}
 	if maxDelta < tol {
-		return &Result{Weights: w, Intercept: nb, Lambda: lambda, Iters: t}
+		return &Result{Weights: w, Intercept: nb, Lambda: lambda, Iters: t}, nil, 0, 0
 	}
-	return fitFrom(c.z, c.y, c.n, c.d, lambda, maxIter, tol, false, w, nb, t+1)
+	return nil, w, nb, t
+}
+
+// PathStats aggregates solver effort over one SelectK path search:
+// the number of lambda fits the bisection ran and the total iteration
+// count they consumed (ISTA proximal-gradient iterations, or CD outer
+// quadratic-approximation iterations). rcad surfaces the totals at
+// /metrics and the benchmarks record them per stage.
+type PathStats struct {
+	Fits  int
+	Iters int
 }
 
 // SelectK tunes lambda by bisection on the regularization path so that
@@ -391,15 +419,18 @@ func (c *pathCache) fit(lambda float64, maxIter int, tol float64) *Result {
 // may jump, as in the GOFFGRATCH experiment where 10 variables come out)
 // the closest achievable support with size >= k is returned.
 //
-// The path search is warm-started: the lambda-independent
-// pure-intercept prefix of the ISTA trajectory is computed once and
-// shared across every bisection fit, each of which fast-forwards along
-// it to its exact KKT departure point (see pathCache). SelectKCold
-// runs the same search with cold from-zero fits and is the
-// differential oracle the tests compare against — fits, supports and
-// the tuned lambda are all bit-identical between the two.
+// SelectK runs the warm-started ISTA path (the reference oracle; see
+// SelectKSolver for the coordinate-descent default the pipeline uses):
+// the lambda-independent pure-intercept prefix of the ISTA trajectory
+// is computed once and shared across every bisection fit, each of
+// which fast-forwards along it to its exact KKT departure point (see
+// pathCache). SelectKCold runs the same search with cold from-zero
+// fits and is the differential oracle the tests compare against —
+// fits, supports and the tuned lambda are all bit-identical between
+// the two.
 func SelectK(p Problem, k int, maxIter int) ([]int, *Result, error) {
-	return selectK(p, k, maxIter, true)
+	sel, res, _, err := selectK(p, k, maxIter, SolverISTA, true)
+	return sel, res, err
 }
 
 // SelectKCold is SelectK without warm starts: every lambda on the
@@ -407,12 +438,29 @@ func SelectK(p Problem, k int, maxIter int) ([]int, *Result, error) {
 // loop. It exists as the differential oracle for the warm-started
 // path — selections must agree bit-for-bit.
 func SelectKCold(p Problem, k int, maxIter int) ([]int, *Result, error) {
-	return selectK(p, k, maxIter, false)
+	sel, res, _, err := selectK(p, k, maxIter, SolverISTA, false)
+	return sel, res, err
 }
 
-func selectK(p Problem, k int, maxIter int, warm bool) ([]int, *Result, error) {
+// SelectKSolver is SelectK with an explicit solver engine, returning
+// path statistics alongside the selection. SolverCD (the pipeline
+// default) runs the coordinate-screened descent engine; SolverISTA
+// runs the warm-started dense proximal-gradient oracle (identical to
+// SelectK). The engines emit bit-identical iterates — ranked
+// selections, tuned lambdas, fitted weights, intercepts and iteration
+// counts all match exactly (TestSolverCDBitIdentical and
+// FuzzLassoSolvers pin this).
+func SelectKSolver(p Problem, k, maxIter int, solver Solver) ([]int, *Result, PathStats, error) {
+	return selectK(p, k, maxIter, solver, true)
+}
+
+func selectK(p Problem, k int, maxIter int, solver Solver, warm bool) ([]int, *Result, PathStats, error) {
+	var st PathStats
 	if k <= 0 {
-		return nil, nil, errors.New("lasso: k must be positive")
+		return nil, nil, st, errors.New("lasso: k must be positive")
+	}
+	if p.N == 0 || p.D == 0 || len(p.X) != p.N*p.D || len(p.Y) != p.N {
+		return nil, nil, st, errors.New("lasso: bad problem shape")
 	}
 	// λ_max: smallest λ with empty support = max |Xᵀ(y - ȳ)| / n.
 	z, _, _ := standardize(p.X, p.N, p.D)
@@ -438,27 +486,39 @@ func selectK(p Problem, k int, maxIter int, warm bool) ([]int, *Result, error) {
 	if maxIter <= 0 {
 		maxIter = 500
 	}
+	// The hoisted per-path state: finiteness and the Lipschitz step are
+	// computed once here and shared by every probe (satellite of the
+	// same scan fitFrom used to repeat ~30 times).
+	ds := newDesign(z, p.Y, p.N, p.D, false)
 	lo, hi := lamMax*1e-4, lamMax
 	var best *Result
 	var bestSup []int
 	bestGap := math.MaxInt32
 	var cache *pathCache
-	if warm {
-		if c := newPathCache(z, p.Y, p.N, p.D); c.finite {
-			cache = c // non-finite designs keep the dense cold path
-		}
+	var cd *cdPath
+	if solver == SolverCD && ds.finite {
+		// Non-finite designs fall back to the dense ISTA oracle: the
+		// CD recurrences assume finite Gram columns.
+		cd = newCDPath(ds)
+	} else if warm && ds.finite {
+		cache = newPathCache(ds) // non-finite designs keep the dense cold path
 	}
 	for iter := 0; iter < 30; iter++ {
 		mid := math.Sqrt(lo * hi) // geometric bisection
 		var res *Result
-		if cache != nil {
+		switch {
+		case cd != nil:
+			res = cd.fit(mid, maxIter, 1e-7)
+		case cache != nil:
 			res = cache.fit(mid, maxIter, 1e-7)
-		} else {
+		default:
 			// The standardized design and the ISTA trajectory per lambda
 			// are identical to a fresh Fit call; only the standardization
-			// work is shared across the path.
-			res = fitStandardized(z, p.Y, p.N, p.D, mid, maxIter, 1e-7, false)
+			// and the hoisted scans are shared across the path.
+			res = fitFrom(ds, mid, maxIter, 1e-7, make([]float64, ds.d), 0, 0)
 		}
+		st.Fits++
+		st.Iters += res.Iters
 		// Each fit's support is computed (and sorted) once; the ranked
 		// slice is reused for the gap comparisons and the final return.
 		sup := res.Support()
@@ -493,5 +553,5 @@ func selectK(p Problem, k int, maxIter int, warm bool) ([]int, *Result, error) {
 			hi = mid
 		}
 	}
-	return bestSup, best, nil
+	return bestSup, best, st, nil
 }

@@ -130,10 +130,12 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"rcad_artifact_store_evictions_total", "rcad_artifact_store_bytes",
 		"rcad_fault_injected_total", "rcad_job_retries_total",
 		"rcad_jobs_dead_lettered_total", "rcad_store_degraded",
+		"rcad_lasso_fits_total", "rcad_lasso_fit_iterations_total",
 	} {
 		metricValue(t, ts.URL, metric) // fails the test if absent
 	}
-	// Every job series carries the session's engine label.
+	// Every job series carries the session's engine label, and the
+	// lasso series carry the session's solver label too.
 	mresp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -145,6 +147,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `rcad_jobs_submitted_total{engine="bytecode"}`) {
 		t.Fatalf("engine label missing from job counters:\n%s", body)
+	}
+	if !strings.Contains(string(body), `rcad_lasso_fit_iterations_total{engine="bytecode",solver="cd"}`) {
+		t.Fatalf("solver label missing from lasso counters:\n%s", body)
 	}
 }
 
@@ -172,6 +177,31 @@ func TestMetricsCompileCacheCounts(t *testing.T) {
 	// fresh compile (misses can be 0), but reuse must dominate.
 	if misses > hits {
 		t.Fatalf("compile cache misses = %d > hits = %d: compiled programs not reused", misses, hits)
+	}
+}
+
+// TestMetricsLassoCounts pins the lasso observability: after one
+// executed job whose selection stage goes through the §3 lasso
+// (GOFFGRATCH's first-step diff is inconclusive), the session has run
+// at least one fit and its iterations are accounted.
+func TestMetricsLassoCounts(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"experiment":"GOFFGRATCH"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job status %d", resp.StatusCode)
+	}
+	fits := metricValue(t, ts.URL, "rcad_lasso_fits_total")
+	iters := metricValue(t, ts.URL, "rcad_lasso_fit_iterations_total")
+	if fits < 1 {
+		t.Fatalf("lasso fits = %d, want >= 1 (bisection probes the lambda path)", fits)
+	}
+	if iters < fits {
+		t.Fatalf("lasso iterations = %d < fits = %d: iterations not accounted", iters, fits)
 	}
 }
 

@@ -351,7 +351,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			rs.DeadLettered = q.FailedCount()
 		}
 	}
-	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses, as, rs)
+	lfits, liters := s.session.LassoStats()
+	ls := lassoStats{Solver: s.session.LassoSolver(), Fits: lfits, Iters: liters}
+	s.m.write(w, s.session.Engine(), len(s.queue), s.store.len(), s.inflight(), hits, misses, ls, as, rs)
 }
 
 // deadLettered looks an id up in the shared queue's dead-letter

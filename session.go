@@ -6,6 +6,7 @@ import (
 	"github.com/climate-rca/rca/internal/core"
 	"github.com/climate-rca/rca/internal/ect"
 	"github.com/climate-rca/rca/internal/experiments"
+	"github.com/climate-rca/rca/internal/lasso"
 	"github.com/climate-rca/rca/internal/model"
 )
 
@@ -142,6 +143,31 @@ func ParseEngine(s string) (EngineKind, error) { return model.ParseEngine(s) }
 // artifact, shared by every ensemble member, scenario and (through
 // rcad's dedup) concurrent job that uses the same sources.
 func WithEngine(k EngineKind) Option { return experiments.WithEngine(k) }
+
+// LassoSolver selects the solver engine behind the §3 lasso variable
+// selection: the coordinate-screened engine (SolverCD, the default) or
+// the dense fixed-step ISTA loop it replaced (SolverISTA, retained as
+// the differential reference oracle). The two emit bit-identical
+// iterates — same fitted weights, supports, iteration counts and
+// FormatOutcome bytes — so like EngineKind the choice is purely a
+// throughput knob.
+type LassoSolver = lasso.Solver
+
+// Lasso solver choices for WithLassoSolver.
+const (
+	SolverCD   = lasso.SolverCD
+	SolverISTA = lasso.SolverISTA
+)
+
+// ParseLassoSolver maps a CLI flag value ("cd" or "ista") onto a lasso
+// solver engine.
+func ParseLassoSolver(s string) (LassoSolver, error) { return lasso.ParseSolver(s) }
+
+// WithLassoSolver selects the session's lasso engine. The default is
+// the coordinate-screened engine, which skips per-iteration gradient
+// work for coordinates certified inert and refreshes its certificates
+// with full KKT passes.
+func WithLassoSolver(sv LassoSolver) Option { return experiments.WithLassoSolver(sv) }
 
 // WithParallelism bounds the worker pool used inside one investigation
 // (default GOMAXPROCS): ensemble and experimental-set members integrate
